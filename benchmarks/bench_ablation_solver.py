@@ -1,0 +1,80 @@
+"""Ablation benchmarks for the solver layer design choices called out in DESIGN.md.
+
+These are conventional micro-benchmarks (multiple rounds) rather than one-shot
+experiment drivers: they time the min-ones strategies (incremental descend vs
+rebuild-per-probe binary search), the Naive-M baseline, and the end-to-end Optσ
+pipeline on the paper's running example.
+"""
+
+import pytest
+
+from repro.core import smallest_witness_optsigma
+from repro.datagen import toy_university_instance, university_instance
+from repro.provenance import annotate, band, bnot, bor, var
+from repro.ra import Difference
+from repro.solver import MinOnesProblem, MinOnesSolver
+from repro.workload import course_questions
+
+
+def _chain_formula(width: int):
+    """A formula whose minimum model keeps one variable per block."""
+    blocks = []
+    for i in range(width):
+        blocks.append(bor(var(f"a{i}"), band(var(f"b{i}"), var(f"c{i}"))))
+    return band(*blocks) & bnot(var("forbidden"))
+
+
+def _problem(width: int) -> MinOnesProblem:
+    problem = MinOnesProblem()
+    problem.add_constraint(_chain_formula(width))
+    return problem
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_minones_descend(benchmark, width):
+    result = benchmark(lambda: MinOnesSolver(_problem(width)).minimize(strategy="descend"))
+    assert result.cost == width
+    assert result.optimal
+
+
+@pytest.mark.parametrize("width", [4, 8])
+def test_minones_binary(benchmark, width):
+    result = benchmark(lambda: MinOnesSolver(_problem(width)).minimize(strategy="binary"))
+    assert result.cost == width
+
+
+def test_naive_enumeration_128(benchmark):
+    result = benchmark(
+        lambda: MinOnesSolver(_problem(4), default_phase=True).enumerate_models(128)
+    )
+    assert result.best is not None
+
+
+def test_provenance_annotation_running_example(benchmark):
+    instance = toy_university_instance()
+    question = course_questions()[1]
+    diff = Difference(question.correct_query, question.handwritten_wrong_queries[0])
+    annotated = benchmark(lambda: annotate(diff, instance))
+    assert len(annotated) > 0
+
+
+def test_optsigma_end_to_end_running_example(benchmark):
+    instance = toy_university_instance()
+    question = course_questions()[1]
+    wrong = question.handwritten_wrong_queries[0]
+    result = benchmark(
+        lambda: smallest_witness_optsigma(question.correct_query, wrong, instance)
+    )
+    assert result.size == 3
+
+
+def test_optsigma_end_to_end_medium_instance(benchmark):
+    instance = university_instance(120, seed=5)
+    question = course_questions()[1]
+    wrong = question.handwritten_wrong_queries[0]
+    result = benchmark.pedantic(
+        lambda: smallest_witness_optsigma(question.correct_query, wrong, instance),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.verified

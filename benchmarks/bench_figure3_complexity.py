@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 3: query complexity vs Optσ component time."""
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import complexity_experiment
+
+
+def test_figure3_complexity(benchmark, profile):
+    result = run_once(benchmark, complexity_experiment, profile)
+    attach_rows(benchmark, result)
+    assert result.rows
+    # Runtime should (weakly) grow with query complexity: compare the mean total
+    # time of the simplest third against the most complex third of the pairs.
+    rows = result.rows
+    third = max(1, len(rows) // 3)
+    simple = sum(row["total_s"] for row in rows[:third]) / third
+    complex_ = sum(row["total_s"] for row in rows[-third:]) / third
+    assert complex_ >= simple * 0.5  # complex pairs are not systematically cheaper

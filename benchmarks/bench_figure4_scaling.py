@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 4: database size vs per-component running time."""
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import scaling_experiment
+
+
+def test_figure4_scaling(benchmark, profile):
+    result = run_once(benchmark, scaling_experiment, profile)
+    attach_rows(benchmark, result)
+    assert len(result.rows) == len(profile.database_sizes)
+    for row in result.rows:
+        # Optimizing a single tuple is not slower than optimizing every tuple
+        # (up to timing noise on tiny formulas).
+        assert row["solver_opt_s"] <= row["solver_opt_all_s"] * 1.5 + 1e-3
+    # Provenance restricted to one tuple is cheaper than full provenance on the
+    # largest instance (the prov-sp vs prov-all gap of the paper).
+    largest = result.rows[-1]
+    assert largest["prov_sp_s"] <= largest["prov_all_s"] * 1.5

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 5: witness size vs constraint-solving strategy."""
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import solver_strategy_experiment
+
+
+def test_figure5_solver_strategy(benchmark, profile):
+    result = run_once(benchmark, solver_strategy_experiment, profile)
+    attach_rows(benchmark, result)
+    by_strategy = {row["strategy"]: row for row in result.rows}
+    opt = by_strategy["Opt"]
+    # The optimizing solver never returns a larger witness than any Naive-M.
+    for label, row in by_strategy.items():
+        if label != "Opt":
+            assert opt["mean_witness_size"] <= row["mean_witness_size"] + 1e-9

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 7: parameterization effectiveness on TPC-H Q18."""
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import parameterization_experiment
+
+
+def test_figure7_parameterization(benchmark, profile):
+    result = run_once(benchmark, parameterization_experiment, profile)
+    attach_rows(benchmark, result)
+    by_algorithm = {row["algorithm"]: row for row in result.rows}
+    basic = by_algorithm["Agg-Basic"]["mean_counterexample_size"]
+    param = by_algorithm["Agg-Param"]["mean_counterexample_size"]
+    # Paper's shape: parameterization shrinks the counterexample.
+    if basic is not None and param is not None:
+        assert param <= basic

@@ -1,0 +1,16 @@
+"""Benchmark for the Table 1 companion ablation: specialised vs generic algorithms."""
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import dichotomy_experiment
+
+
+def test_table1_dichotomy(benchmark, profile):
+    result = run_once(benchmark, dichotomy_experiment, profile)
+    attach_rows(benchmark, result)
+    assert result.rows
+    # Wherever a specialised poly-time algorithm applies, its witness is as
+    # small as the generic constraint-based solver's.
+    for row in result.rows:
+        if "specialised_size" in row:
+            assert row["specialised_size"] == row["optsigma_size"]

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Table 3: |D| vs number of wrong queries discovered."""
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import discovery_experiment
+
+
+def test_table3_discovery(benchmark, profile):
+    result = run_once(benchmark, discovery_experiment, profile)
+    attach_rows(benchmark, result)
+    discovered = result.column("wrong_queries_discovered")
+    # Shape check: larger instances never discover fewer wrong queries (allowing
+    # tiny fluctuations from the seeded corner cases).
+    assert discovered == sorted(discovered) or max(discovered) - discovered[-1] <= 2
+    assert discovered[-1] > 0

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 4: SCP (Basic) vs SWP (Optσ)."""
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import scp_vs_swp_experiment
+
+
+def test_table4_scp_vs_swp(benchmark, profile):
+    result = run_once(benchmark, scp_vs_swp_experiment, profile)
+    attach_rows(benchmark, result)
+    basic, optsigma = result.rows
+    # Paper's shape: Optσ is faster and returns counterexamples of the same size.
+    assert optsigma["mean_runtime_s"] <= basic["mean_runtime_s"]
+    assert abs(optsigma["mean_counterexample_size"] - basic["mean_counterexample_size"]) <= 0.5

@@ -1,0 +1,20 @@
+"""Benchmark regenerating the user-study artifacts: Figure 8, Table 5, Figures 9–10."""
+
+from conftest import attach_rows, run_once
+
+from repro.experiments import user_study_experiments
+
+
+def test_user_study(benchmark, profile):
+    results = run_once(benchmark, user_study_experiments, profile)
+    for key, result in results.items():
+        benchmark.extra_info[key] = result.rows
+    table5 = {row["problem"]: row for row in results["table5"].rows}
+    # Paper's shape: RATest users do at least as well on the hard problems.
+    assert table5["g"]["user_mean_score"] >= table5["g"]["non_user_mean_score"]
+    assert table5["i"]["user_mean_score"] >= table5["i"]["non_user_mean_score"]
+    transfer = {row["group"]: row for row in results["figure9"].rows}
+    assert (
+        transfer["used RATest on (i)"]["mean_score_h"]
+        >= transfer["did not use RATest on (i)"]["mean_score_h"]
+    )

@@ -1,0 +1,37 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+experiment drivers are deterministic but not cheap, so each benchmark runs its
+driver exactly once (``pedantic`` mode) and attaches the resulting rows to the
+benchmark's ``extra_info`` so the numbers can be inspected in the JSON output
+(``pytest benchmarks/ --benchmark-only --benchmark-json=bench.json``).
+
+Set ``REPRO_BENCH_PROFILE=paper`` to run closer to the paper's scales
+(considerably slower); the default ``quick`` profile finishes in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentResult, ScaleProfile
+
+
+@pytest.fixture(scope="session")
+def profile() -> ScaleProfile:
+    """The scale profile used by every benchmark in this session."""
+    return ScaleProfile.by_name(os.environ.get("REPRO_BENCH_PROFILE", "quick"))
+
+
+def attach_rows(benchmark, result: ExperimentResult) -> None:
+    """Record the experiment's rows and metadata on the benchmark entry."""
+    benchmark.extra_info["experiment"] = result.name
+    benchmark.extra_info["rows"] = result.rows
+    benchmark.extra_info["metadata"] = result.metadata
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

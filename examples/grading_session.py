@@ -1,0 +1,80 @@
+"""A course grading session: auto-grader plus counterexample feedback.
+
+This reproduces the workflow of §7.1/§8: students submit relational algebra
+queries for the eight homework questions; the auto-grader checks them on a
+*hidden* instance (much larger than the sample instance they can see); failing
+submissions get a small counterexample as feedback.  The script also shows the
+Table 3 effect: a larger hidden instance catches more wrong queries.
+
+Run with:  python examples/grading_session.py
+"""
+
+from repro.datagen import university_instance, university_instance_with_size
+from repro.ratest import AutoGrader, Question, RATest
+from repro.ra.evaluator import evaluate
+from repro.workload import course_questions, course_submission_pool
+
+
+def build_grader(hidden_size: int = 60):
+    hidden = university_instance(hidden_size, seed=2018)
+    questions = {
+        q.key: Question(q.key, q.prompt, q.correct_query, q.difficulty)
+        for q in course_questions()
+    }
+    return AutoGrader(hidden, questions), hidden
+
+
+def grade_one_student(grader: AutoGrader, hidden) -> None:
+    """One simulated student: right on q1, wrong on q2 (the classic mistake)."""
+    q1, q2 = course_questions()[0], course_questions()[1]
+    submissions = {
+        q1.key: q1.correct_query,
+        q2.key: q2.handwritten_wrong_queries[0],  # "one or more" instead of "exactly one"
+    }
+    report = grader.grade(submissions, explain=True)
+    print(f"Auto-grader: {report.num_passed} passed, {report.num_failed} failed\n")
+
+    tool = RATest(hidden)
+    for entry in report.entries:
+        question = next(q for q in course_questions() if q.key == entry.question)
+        if entry.passed:
+            print(f"[{entry.question}] PASSED — {question.prompt}")
+            continue
+        print(f"[{entry.question}] FAILED — {question.prompt}")
+        outcome = tool.check(question.correct_query, submissions[entry.question])
+        if outcome.report is not None:
+            print()
+            print(outcome.report.render())
+        print()
+
+
+def table3_style_sweep() -> None:
+    """More test data catches more wrong queries (the Table 3 effect)."""
+    pool = course_submission_pool(seed=7, mutants_per_question=15)
+    print("Wrong queries discovered vs hidden instance size")
+    print("(pool of", pool.total_wrong(), "wrong queries)")
+    for size in (200, 600, 1500):
+        hidden = university_instance_with_size(size, seed=2018)
+        reference = {
+            q.key: evaluate(q.correct_query, hidden) for q in course_questions()
+        }
+        discovered = 0
+        for key, wrong_queries in pool.wrong_queries.items():
+            for wrong in wrong_queries:
+                try:
+                    if not evaluate(wrong, hidden).same_rows(reference[key]):
+                        discovered += 1
+                except Exception:
+                    discovered += 1
+        print(f"  |D| = {hidden.total_size():5d}  ->  {discovered} wrong queries discovered")
+
+
+def main() -> None:
+    grader, hidden = build_grader()
+    print(f"Hidden grading instance: {hidden.total_size()} tuples\n")
+    grade_one_student(grader, hidden)
+    table3_style_sweep()
+
+
+if __name__ == "__main__":
+    main()

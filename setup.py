@@ -1,0 +1,4 @@
+"""Setuptools entry point (kept for offline editable installs without wheel)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""RATest reproduction: explaining wrong queries using small counterexamples.
+
+This package reproduces the system described in "Explaining Wrong Queries
+Using Small Examples" (Miao, Roy, Yang — SIGMOD 2019): given a reference
+query, a test query and a database instance on which they disagree, find the
+smallest sub-instance on which they still disagree.
+
+Typical usage::
+
+    from repro import RATest
+    from repro.datagen import university_instance
+
+    instance = university_instance(num_students=50, seed=7)
+    tool = RATest(instance)
+    outcome = tool.check(correct_query, student_query)
+    print(outcome.render())
+"""
+
+from repro.core import (
+    CounterexampleResult,
+    SmallestCounterexampleFinder,
+    find_smallest_counterexample,
+    find_smallest_witness,
+)
+from repro.ratest import AutoGrader, Question, RATest, RATestReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoGrader",
+    "CounterexampleResult",
+    "Question",
+    "RATest",
+    "RATestReport",
+    "SmallestCounterexampleFinder",
+    "find_smallest_counterexample",
+    "find_smallest_witness",
+    "__version__",
+]

@@ -1,0 +1,239 @@
+"""Database instances: relations with identified tuples, and query results.
+
+Every tuple stored in a base relation carries a unique *tuple identifier*
+(tid) such as ``"Student:3"``.  Tids are how the provenance layer and the
+constraint solvers refer to input tuples, exactly like the ``t1, t2, ...``
+annotations in the paper's figures.  Query *results* are plain value tuples
+under set semantics and carry no identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.catalog.schema import DatabaseSchema, RelationSchema
+from repro.catalog.types import coerce
+from repro.errors import SchemaError, UnknownRelationError
+
+Values = tuple[Any, ...]
+
+
+def split_tid(tid: str) -> tuple[str, str]:
+    """Split a tid like ``"Student:3"`` into ``("Student", "3")``."""
+    relation, _, suffix = tid.partition(":")
+    if not suffix:
+        raise ValueError(f"malformed tuple identifier {tid!r}")
+    return relation, suffix
+
+
+class Relation:
+    """A base relation instance: a set of identified, typed tuples."""
+
+    def __init__(self, schema: RelationSchema) -> None:
+        self.schema = schema
+        self._rows: dict[str, Values] = {}
+        self._next_id = 1
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, values: Sequence[Any], *, tid: str | None = None) -> str:
+        """Insert a tuple, returning its identifier.
+
+        Values are coerced to the declared attribute types.  Duplicate values
+        are allowed at the storage layer (they get distinct tids); the query
+        evaluator applies set semantics on top.
+        """
+        if len(values) != self.schema.arity:
+            raise SchemaError(
+                f"relation {self.schema.name!r} expects {self.schema.arity} values, "
+                f"got {len(values)}"
+            )
+        coerced = tuple(
+            coerce(v, attr.dtype, nullable=attr.nullable)
+            for v, attr in zip(values, self.schema.attributes)
+        )
+        if tid is None:
+            tid = f"{self.schema.name}:{self._next_id}"
+            self._next_id += 1
+        elif tid in self._rows:
+            raise SchemaError(f"duplicate tuple identifier {tid!r}")
+        self._rows[tid] = coerced
+        return tid
+
+    def insert_all(self, rows: Iterable[Sequence[Any]]) -> list[str]:
+        """Insert many tuples, returning their identifiers in order."""
+        return [self.insert(row) for row in rows]
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, tid: str) -> bool:
+        return tid in self._rows
+
+    def tids(self) -> tuple[str, ...]:
+        return tuple(self._rows)
+
+    def row(self, tid: str) -> Values:
+        return self._rows[tid]
+
+    def tuples(self) -> Iterator[tuple[str, Values]]:
+        """Iterate over ``(tid, values)`` pairs in insertion order."""
+        return iter(self._rows.items())
+
+    def value_set(self) -> frozenset[Values]:
+        return frozenset(self._rows.values())
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as attribute-name dictionaries (handy for display and tests)."""
+        names = self.schema.attribute_names
+        return [dict(zip(names, values)) for values in self._rows.values()]
+
+    # -- derivation --------------------------------------------------------
+
+    def subset(self, tids: Iterable[str]) -> "Relation":
+        """A new relation containing only the given tuples (same tids)."""
+        sub = Relation(self.schema)
+        for tid in tids:
+            if tid not in self._rows:
+                raise KeyError(f"tuple {tid!r} is not in relation {self.schema.name!r}")
+            sub._rows[tid] = self._rows[tid]
+        sub._next_id = self._next_id
+        return sub
+
+    def copy(self) -> "Relation":
+        return self.subset(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.schema.name!r}, {len(self)} tuples)"
+
+
+class DatabaseInstance:
+    """A database instance: one :class:`Relation` per schema relation."""
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.schema = schema
+        self.relations: dict[str, Relation] = {
+            name: Relation(rel_schema) for name, rel_schema in schema.relations.items()
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def from_dict(schema: DatabaseSchema, data: Mapping[str, Iterable[Sequence[Any]]]) -> "DatabaseInstance":
+        """Build an instance from ``{relation_name: [row, ...]}``."""
+        instance = DatabaseInstance(schema)
+        for name, rows in data.items():
+            instance.relation(name).insert_all(rows)
+        return instance
+
+    def insert(self, relation_name: str, values: Sequence[Any], *, tid: str | None = None) -> str:
+        return self.relation(relation_name).insert(values, tid=tid)
+
+    # -- access ------------------------------------------------------------
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise UnknownRelationError(f"unknown relation {name!r}") from None
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self.relations)
+
+    def total_size(self) -> int:
+        """Total number of tuples across all relations (the paper's ``|D|``)."""
+        return sum(len(rel) for rel in self.relations.values())
+
+    def all_tids(self) -> set[str]:
+        return {tid for rel in self.relations.values() for tid in rel.tids()}
+
+    def lookup(self, tid: str) -> Values:
+        """Return the values of the tuple with the given identifier."""
+        relation_name, _ = split_tid(tid)
+        return self.relation(relation_name).row(tid)
+
+    # -- derivation --------------------------------------------------------
+
+    def subinstance(self, tids: Iterable[str]) -> "DatabaseInstance":
+        """The subinstance containing exactly the tuples named by ``tids``.
+
+        Tids keep their values and identifiers, so provenance computed on the
+        subinstance is comparable with provenance computed on the original.
+        """
+        by_relation: dict[str, list[str]] = {name: [] for name in self.relations}
+        for tid in tids:
+            relation_name, _ = split_tid(tid)
+            if relation_name not in by_relation:
+                raise UnknownRelationError(
+                    f"tuple {tid!r} refers to unknown relation {relation_name!r}"
+                )
+            by_relation[relation_name].append(tid)
+        sub = DatabaseInstance.__new__(DatabaseInstance)
+        sub.schema = self.schema
+        sub.relations = {
+            name: self.relations[name].subset(tids_for_rel)
+            for name, tids_for_rel in by_relation.items()
+        }
+        return sub
+
+    def copy(self) -> "DatabaseInstance":
+        return self.subinstance(self.all_tids())
+
+    # -- integrity ---------------------------------------------------------
+
+    def constraint_violations(self) -> list[str]:
+        """Human-readable descriptions of all violated integrity constraints."""
+        violations: list[str] = []
+        for constraint in self.schema.constraints:
+            violations.extend(constraint.violations(self))
+        return violations
+
+    def satisfies_constraints(self) -> bool:
+        return not self.constraint_violations()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{name}={len(rel)}" for name, rel in self.relations.items())
+        return f"DatabaseInstance({parts})"
+
+
+@dataclass(frozen=True)
+class ResultSet:
+    """The result of evaluating a query: a set of value tuples with a schema."""
+
+    schema: RelationSchema
+    rows: frozenset[Values]
+
+    @staticmethod
+    def of(schema: RelationSchema, rows: Iterable[Values]) -> "ResultSet":
+        return ResultSet(schema, frozenset(tuple(row) for row in rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: Values) -> bool:
+        return tuple(row) in self.rows
+
+    def __iter__(self) -> Iterator[Values]:
+        return iter(self.rows)
+
+    def sorted_rows(self) -> list[Values]:
+        """Rows in a deterministic order (for display and golden tests)."""
+        return sorted(self.rows, key=lambda row: tuple(str(v) for v in row))
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.schema.attribute_names
+        return [dict(zip(names, row)) for row in self.sorted_rows()]
+
+    def same_rows(self, other: "ResultSet") -> bool:
+        """Value-level equality, ignoring attribute names (union compatibility)."""
+        return self.rows == other.rows
+
+    def minus(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet(self.schema, self.rows - other.rows)
+
+    def symmetric_difference(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet(self.schema, self.rows ^ other.rows)

@@ -1,0 +1,190 @@
+"""Relation and database schemas.
+
+A :class:`RelationSchema` is an ordered list of typed attributes plus a name.
+A :class:`DatabaseSchema` is a collection of relation schemas together with
+the integrity constraints declared on them.  Schemas are immutable value
+objects: operations such as projection or renaming return new schemas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence, TYPE_CHECKING
+
+from repro.catalog.types import DataType, comparable
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.catalog.constraints import Constraint
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute of a relation."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = False
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute with a different name."""
+        return Attribute(new_name, self.dtype, self.nullable)
+
+    def __str__(self) -> str:
+        suffix = "?" if self.nullable else ""
+        return f"{self.name}:{self.dtype.value}{suffix}"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The schema of a single relation: a name and an ordered attribute list."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate attribute names in relation {self.name!r}: {names}")
+        if not self.attributes:
+            raise SchemaError(f"relation {self.name!r} must have at least one attribute")
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def of(name: str, columns: Sequence[tuple[str, DataType] | Attribute]) -> "RelationSchema":
+        """Build a schema from ``(name, dtype)`` pairs or ready-made attributes."""
+        attrs = tuple(
+            col if isinstance(col, Attribute) else Attribute(col[0], col[1]) for col in columns
+        )
+        return RelationSchema(name, attrs)
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def has_attribute(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise UnknownAttributeError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def index_of(self, name: str) -> int:
+        for i, attr in enumerate(self.attributes):
+            if attr.name == name:
+                return i
+        raise UnknownAttributeError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    # -- derived schemas ----------------------------------------------------
+
+    def project(self, names: Sequence[str], *, new_name: str | None = None) -> "RelationSchema":
+        """Schema obtained by projecting onto ``names`` (in the given order)."""
+        attrs = tuple(self.attribute(n) for n in names)
+        return RelationSchema(new_name or self.name, attrs)
+
+    def rename_relation(self, new_name: str) -> "RelationSchema":
+        """Same attributes under a different relation name."""
+        return RelationSchema(new_name, self.attributes)
+
+    def rename_attributes(self, mapping: dict[str, str], *, new_name: str | None = None) -> "RelationSchema":
+        """Rename attributes according to ``mapping`` (missing keys are kept)."""
+        for old in mapping:
+            if not self.has_attribute(old):
+                raise UnknownAttributeError(
+                    f"cannot rename {old!r}: not an attribute of {self.name!r}"
+                )
+        attrs = tuple(a.renamed(mapping.get(a.name, a.name)) for a in self.attributes)
+        return RelationSchema(new_name or self.name, attrs)
+
+    def concat(self, other: "RelationSchema", *, new_name: str | None = None) -> "RelationSchema":
+        """Schema of the cross product / theta join of two relations.
+
+        Attribute names must be disjoint; callers are expected to rename
+        before joining when both sides share attribute names (natural join
+        handles the shared attributes itself).
+        """
+        overlap = set(self.attribute_names) & set(other.attribute_names)
+        if overlap:
+            raise SchemaError(
+                f"cannot concatenate schemas {self.name!r} and {other.name!r}: "
+                f"shared attributes {sorted(overlap)}"
+            )
+        return RelationSchema(new_name or f"{self.name}_{other.name}", self.attributes + other.attributes)
+
+    # -- compatibility ------------------------------------------------------
+
+    def union_compatible(self, other: "RelationSchema") -> bool:
+        """True when the two schemas have the same arity and comparable types.
+
+        Attribute *names* do not need to match (as in SQL set operations); the
+        output takes the left operand's names.
+        """
+        if self.arity != other.arity:
+            return False
+        return all(
+            comparable(a.dtype, b.dtype) for a, b in zip(self.attributes, other.attributes)
+        )
+
+    def __str__(self) -> str:
+        cols = ", ".join(str(a) for a in self.attributes)
+        return f"{self.name}({cols})"
+
+
+@dataclass
+class DatabaseSchema:
+    """A collection of relation schemas plus declared integrity constraints."""
+
+    relations: dict[str, RelationSchema] = field(default_factory=dict)
+    constraints: list["Constraint"] = field(default_factory=list)
+
+    @staticmethod
+    def of(schemas: Iterable[RelationSchema], constraints: Iterable["Constraint"] = ()) -> "DatabaseSchema":
+        db = DatabaseSchema()
+        for schema in schemas:
+            db.add_relation(schema)
+        for constraint in constraints:
+            db.add_constraint(constraint)
+        return db
+
+    def add_relation(self, schema: RelationSchema) -> None:
+        if schema.name in self.relations:
+            raise SchemaError(f"relation {schema.name!r} already declared")
+        self.relations[schema.name] = schema
+
+    def add_constraint(self, constraint: "Constraint") -> None:
+        constraint.validate_against(self)
+        self.constraints.append(constraint)
+
+    def relation(self, name: str) -> RelationSchema:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise UnknownRelationError(f"unknown relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self.relations
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self.relations)
+
+    def foreign_keys(self) -> list["Constraint"]:
+        """Return only the foreign-key constraints (used by the solvers)."""
+        from repro.catalog.constraints import ForeignKeyConstraint
+
+        return [c for c in self.constraints if isinstance(c, ForeignKeyConstraint)]
+
+    def __str__(self) -> str:
+        return "; ".join(str(s) for s in self.relations.values())

@@ -1,0 +1,104 @@
+"""Attribute data types and value coercion.
+
+The engine supports a deliberately small set of scalar types — integers,
+floats, strings and booleans — which is all the paper's workloads (course
+assignments, beers/bars, TPC-H) require.  ``NULL`` is represented by Python
+``None`` and only permitted when the attribute is declared nullable.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+
+class DataType(enum.Enum):
+    """Scalar data types supported by the relational engine."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataType.{self.name}"
+
+
+_PYTHON_TYPES = {
+    DataType.INT: (int,),
+    DataType.FLOAT: (float, int),
+    DataType.STRING: (str,),
+    DataType.BOOL: (bool,),
+}
+
+
+def infer_type(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a Python value.
+
+    Booleans are checked before integers because ``bool`` is a subclass of
+    ``int`` in Python.
+    """
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, int):
+        return DataType.INT
+    if isinstance(value, float):
+        return DataType.FLOAT
+    if isinstance(value, str):
+        return DataType.STRING
+    raise TypeMismatchError(f"unsupported value type: {type(value).__name__}")
+
+
+def coerce(value: Any, dtype: DataType, *, nullable: bool = False) -> Any:
+    """Coerce ``value`` to ``dtype`` or raise :class:`TypeMismatchError`.
+
+    ``None`` is accepted only when ``nullable`` is true.  Integers are widened
+    to floats for FLOAT attributes; no other implicit conversion is performed,
+    so a string "42" does *not* silently become an integer.
+    """
+    if value is None:
+        if nullable:
+            return None
+        raise TypeMismatchError("NULL value for a non-nullable attribute")
+    if dtype is DataType.BOOL:
+        if isinstance(value, bool):
+            return value
+        raise TypeMismatchError(f"expected BOOL, got {value!r}")
+    if dtype is DataType.INT:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise TypeMismatchError(f"expected INT, got {value!r}")
+        return value
+    if dtype is DataType.FLOAT:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"expected FLOAT, got {value!r}")
+        return float(value)
+    if dtype is DataType.STRING:
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"expected STRING, got {value!r}")
+        return value
+    raise TypeMismatchError(f"unknown data type {dtype!r}")  # pragma: no cover
+
+
+def is_numeric(dtype: DataType) -> bool:
+    """Return ``True`` for types usable in arithmetic and aggregates."""
+    return dtype in (DataType.INT, DataType.FLOAT)
+
+
+def common_numeric_type(left: DataType, right: DataType) -> DataType:
+    """Return the widened numeric type of two numeric operands."""
+    if not (is_numeric(left) and is_numeric(right)):
+        raise TypeMismatchError(
+            f"arithmetic requires numeric operands, got {left.value} and {right.value}"
+        )
+    if DataType.FLOAT in (left, right):
+        return DataType.FLOAT
+    return DataType.INT
+
+
+def comparable(left: DataType, right: DataType) -> bool:
+    """Return ``True`` when values of the two types may be compared."""
+    if left == right:
+        return True
+    return is_numeric(left) and is_numeric(right)

@@ -1,0 +1,146 @@
+"""Command-line interface for the RATest reproduction.
+
+Three subcommands cover the common workflows:
+
+``demo``
+    Run the paper's running example end to end and print the counterexample.
+
+``explain``
+    Read a reference query and a test query (RA DSL text, from files or
+    inline), evaluate them on one of the built-in datasets and print the
+    smallest-counterexample report.
+
+``experiments``
+    Re-run the paper's tables and figures at a chosen scale profile and write
+    the markdown report.
+
+Examples::
+
+    python -m repro.cli demo
+    python -m repro.cli explain --dataset university:200 \
+        --correct correct.ra --test submission.ra
+    python -m repro.cli experiments --profile quick --output results.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.catalog.instance import DatabaseInstance
+from repro.datagen import (
+    beers_instance,
+    toy_beers_instance,
+    toy_university_instance,
+    tpch_instance,
+    university_instance,
+)
+from repro.errors import ReproError
+from repro.ratest import RATest
+
+
+def load_dataset(spec: str, *, seed: int = 0) -> DatabaseInstance:
+    """Build a dataset instance from a spec like ``university:500`` or ``tpch:0.1``.
+
+    Supported datasets: ``toy-university``, ``university[:num_students]``,
+    ``toy-beers``, ``beers[:num_drinkers]``, ``tpch[:scale]``.
+    """
+    name, _, argument = spec.partition(":")
+    if name == "toy-university":
+        return toy_university_instance()
+    if name == "university":
+        return university_instance(int(argument or 50), seed=seed)
+    if name == "toy-beers":
+        return toy_beers_instance()
+    if name == "beers":
+        return beers_instance(num_drinkers=int(argument or 40), seed=seed)
+    if name == "tpch":
+        return tpch_instance(float(argument or 0.1), seed=seed)
+    raise ReproError(
+        f"unknown dataset {spec!r}; expected toy-university, university[:N], "
+        "toy-beers, beers[:N] or tpch[:scale]"
+    )
+
+
+def _read_query(value: str) -> str:
+    """Treat the argument as a file path when it exists, otherwise as DSL text."""
+    path = Path(value)
+    if path.exists():
+        return path.read_text()
+    return value
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.workload import course_questions
+
+    instance = toy_university_instance()
+    question = course_questions()[1]
+    tool = RATest(instance)
+    outcome = tool.check(question.correct_query, question.handwritten_wrong_queries[0])
+    print(f"Question: {question.prompt}\n")
+    print(outcome.render())
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    instance = load_dataset(args.dataset, seed=args.seed)
+    tool = RATest(instance)
+    correct = _read_query(args.correct)
+    test = _read_query(args.test)
+    outcome = tool.check(correct, test, algorithm=args.algorithm)
+    print(outcome.render())
+    if outcome.correct:
+        return 0
+    return 1 if outcome.report is not None else 2
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments import generate_report, run_all_experiments
+
+    results = run_all_experiments(args.profile)
+    report = generate_report(results)
+    if args.output == "-":
+        print(report)
+    else:
+        Path(args.output).write_text(report)
+        print(f"wrote {args.output} ({sum(len(r.rows) for r in results.values())} rows)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RATest reproduction: smallest counterexamples for wrong queries"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="run the paper's running example")
+    demo.set_defaults(func=_cmd_demo)
+
+    explain = subparsers.add_parser("explain", help="explain why two queries differ")
+    explain.add_argument("--dataset", default="toy-university", help="dataset spec, e.g. university:200")
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--correct", required=True, help="reference query (RA DSL text or file path)")
+    explain.add_argument("--test", required=True, help="test query (RA DSL text or file path)")
+    explain.add_argument("--algorithm", default="auto", help="auto, basic, optsigma, agg-basic, agg-opt, ...")
+    explain.set_defaults(func=_cmd_explain)
+
+    experiments = subparsers.add_parser("experiments", help="re-run the paper's tables and figures")
+    experiments.add_argument("--profile", default="quick", choices=["quick", "paper"])
+    experiments.add_argument("--output", default="-", help="output markdown file, or - for stdout")
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Foreign-key clauses for the counterexample solvers (§4.3).
+
+Counterexamples must satisfy referential integrity: keeping a child tuple
+requires keeping at least one matching parent tuple.  Keys, functional
+dependencies and NOT NULL constraints are closed under subinstances and need
+no clauses (§2.1).
+
+:func:`foreign_key_clauses` builds the implication clauses restricted to the
+tuples the solver may actually keep, following references transitively (a
+Registration row may require a Student row, which may itself require a
+Department row, and so on).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.catalog.constraints import ForeignKeyConstraint
+from repro.catalog.instance import DatabaseInstance, split_tid
+from repro.solver.minones import ForeignKeyClause
+
+
+def foreign_key_clauses(
+    instance: DatabaseInstance, relevant_tids: Iterable[str]
+) -> list[ForeignKeyClause]:
+    """Implication clauses ``child ⇒ parent₁ ∨ …`` for every relevant child tuple.
+
+    ``relevant_tids`` are the tuples that may appear in the counterexample
+    (typically the variables of the provenance constraint).  Parents referenced
+    by those children are added to the frontier so that chains of foreign keys
+    are covered.
+    """
+    foreign_keys = [
+        c for c in instance.schema.constraints if isinstance(c, ForeignKeyConstraint)
+    ]
+    if not foreign_keys:
+        return []
+
+    implications_per_fk = [(fk, fk.implications(instance)) for fk in foreign_keys]
+    clauses: list[ForeignKeyClause] = []
+    emitted: set[tuple[str, str]] = set()
+    frontier = set(relevant_tids)
+    processed: set[str] = set()
+    while frontier:
+        tid = frontier.pop()
+        if tid in processed:
+            continue
+        processed.add(tid)
+        relation_name, _ = split_tid(tid)
+        for fk, implications in implications_per_fk:
+            if fk.child != relation_name or tid not in implications:
+                continue
+            key = (tid, str(fk))
+            if key in emitted:
+                continue
+            emitted.add(key)
+            parents = tuple(implications[tid])
+            clauses.append(ForeignKeyClause(tid, parents))
+            for parent in parents:
+                if parent not in processed:
+                    frontier.add(parent)
+    return clauses

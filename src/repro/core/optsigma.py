@@ -1,0 +1,87 @@
+"""The Optσ algorithm (Algorithm 2): one witness target, selection pushdown,
+optimal min-ones solving.
+
+Compared to Basic, Optσ (i) picks a *single* output tuple on which the two
+queries disagree, (ii) narrows provenance computation to that tuple by placing
+a selection on top of ``Q1 − Q2`` and pushing it down the tree, and (iii) asks
+the optimizing solver for a minimum-cardinality model directly instead of
+enumerating models.  This is the configuration the paper recommends (6.9×
+faster than Basic in Table 4 with the same counterexample sizes).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.catalog.instance import DatabaseInstance, Values
+from repro.core.common import Stopwatch, finalize_result, pick_witness_target
+from repro.core.fk import foreign_key_clauses
+from repro.core.results import CounterexampleResult
+from repro.errors import CounterexampleError
+from repro.provenance.annotate import annotate
+from repro.ra.ast import Difference, RAExpression
+from repro.ra.rewrite import add_tuple_selection, push_selections_down
+from repro.solver.minones import MinOnesProblem, MinOnesSolver
+
+ParamValues = Mapping[str, Any]
+
+
+def smallest_witness_optsigma(
+    q1: RAExpression,
+    q2: RAExpression,
+    instance: DatabaseInstance,
+    *,
+    params: ParamValues | None = None,
+    target_row: Values | None = None,
+    pushdown: bool = True,
+    strategy: str = "descend",
+    solver_time_budget: float | None = None,
+) -> CounterexampleResult:
+    """Algorithm 2: smallest witness of one differing output tuple.
+
+    ``target_row`` overrides the automatically chosen tuple (which is the
+    lexicographically first row of ``Q1(D) \\ Q2(D)``, falling back to
+    ``Q2(D) \\ Q1(D)``).  ``pushdown`` controls the selection-pushdown rewrite
+    — disabling it is the "prov-all on one tuple" ablation of Figure 4.
+    """
+    stopwatch = Stopwatch()
+    with stopwatch.measure("raw_eval"):
+        row, winning, losing = pick_witness_target(q1, q2, instance, params)
+    if target_row is not None:
+        row = tuple(target_row)
+
+    diff = Difference(winning, losing)
+    selected: RAExpression = add_tuple_selection(diff, instance.schema, row)
+    if pushdown:
+        selected = push_selections_down(selected, instance.schema)
+
+    with stopwatch.measure("provenance"):
+        annotated = annotate(selected, instance, params)
+        expression = annotated.expression_for(row)
+    if expression.variables() == frozenset() and not expression.evaluate({}):
+        raise CounterexampleError(
+            f"no provenance derivation found for the chosen output tuple {row!r}"
+        )
+
+    problem = MinOnesProblem()
+    problem.add_constraint(expression)
+    for clause in foreign_key_clauses(instance, expression.variables()):
+        problem.add_foreign_key(clause.child, clause.parents)
+
+    with stopwatch.measure("solver"):
+        outcome = MinOnesSolver(problem).minimize(
+            strategy=strategy, time_budget=solver_time_budget  # type: ignore[arg-type]
+        )
+
+    return finalize_result(
+        q1,
+        q2,
+        instance,
+        outcome.true_variables,
+        distinguishing_row=row,
+        optimal=outcome.optimal,
+        algorithm="optsigma" if pushdown else "optsigma-nopushdown",
+        timings=stopwatch.finish(),
+        params=params,
+        solver_calls=outcome.solver_calls,
+    )

@@ -1,0 +1,76 @@
+"""Result objects returned by the counterexample algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.catalog.instance import DatabaseInstance, ResultSet, Values
+
+
+@dataclass
+class CounterexampleResult:
+    """A (hopefully smallest) counterexample for a pair of queries.
+
+    Attributes
+    ----------
+    tids:
+        Identifiers of the tuples kept from the original instance.
+    counterexample:
+        The subinstance induced by ``tids``.
+    distinguishing_row:
+        The output row that differs between the two queries on the
+        counterexample (the witness target ``t`` of the SWP), when known.
+    q1_rows / q2_rows:
+        Results of the two queries evaluated on the counterexample, for
+        display in reports.
+    optimal:
+        True when the solver proved the counterexample minimum-cardinality
+        (for the witness target it examined).
+    algorithm:
+        Name of the algorithm that produced the result
+        (``basic``, ``optsigma``, ``polytime-dnf``, ``spjud-star``,
+        ``agg-basic``, ``agg-param``, ``agg-opt``, ...).
+    timings:
+        Wall-clock breakdown in seconds, keyed by phase
+        (``raw_eval``, ``provenance``, ``solver``, ``total``).
+    parameter_values:
+        For parameterized counterexamples (SPCP), the parameter setting under
+        which the two queries differ on the counterexample.
+    verified:
+        True when ``Q1(D') != Q2(D')`` was re-checked by evaluation.
+    """
+
+    tids: frozenset[str]
+    counterexample: DatabaseInstance
+    distinguishing_row: Values | None
+    q1_rows: ResultSet
+    q2_rows: ResultSet
+    optimal: bool
+    algorithm: str
+    timings: dict[str, float] = field(default_factory=dict)
+    parameter_values: Mapping[str, Any] = field(default_factory=dict)
+    solver_calls: int = 0
+    verified: bool = False
+
+    @property
+    def size(self) -> int:
+        """Number of tuples in the counterexample (the paper's quality metric)."""
+        return len(self.tids)
+
+    def total_time(self) -> float:
+        return self.timings.get("total", sum(self.timings.values()))
+
+
+@dataclass
+class WitnessResult:
+    """Result of the smallest witness problem for one output tuple."""
+
+    tids: frozenset[str]
+    row: Values
+    optimal: bool
+    solver_calls: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.tids)

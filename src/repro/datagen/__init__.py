@@ -1,0 +1,25 @@
+"""Seeded synthetic data generators: university, beers/bars, TPC-H-lite."""
+
+from repro.datagen.beers import beers_instance, beers_schema, toy_beers_instance
+from repro.datagen.tpch import TpchSizes, tpch_instance, tpch_schema
+from repro.datagen.university import (
+    DEPARTMENTS,
+    toy_university_instance,
+    university_instance,
+    university_instance_with_size,
+    university_schema,
+)
+
+__all__ = [
+    "DEPARTMENTS",
+    "TpchSizes",
+    "beers_instance",
+    "beers_schema",
+    "toy_beers_instance",
+    "toy_university_instance",
+    "tpch_instance",
+    "tpch_schema",
+    "university_instance",
+    "university_instance_with_size",
+    "university_schema",
+]

@@ -1,0 +1,180 @@
+"""The beers/bars/drinkers schema used in the user-study homework (§8).
+
+Six relations about bars, beers, drinkers and their relationships, exactly the
+shape of the homework database the paper describes: ``Drinker``, ``Bar``,
+``Beer``, ``Frequents(drinker, bar, times_a_week)``, ``Serves(bar, beer,
+price)`` and ``Likes(drinker, beer)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.constraints import ForeignKeyConstraint, KeyConstraint
+from repro.catalog.instance import DatabaseInstance
+from repro.catalog.schema import DatabaseSchema, RelationSchema
+from repro.catalog.types import DataType
+
+_DRINKERS = (
+    "Ben", "Dan", "Amy", "Coy", "Eve", "Fay", "Gus", "Hal", "Ivy", "Joe",
+    "Kim", "Lou", "Meg", "Ned", "Ola", "Pat", "Quin", "Ray", "Sue", "Tom",
+)
+_BARS = (
+    "JJ Pub", "Satisfaction", "Talk of the Town", "The Edge", "Blue Note",
+    "Crow Bar", "Down Under", "East End", "Federal", "Green Room",
+)
+_BEERS = (
+    ("Corona", "Grupo Modelo"),
+    ("Budweiser", "Anheuser-Busch"),
+    ("Dixie", "Dixie Brewing"),
+    ("Erdinger", "Erdinger Weissbrau"),
+    ("Full Sail", "Full Sail Brewing"),
+    ("Guinness", "St. James's Gate"),
+    ("Heineken", "Heineken"),
+    ("IPA", "Local Craft"),
+)
+
+
+def beers_schema() -> DatabaseSchema:
+    """Schema plus keys and foreign keys for the beers database."""
+    schema = DatabaseSchema.of(
+        [
+            RelationSchema.of("Drinker", [("name", DataType.STRING), ("address", DataType.STRING)]),
+            RelationSchema.of("Bar", [("name", DataType.STRING), ("address", DataType.STRING)]),
+            RelationSchema.of("Beer", [("name", DataType.STRING), ("brewer", DataType.STRING)]),
+            RelationSchema.of(
+                "Frequents",
+                [
+                    ("drinker", DataType.STRING),
+                    ("bar", DataType.STRING),
+                    ("times_a_week", DataType.INT),
+                ],
+            ),
+            RelationSchema.of(
+                "Serves",
+                [("bar", DataType.STRING), ("beer", DataType.STRING), ("price", DataType.FLOAT)],
+            ),
+            RelationSchema.of(
+                "Likes", [("drinker", DataType.STRING), ("beer", DataType.STRING)]
+            ),
+        ]
+    )
+    schema.add_constraint(KeyConstraint("Drinker", ("name",)))
+    schema.add_constraint(KeyConstraint("Bar", ("name",)))
+    schema.add_constraint(KeyConstraint("Beer", ("name",)))
+    schema.add_constraint(KeyConstraint("Frequents", ("drinker", "bar")))
+    schema.add_constraint(KeyConstraint("Serves", ("bar", "beer")))
+    schema.add_constraint(KeyConstraint("Likes", ("drinker", "beer")))
+    schema.add_constraint(ForeignKeyConstraint("Frequents", ("drinker",), "Drinker", ("name",)))
+    schema.add_constraint(ForeignKeyConstraint("Frequents", ("bar",), "Bar", ("name",)))
+    schema.add_constraint(ForeignKeyConstraint("Serves", ("bar",), "Bar", ("name",)))
+    schema.add_constraint(ForeignKeyConstraint("Serves", ("beer",), "Beer", ("name",)))
+    schema.add_constraint(ForeignKeyConstraint("Likes", ("drinker",), "Drinker", ("name",)))
+    schema.add_constraint(ForeignKeyConstraint("Likes", ("beer",), "Beer", ("name",)))
+    return schema
+
+
+def toy_beers_instance() -> DatabaseInstance:
+    """A small hand-written instance (the "sample database" students see)."""
+    instance = DatabaseInstance(beers_schema())
+    instance.relation("Drinker").insert_all(
+        [("Ben", "Durham"), ("Dan", "Chapel Hill"), ("Amy", "Raleigh"), ("Coy", "Durham")]
+    )
+    instance.relation("Bar").insert_all(
+        [("JJ Pub", "Main St"), ("Satisfaction", "9th St"), ("Talk of the Town", "Broad St")]
+    )
+    instance.relation("Beer").insert_all(
+        [("Corona", "Grupo Modelo"), ("Budweiser", "Anheuser-Busch"), ("Dixie", "Dixie Brewing")]
+    )
+    instance.relation("Frequents").insert_all(
+        [
+            ("Ben", "JJ Pub", 2),
+            ("Ben", "Satisfaction", 1),
+            ("Dan", "Satisfaction", 3),
+            ("Amy", "JJ Pub", 1),
+            ("Coy", "Talk of the Town", 2),
+        ]
+    )
+    instance.relation("Serves").insert_all(
+        [
+            ("JJ Pub", "Corona", 3.5),
+            ("JJ Pub", "Budweiser", 2.5),
+            ("Satisfaction", "Corona", 4.0),
+            ("Satisfaction", "Dixie", 3.0),
+            ("Talk of the Town", "Budweiser", 2.0),
+        ]
+    )
+    instance.relation("Likes").insert_all(
+        [
+            ("Ben", "Corona"),
+            ("Dan", "Dixie"),
+            ("Dan", "Corona"),
+            ("Amy", "Budweiser"),
+            ("Coy", "Budweiser"),
+        ]
+    )
+    return instance
+
+
+def beers_instance(
+    *,
+    num_drinkers: int = 40,
+    num_bars: int = 12,
+    num_beers: int = 8,
+    seed: int = 0,
+) -> DatabaseInstance:
+    """A seeded "hidden grading instance" exercising many corner cases.
+
+    The generator deliberately creates drinkers that frequent no bar, bars
+    that serve nothing, drinkers that like beers served nowhere, and pairs of
+    bars with subset/superset beer menus — the corner cases that make the
+    user-study problems (g), (h), (i), (j) hard.
+    """
+    rng = random.Random(seed)
+    instance = DatabaseInstance(beers_schema())
+    drinkers = [_indexed(_DRINKERS, i) for i in range(num_drinkers)]
+    bars = [_indexed(_BARS, i) for i in range(num_bars)]
+    beers = [_indexed([b for b, _ in _BEERS], i) for i in range(num_beers)]
+
+    for name in drinkers:
+        instance.relation("Drinker").insert((name, rng.choice(("Durham", "Chapel Hill", "Raleigh"))))
+    for name in bars:
+        instance.relation("Bar").insert((name, f"{rng.randint(1, 999)} Main St"))
+    for index, name in enumerate(beers):
+        brewer = _BEERS[index % len(_BEERS)][1]
+        instance.relation("Beer").insert((name, brewer))
+
+    serves = instance.relation("Serves")
+    menus: dict[str, list[str]] = {}
+    for bar_index, bar in enumerate(bars):
+        if bar_index == len(bars) - 1 and len(bars) > 3:
+            menus[bar] = []  # a bar that serves nothing
+            continue
+        menu_size = rng.randint(1, max(1, num_beers // 2))
+        menu = sorted(rng.sample(beers, menu_size))
+        # Make the menu of every third bar a subset of the previous bar's menu,
+        # creating the proper-subset pairs that problem (j) asks about.
+        if bar_index % 3 == 2 and menus.get(bars[bar_index - 1]):
+            previous = menus[bars[bar_index - 1]]
+            menu = sorted(rng.sample(previous, max(1, len(previous) - 1)))
+        menus[bar] = menu
+        for beer in menu:
+            serves.insert((bar, beer, round(rng.uniform(2.0, 6.0), 2)))
+
+    frequents = instance.relation("Frequents")
+    likes = instance.relation("Likes")
+    for drinker_index, drinker in enumerate(drinkers):
+        if drinker_index % 7 == 6:
+            continue  # a drinker who frequents no bar
+        visited = rng.sample(bars, rng.randint(1, min(4, num_bars)))
+        for bar in visited:
+            frequents.insert((drinker, bar, rng.randint(1, 7)))
+        liked = rng.sample(beers, rng.randint(0, min(3, num_beers)))
+        for beer in liked:
+            likes.insert((drinker, beer))
+    return instance
+
+
+def _indexed(pool, index: int) -> str:
+    base = pool[index % len(pool)]
+    return base if index < len(pool) else f"{base} {index}"

@@ -1,0 +1,223 @@
+"""TPC-H-lite: the benchmark schema and a proportionally scaled generator.
+
+The paper's aggregate-query experiments (§7.2, Figures 6 and 7) run on the
+TPC-H benchmark at scale factor 1 (≈8.6M tuples) on SQL Server.  A pure-Python
+engine cannot hold the original scale interactively, so the generator keeps the
+*schema, key relationships and skew structure* of TPC-H but scales row counts
+down proportionally: ``scale=1.0`` produces roughly 10K tuples — large enough
+that group sizes (the quantity that makes Agg-Basic struggle) behave like the
+original, small enough to run on a laptop.  Dates are encoded as integer
+"day numbers" since only comparisons are needed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.constraints import ForeignKeyConstraint, KeyConstraint
+from repro.catalog.instance import DatabaseInstance
+from repro.catalog.schema import DatabaseSchema, RelationSchema
+from repro.catalog.types import DataType
+
+ORDER_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+ORDER_STATUSES = ("O", "F", "P")
+BRANDS = tuple(f"Brand#{i}{j}" for i in range(1, 6) for j in range(1, 6))
+TYPES = (
+    "STANDARD ANODIZED TIN", "SMALL PLATED COPPER", "MEDIUM POLISHED BRASS",
+    "ECONOMY BRUSHED STEEL", "PROMO BURNISHED NICKEL", "LARGE ANODIZED COPPER",
+)
+NATIONS = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+)
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+
+@dataclass(frozen=True)
+class TpchSizes:
+    """Row counts per table for a given scale factor."""
+
+    regions: int
+    nations: int
+    suppliers: int
+    customers: int
+    parts: int
+    partsupps: int
+    orders: int
+    lineitems_per_order: int
+
+    @staticmethod
+    def for_scale(scale: float) -> "TpchSizes":
+        return TpchSizes(
+            regions=5,
+            nations=25,
+            suppliers=max(3, int(40 * scale)),
+            customers=max(5, int(300 * scale)),
+            parts=max(5, int(150 * scale)),
+            partsupps=max(10, int(500 * scale)),
+            orders=max(10, int(1200 * scale)),
+            lineitems_per_order=4,
+        )
+
+
+def tpch_schema() -> DatabaseSchema:
+    """The eight TPC-H tables with primary keys and foreign keys."""
+    schema = DatabaseSchema.of(
+        [
+            RelationSchema.of("region", [("r_regionkey", DataType.INT), ("r_name", DataType.STRING)]),
+            RelationSchema.of(
+                "nation",
+                [("n_nationkey", DataType.INT), ("n_name", DataType.STRING), ("n_regionkey", DataType.INT)],
+            ),
+            RelationSchema.of(
+                "supplier",
+                [("s_suppkey", DataType.INT), ("s_name", DataType.STRING), ("s_nationkey", DataType.INT)],
+            ),
+            RelationSchema.of(
+                "customer",
+                [
+                    ("c_custkey", DataType.INT),
+                    ("c_name", DataType.STRING),
+                    ("c_nationkey", DataType.INT),
+                    ("c_acctbal", DataType.FLOAT),
+                ],
+            ),
+            RelationSchema.of(
+                "part",
+                [
+                    ("p_partkey", DataType.INT),
+                    ("p_name", DataType.STRING),
+                    ("p_brand", DataType.STRING),
+                    ("p_type", DataType.STRING),
+                    ("p_size", DataType.INT),
+                ],
+            ),
+            RelationSchema.of(
+                "partsupp",
+                [
+                    ("ps_partkey", DataType.INT),
+                    ("ps_suppkey", DataType.INT),
+                    ("ps_availqty", DataType.INT),
+                    ("ps_supplycost", DataType.FLOAT),
+                ],
+            ),
+            RelationSchema.of(
+                "orders",
+                [
+                    ("o_orderkey", DataType.INT),
+                    ("o_custkey", DataType.INT),
+                    ("o_orderstatus", DataType.STRING),
+                    ("o_totalprice", DataType.FLOAT),
+                    ("o_orderdate", DataType.INT),
+                    ("o_orderpriority", DataType.STRING),
+                ],
+            ),
+            RelationSchema.of(
+                "lineitem",
+                [
+                    ("l_orderkey", DataType.INT),
+                    ("l_partkey", DataType.INT),
+                    ("l_suppkey", DataType.INT),
+                    ("l_linenumber", DataType.INT),
+                    ("l_quantity", DataType.INT),
+                    ("l_extendedprice", DataType.FLOAT),
+                    ("l_commitdate", DataType.INT),
+                    ("l_receiptdate", DataType.INT),
+                    ("l_returnflag", DataType.STRING),
+                ],
+            ),
+        ]
+    )
+    schema.add_constraint(KeyConstraint("region", ("r_regionkey",)))
+    schema.add_constraint(KeyConstraint("nation", ("n_nationkey",)))
+    schema.add_constraint(KeyConstraint("supplier", ("s_suppkey",)))
+    schema.add_constraint(KeyConstraint("customer", ("c_custkey",)))
+    schema.add_constraint(KeyConstraint("part", ("p_partkey",)))
+    schema.add_constraint(KeyConstraint("partsupp", ("ps_partkey", "ps_suppkey")))
+    schema.add_constraint(KeyConstraint("orders", ("o_orderkey",)))
+    schema.add_constraint(KeyConstraint("lineitem", ("l_orderkey", "l_linenumber")))
+    schema.add_constraint(ForeignKeyConstraint("nation", ("n_regionkey",), "region", ("r_regionkey",)))
+    schema.add_constraint(ForeignKeyConstraint("supplier", ("s_nationkey",), "nation", ("n_nationkey",)))
+    schema.add_constraint(ForeignKeyConstraint("customer", ("c_nationkey",), "nation", ("n_nationkey",)))
+    schema.add_constraint(ForeignKeyConstraint("partsupp", ("ps_partkey",), "part", ("p_partkey",)))
+    schema.add_constraint(ForeignKeyConstraint("partsupp", ("ps_suppkey",), "supplier", ("s_suppkey",)))
+    schema.add_constraint(ForeignKeyConstraint("orders", ("o_custkey",), "customer", ("c_custkey",)))
+    schema.add_constraint(ForeignKeyConstraint("lineitem", ("l_orderkey",), "orders", ("o_orderkey",)))
+    schema.add_constraint(ForeignKeyConstraint("lineitem", ("l_partkey",), "part", ("p_partkey",)))
+    schema.add_constraint(ForeignKeyConstraint("lineitem", ("l_suppkey",), "supplier", ("s_suppkey",)))
+    return schema
+
+
+def tpch_instance(scale: float = 0.1, *, seed: int = 0) -> DatabaseInstance:
+    """Generate a TPC-H-lite instance at the given scale factor."""
+    rng = random.Random(seed)
+    sizes = TpchSizes.for_scale(scale)
+    instance = DatabaseInstance(tpch_schema())
+
+    for key in range(sizes.regions):
+        instance.relation("region").insert((key, REGIONS[key % len(REGIONS)]))
+    for key in range(sizes.nations):
+        instance.relation("nation").insert(
+            (key, NATIONS[key % len(NATIONS)], key % sizes.regions)
+        )
+    for key in range(1, sizes.suppliers + 1):
+        instance.relation("supplier").insert(
+            (key, f"Supplier#{key:06d}", rng.randrange(sizes.nations))
+        )
+    for key in range(1, sizes.customers + 1):
+        instance.relation("customer").insert(
+            (key, f"Customer#{key:06d}", rng.randrange(sizes.nations), round(rng.uniform(-999, 9999), 2))
+        )
+    for key in range(1, sizes.parts + 1):
+        instance.relation("part").insert(
+            (
+                key,
+                f"part {key}",
+                rng.choice(BRANDS),
+                rng.choice(TYPES),
+                rng.choice((1, 5, 10, 15, 23, 45, 49)),
+            )
+        )
+    seen_partsupp: set[tuple[int, int]] = set()
+    partsupp_target = min(sizes.partsupps, sizes.parts * sizes.suppliers)
+    while len(seen_partsupp) < partsupp_target:
+        pair = (rng.randint(1, sizes.parts), rng.randint(1, sizes.suppliers))
+        if pair in seen_partsupp:
+            continue
+        seen_partsupp.add(pair)
+        instance.relation("partsupp").insert(
+            (pair[0], pair[1], rng.randint(1, 9999), round(rng.uniform(1, 1000), 2))
+        )
+    for orderkey in range(1, sizes.orders + 1):
+        orderdate = rng.randint(0, 2400)  # day number within the 1992-1998 window
+        instance.relation("orders").insert(
+            (
+                orderkey,
+                rng.randint(1, sizes.customers),
+                rng.choice(ORDER_STATUSES),
+                round(rng.uniform(1000, 400000), 2),
+                orderdate,
+                rng.choice(ORDER_PRIORITIES),
+            )
+        )
+        num_lines = rng.randint(1, sizes.lineitems_per_order * 2 - 1)
+        for linenumber in range(1, num_lines + 1):
+            commit = orderdate + rng.randint(10, 90)
+            receipt = commit + rng.randint(-20, 40)
+            instance.relation("lineitem").insert(
+                (
+                    orderkey,
+                    rng.randint(1, sizes.parts),
+                    rng.randint(1, sizes.suppliers),
+                    linenumber,
+                    rng.randint(1, 50),
+                    round(rng.uniform(100, 100000), 2),
+                    commit,
+                    receipt,
+                    rng.choice(("R", "A", "N")),
+                )
+            )
+    return instance

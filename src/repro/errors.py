@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single exception type at the API boundary while still being able
+to distinguish schema problems from parse errors or solver failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or two schemas are incompatible."""
+
+
+class TypeMismatchError(SchemaError):
+    """A value cannot be coerced to the declared attribute type."""
+
+
+class UnknownRelationError(SchemaError):
+    """A query refers to a relation that is not part of the database schema."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An expression refers to an attribute that is not in scope."""
+
+
+class ConstraintViolationError(ReproError):
+    """A database instance violates one of its declared integrity constraints."""
+
+
+class QueryEvaluationError(ReproError):
+    """Evaluating a relational algebra expression failed."""
+
+
+class ParseError(ReproError):
+    """The relational algebra text DSL could not be parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class SolverError(ReproError):
+    """The SAT / SMT-lite layer was used incorrectly or hit an internal limit."""
+
+
+class UnsatisfiableError(SolverError):
+    """A formula that was expected to be satisfiable is not."""
+
+
+class BudgetExceededError(SolverError):
+    """A solver exceeded its configured time or iteration budget."""
+
+
+class CounterexampleError(ReproError):
+    """No counterexample exists or the search for one failed."""
+
+
+class NotApplicableError(ReproError):
+    """A specialised algorithm was invoked on a query class it does not support."""

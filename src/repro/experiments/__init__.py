@@ -1,0 +1,78 @@
+"""Experiment drivers: one module per paper table/figure.
+
+``run_all_experiments("quick")`` reproduces every table and figure at laptop
+scale and returns the results keyed by experiment id; ``generate_report``
+renders them as the markdown used in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.dichotomy import dichotomy_experiment
+from repro.experiments.figure3 import complexity_experiment
+from repro.experiments.figure4 import scaling_experiment
+from repro.experiments.figure5 import solver_strategy_experiment
+from repro.experiments.figure6 import tpch_experiment
+from repro.experiments.figure7 import parameterization_experiment
+from repro.experiments.harness import ExperimentResult, Row, ScaleProfile, run_experiment
+from repro.experiments.pairs import QueryPair, course_pairs, differing_pairs
+from repro.experiments.table3 import discovery_experiment
+from repro.experiments.table4 import scp_vs_swp_experiment
+from repro.experiments.userstudy import user_study_experiments
+
+__all__ = [
+    "ExperimentResult",
+    "QueryPair",
+    "Row",
+    "ScaleProfile",
+    "complexity_experiment",
+    "course_pairs",
+    "dichotomy_experiment",
+    "differing_pairs",
+    "discovery_experiment",
+    "generate_report",
+    "parameterization_experiment",
+    "run_all_experiments",
+    "run_experiment",
+    "scaling_experiment",
+    "scp_vs_swp_experiment",
+    "solver_strategy_experiment",
+    "tpch_experiment",
+    "user_study_experiments",
+]
+
+
+def run_all_experiments(profile: str | ScaleProfile = "quick") -> dict[str, ExperimentResult]:
+    """Run every experiment driver at the given scale profile."""
+    results: dict[str, ExperimentResult] = {
+        "table1": dichotomy_experiment(profile),
+        "table3": discovery_experiment(profile),
+        "table4": scp_vs_swp_experiment(profile),
+        "figure3": complexity_experiment(profile),
+        "figure4": scaling_experiment(profile),
+        "figure5": solver_strategy_experiment(profile),
+        "figure6": tpch_experiment(profile),
+        "figure7": parameterization_experiment(profile),
+    }
+    results.update(user_study_experiments(profile))
+    return results
+
+
+def generate_report(results: dict[str, ExperimentResult]) -> str:
+    """Markdown report with one section per experiment."""
+    order = [
+        "table1",
+        "table3",
+        "table4",
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6",
+        "figure7",
+        "figure8",
+        "table5",
+        "figure9",
+        "figure10",
+    ]
+    sections = [results[key].to_markdown() for key in order if key in results]
+    extras = [results[key].to_markdown() for key in results if key not in order]
+    return "\n".join(sections + extras)

@@ -1,0 +1,58 @@
+"""Figure 3: query complexity vs running time of the Optσ components.
+
+For every (correct, wrong) pair, the driver records the wrong query's
+complexity metrics (number of operators, number of difference operators,
+height of the operator tree) alongside the per-phase running time of Optσ
+(raw query evaluation, provenance computation with selection pushdown, solver
+time and total).  The paper's observation is that time grows with complexity
+and that the raw CTE evaluation usually dominates.
+"""
+
+from __future__ import annotations
+
+from repro.core.optsigma import smallest_witness_optsigma
+from repro.datagen.university import university_instance_with_size
+from repro.experiments.harness import ExperimentResult, Row, ScaleProfile, run_experiment
+from repro.experiments.pairs import differing_pairs
+from repro.ra.analysis import profile as query_profile
+from repro.ra.ast import Difference
+
+
+def complexity_experiment(
+    profile: ScaleProfile | str = "quick", *, seed: int = 7
+) -> ExperimentResult:
+    """Reproduce Figure 3 at the given scale profile."""
+    if isinstance(profile, str):
+        profile = ScaleProfile.by_name(profile)
+    size = profile.database_sizes[-1]
+    instance = university_instance_with_size(size, seed=seed)
+    pairs = differing_pairs(instance, limit=2 * profile.pairs_per_size, seed=seed)
+
+    def rows() -> list[Row]:
+        out: list[Row] = []
+        for pair in pairs:
+            combined = query_profile(Difference(pair.correct, pair.wrong))
+            result = smallest_witness_optsigma(pair.correct, pair.wrong, instance)
+            out.append(
+                {
+                    "question": pair.question,
+                    "num_operators": combined.num_operators,
+                    "num_differences": combined.num_differences,
+                    "height": combined.height,
+                    "raw_eval_s": round(result.timings.get("raw_eval", 0.0), 4),
+                    "provenance_s": round(result.timings.get("provenance", 0.0), 4),
+                    "solver_s": round(result.timings.get("solver", 0.0), 4),
+                    "total_s": round(result.total_time(), 4),
+                    "witness_size": result.size,
+                }
+            )
+        out.sort(key=lambda row: (row["num_operators"], row["num_differences"], row["height"]))
+        return out
+
+    return run_experiment(
+        "Figure 3 — query complexity vs Optσ component time",
+        "Per-pair Optσ phase timings against the complexity metrics of Q1 − Q2.",
+        rows,
+        profile=profile.name,
+        seed=seed,
+    )

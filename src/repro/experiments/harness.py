@@ -1,0 +1,121 @@
+"""Shared infrastructure for the experiment drivers.
+
+Every experiment driver returns an :class:`ExperimentResult`: a named list of
+row dictionaries that can be printed as a markdown table (the same rows the
+paper's tables/figures report).  Drivers accept a ``scale`` knob so the same
+code can run laptop-sized (the default used by the benchmark suite) or closer
+to the paper's sizes (``paper`` profile, used to produce EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+Row = dict[str, Any]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment driver plus bookkeeping metadata."""
+
+    name: str
+    description: str
+    rows: list[Row] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def to_markdown(self) -> str:
+        """Render the rows as a GitHub-flavoured markdown table."""
+        if not self.rows:
+            return f"### {self.name}\n\n(no rows)\n"
+        columns: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        header = "| " + " | ".join(columns) + " |"
+        separator = "| " + " | ".join("---" for _ in columns) + " |"
+        body = [
+            "| " + " | ".join(_format_cell(row.get(column, "")) for column in columns) + " |"
+            for row in self.rows
+        ]
+        title = f"### {self.name}\n\n{self.description}\n"
+        return "\n".join([title, header, separator, *body]) + "\n"
+
+    def column(self, name: str) -> list[Any]:
+        return [row.get(name) for row in self.rows]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def run_experiment(
+    name: str,
+    description: str,
+    row_producer: Callable[[], Iterable[Row]],
+    **metadata: Any,
+) -> ExperimentResult:
+    """Time a row-producing callable and wrap its output."""
+    started = time.perf_counter()
+    rows = list(row_producer())
+    elapsed = time.perf_counter() - started
+    return ExperimentResult(
+        name=name, description=description, rows=rows, metadata=metadata, elapsed_seconds=elapsed
+    )
+
+
+@dataclass(frozen=True)
+class ScaleProfile:
+    """How big the experiment inputs are.
+
+    The ``quick`` profile keeps every driver under a few seconds so the whole
+    benchmark suite runs in minutes; ``paper`` stretches the database sizes
+    towards the paper's 1K–100K sweep (still scaled to what a pure-Python
+    engine handles interactively).
+    """
+
+    name: str
+    database_sizes: tuple[int, ...]
+    pairs_per_size: int
+    tpch_scale: float
+    naive_budgets: tuple[int, ...]
+    cohort_size: int
+
+    @staticmethod
+    def quick() -> "ScaleProfile":
+        return ScaleProfile(
+            name="quick",
+            database_sizes=(200, 500, 1000),
+            pairs_per_size=6,
+            tpch_scale=0.05,
+            naive_budgets=(1, 8, 32),
+            cohort_size=80,
+        )
+
+    @staticmethod
+    def paper() -> "ScaleProfile":
+        return ScaleProfile(
+            name="paper",
+            database_sizes=(1000, 4000, 10000, 40000, 100000),
+            pairs_per_size=10,
+            tpch_scale=0.3,
+            naive_budgets=(1, 8, 32, 128),
+            cohort_size=169,
+        )
+
+    @staticmethod
+    def by_name(name: str) -> "ScaleProfile":
+        if name == "quick":
+            return ScaleProfile.quick()
+        if name == "paper":
+            return ScaleProfile.paper()
+        raise ValueError(f"unknown scale profile {name!r} (expected 'quick' or 'paper')")
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,84 @@
+"""Helpers for building (reference query, wrong query) evaluation pairs."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.instance import DatabaseInstance
+from repro.ra.analysis import QueryProfile, profile
+from repro.ra.ast import RAExpression
+from repro.ra.evaluator import evaluate
+from repro.workload.course import course_questions, course_submission_pool
+
+
+@dataclass(frozen=True)
+class QueryPair:
+    """A reference/wrong query pair known to differ on some instance."""
+
+    question: str
+    correct: RAExpression
+    wrong: RAExpression
+    description: str
+
+    def wrong_profile(self) -> QueryProfile:
+        return profile(self.wrong)
+
+
+def course_pairs(*, seed: int = 0, mutants_per_question: int = 12) -> list[QueryPair]:
+    """All course (correct, wrong) pairs, without filtering by any instance."""
+    pool = course_submission_pool(seed=seed, mutants_per_question=mutants_per_question)
+    pairs: list[QueryPair] = []
+    for question in course_questions():
+        for wrong, description in zip(
+            pool.wrong_queries[question.key], pool.descriptions[question.key]
+        ):
+            pairs.append(QueryPair(question.key, question.correct_query, wrong, description))
+    return pairs
+
+
+def differing_pairs(
+    instance: DatabaseInstance,
+    *,
+    limit: int | None = None,
+    seed: int = 0,
+    mutants_per_question: int = 12,
+    spread_questions: bool = True,
+) -> list[QueryPair]:
+    """Pairs whose queries actually disagree on ``instance``.
+
+    When ``spread_questions`` is set, pairs are interleaved across questions so
+    that a small ``limit`` still covers the full range of query complexities
+    (which matters for the Figure 3 experiment).
+    """
+    pairs = course_pairs(seed=seed, mutants_per_question=mutants_per_question)
+    rng = random.Random(seed)
+    rng.shuffle(pairs)
+    by_question: dict[str, list[QueryPair]] = {}
+    for pair in pairs:
+        try:
+            differs = not evaluate(pair.correct, instance).same_rows(
+                evaluate(pair.wrong, instance)
+            )
+        except Exception:
+            continue
+        if differs:
+            by_question.setdefault(pair.question, []).append(pair)
+
+    if not spread_questions:
+        flattened = [pair for group in by_question.values() for pair in group]
+        return flattened[:limit] if limit is not None else flattened
+
+    # Round-robin across questions.
+    result: list[QueryPair] = []
+    queues = {key: list(group) for key, group in sorted(by_question.items())}
+    while queues and (limit is None or len(result) < limit):
+        for key in sorted(queues):
+            if limit is not None and len(result) >= limit:
+                break
+            group = queues[key]
+            if group:
+                result.append(group.pop(0))
+            if not group:
+                del queues[key]
+    return result

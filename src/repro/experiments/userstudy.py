@@ -1,0 +1,53 @@
+"""User-study experiment drivers: Figure 8, Table 5, Figure 9, Figure 10."""
+
+from __future__ import annotations
+
+from repro.experiments.harness import ExperimentResult, ScaleProfile, run_experiment
+from repro.userstudy.analysis import (
+    score_comparison,
+    survey_summary,
+    transfer_analysis,
+    usage_statistics,
+)
+from repro.userstudy.simulation import simulate_cohort
+
+
+def user_study_experiments(
+    profile: ScaleProfile | str = "quick", *, seed: int = 2018
+) -> dict[str, ExperimentResult]:
+    """Simulate the cohort once and derive all four user-study artifacts."""
+    if isinstance(profile, str):
+        profile = ScaleProfile.by_name(profile)
+    cohort = simulate_cohort(profile.cohort_size, seed=seed)
+    return {
+        "figure8": run_experiment(
+            "Figure 8 — RATest usage statistics (simulated cohort)",
+            "Per-problem usage of RATest by the simulated students.",
+            lambda: usage_statistics(cohort),
+            profile=profile.name,
+            seed=seed,
+        ),
+        "table5": run_experiment(
+            "Table 5 — scores of RATest users vs non-users (simulated cohort)",
+            "Mean normalised scores per problem for students who did / did not use RATest.",
+            lambda: score_comparison(cohort),
+            profile=profile.name,
+            seed=seed,
+        ),
+        "figure9": run_experiment(
+            "Figure 9 — transfer to similar problems and procrastination breakdown "
+            "(simulated cohort)",
+            "Scores on (i), the similar (h) and the dissimilar (j), split by RATest usage on (i) "
+            "and by when students started.",
+            lambda: transfer_analysis(cohort),
+            profile=profile.name,
+            seed=seed,
+        ),
+        "figure10": run_experiment(
+            "Figure 10 — questionnaire responses (simulated cohort)",
+            "Distribution of survey answers among simulated RATest users.",
+            lambda: survey_summary(cohort),
+            profile=profile.name,
+            seed=seed,
+        ),
+    }

@@ -1,0 +1,169 @@
+"""Tokenizer for the relational algebra text DSL.
+
+The DSL follows the radb-style syntax used by the course's RA interpreter::
+
+    \\project_{s.name, s.major} (
+        \\rename_{prefix: s} Student
+        \\join_{s.name = r.name and r.dept = 'CS'}
+        \\rename_{prefix: r} Registration
+    )
+
+Token kinds:
+
+* ``KEYWORD`` — backslash keywords (``\\select``, ``\\project``, ``\\join``,
+  ``\\cross``, ``\\union``, ``\\diff``, ``\\intersect``, ``\\rename``,
+  ``\\aggr``);
+* ``BLOCK`` — a ``_{...}`` argument block (braces are matched, nesting allowed);
+* ``IDENT`` — identifiers, optionally dotted (``s.name``) or ``@parameters``;
+* ``NUMBER`` / ``STRING`` — literals;
+* ``LPAREN`` / ``RPAREN``, ``COMMA``, ``OP`` (comparison/arrow operators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "select",
+    "project",
+    "join",
+    "cross",
+    "union",
+    "diff",
+    "intersect",
+    "rename",
+    "aggr",
+}
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "->", "=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize DSL text, raising :class:`ParseError` on malformed input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "\\":
+            j = i + 1
+            while j < n and text[j].isalnum():
+                j += 1
+            word = text[i + 1 : j]
+            if word not in KEYWORDS:
+                raise ParseError(f"unknown keyword \\{word}", position=i)
+            tokens.append(Token("KEYWORD", word, i))
+            i = j
+            # An optional argument block immediately after the keyword: _{...}
+            if i < n and text[i] == "_":
+                if i + 1 >= n or text[i + 1] != "{":
+                    raise ParseError("expected '{' after '_'", position=i)
+                block, i = _read_block(text, i + 1)
+                tokens.append(Token("BLOCK", block, i))
+            continue
+        if ch == "(":
+            tokens.append(Token("LPAREN", ch, i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token("RPAREN", ch, i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token("COMMA", ch, i))
+            i += 1
+            continue
+        if ch == ";":
+            tokens.append(Token("SEMICOLON", ch, i))
+            i += 1
+            continue
+        if ch == ":":
+            tokens.append(Token("COLON", ch, i))
+            i += 1
+            continue
+        if ch == "*":
+            tokens.append(Token("STAR", ch, i))
+            i += 1
+            continue
+        matched_operator = _match_operator(text, i)
+        if matched_operator is not None:
+            tokens.append(Token("OP", matched_operator, i))
+            i += len(matched_operator)
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", position=i)
+            tokens.append(Token("STRING", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A dot followed by a non-digit belongs to an identifier, not a number.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_" or ch == "@":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], i))
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", position=i)
+    return tokens
+
+
+def _match_operator(text: str, position: int) -> str | None:
+    for operator in _OPERATORS:
+        if text.startswith(operator, position):
+            return operator
+    return None
+
+
+def _read_block(text: str, open_brace: int) -> tuple[str, int]:
+    """Read a ``{...}`` block starting at ``open_brace``; returns (content, next index)."""
+    depth = 0
+    i = open_brace
+    n = len(text)
+    while i < n:
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace + 1 : i], i + 1
+        elif text[i] == "'":
+            i += 1
+            while i < n and text[i] != "'":
+                i += 1
+        i += 1
+    raise ParseError("unterminated '{' block", position=open_brace)

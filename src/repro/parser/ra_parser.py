@@ -1,0 +1,327 @@
+"""Recursive-descent parser for the relational algebra text DSL.
+
+Grammar (binary operators are left-associative and share one precedence
+level, as in the course's RA interpreter; unary operators bind tighter)::
+
+    query   := binary
+    binary  := unary ( binop unary )*
+    binop   := \\join[_{pred}] | \\cross | \\union | \\diff | \\intersect
+    unary   := \\select_{pred} unary
+             | \\project_{cols} unary
+             | \\rename_{renames} unary
+             | \\aggr_{group: cols ; aggs} unary
+             | atom
+    atom    := '(' binary ')' | RelationName
+
+Predicates support ``and``/``or``/``not``, the comparison operators
+``= <> != < <= > >=``, string and numeric literals, dotted column names and
+``@parameters``.  Projection columns accept ``col -> alias`` renaming;
+``\\rename`` accepts either ``prefix: x`` or ``a -> b, c -> d``;
+``\\aggr`` takes ``group: a, b ; count(*) -> n, avg(grade) -> g``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.parser.lexer import Token, tokenize
+from repro.ra.ast import (
+    AggregateFunction,
+    AggregateSpec,
+    Difference,
+    GroupBy,
+    Intersection,
+    Join,
+    NaturalJoin,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+from repro.ra.predicates import (
+    And,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    Scalar,
+)
+
+_AGGREGATE_FUNCTIONS = {f.value: f for f in AggregateFunction}
+
+
+def parse_query(text: str) -> RAExpression:
+    """Parse DSL text into a relational algebra expression."""
+    parser = _Parser(tokenize(text))
+    expression = parser.parse_binary()
+    parser.expect_end()
+    return expression
+
+
+def parse_predicate(text: str) -> Predicate:
+    """Parse a standalone predicate (used by tests and tooling)."""
+    parser = _PredicateParser(tokenize(text))
+    predicate = parser.parse_or()
+    parser.expect_end()
+    return predicate
+
+
+class _TokenStream:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return None
+        if value is not None and token.value != value:
+            return None
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.accept(kind, value)
+        if token is None:
+            found = self.peek()
+            raise ParseError(
+                f"expected {value or kind}, found {found.value if found else 'end of input'}",
+                position=found.position if found else None,
+            )
+        return token
+
+    def expect_end(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise ParseError(f"unexpected trailing input {token.value!r}", position=token.position)
+
+
+class _Parser(_TokenStream):
+    """Parser for full RA expressions."""
+
+    _BINARY_KEYWORDS = {"join", "cross", "union", "diff", "intersect"}
+
+    def parse_binary(self) -> RAExpression:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "KEYWORD" or token.value not in self._BINARY_KEYWORDS:
+                return left
+            self.next()
+            block = self.accept("BLOCK")
+            right = self.parse_unary()
+            left = self._combine(token.value, left, right, block)
+
+    def _combine(
+        self, keyword: str, left: RAExpression, right: RAExpression, block: Token | None
+    ) -> RAExpression:
+        if keyword == "join":
+            if block is None:
+                return NaturalJoin(left, right)
+            predicate = _PredicateParser(tokenize(block.value)).parse_and_finish()
+            return Join(left, right, predicate)
+        if block is not None:
+            raise ParseError(f"\\{keyword} does not take an argument block", position=block.position)
+        if keyword == "cross":
+            return Join(left, right, None)
+        if keyword == "union":
+            return Union(left, right)
+        if keyword == "diff":
+            return Difference(left, right)
+        if keyword == "intersect":
+            return Intersection(left, right)
+        raise ParseError(f"unknown binary operator \\{keyword}")  # pragma: no cover
+
+    def parse_unary(self) -> RAExpression:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        if token.kind == "KEYWORD" and token.value in ("select", "project", "rename", "aggr"):
+            self.next()
+            block = self.expect("BLOCK")
+            child = self.parse_unary()
+            return self._apply_unary(token.value, block.value, child)
+        if token.kind == "LPAREN":
+            self.next()
+            inner = self.parse_binary()
+            self.expect("RPAREN")
+            return inner
+        if token.kind == "IDENT":
+            self.next()
+            return RelationRef(token.value)
+        raise ParseError(f"unexpected token {token.value!r}", position=token.position)
+
+    def _apply_unary(self, keyword: str, block: str, child: RAExpression) -> RAExpression:
+        if keyword == "select":
+            predicate = _PredicateParser(tokenize(block)).parse_and_finish()
+            return Selection(child, predicate)
+        if keyword == "project":
+            columns, aliases = _parse_projection_list(block)
+            return Projection(child, columns, aliases)
+        if keyword == "rename":
+            return _parse_rename(block, child)
+        if keyword == "aggr":
+            return _parse_aggregate(block, child)
+        raise ParseError(f"unknown unary operator \\{keyword}")  # pragma: no cover
+
+
+def _parse_projection_list(block: str) -> tuple[tuple[str, ...], tuple[str, ...] | None]:
+    stream = _TokenStream(tokenize(block))
+    columns: list[str] = []
+    aliases: list[str] = []
+    has_alias = False
+    while True:
+        token = stream.expect("IDENT")
+        columns.append(token.value)
+        if stream.accept("OP", "->"):
+            alias = stream.expect("IDENT")
+            aliases.append(alias.value)
+            has_alias = True
+        else:
+            aliases.append(token.value)
+        if not stream.accept("COMMA"):
+            break
+    stream.expect_end()
+    return tuple(columns), tuple(aliases) if has_alias else None
+
+
+def _parse_rename(block: str, child: RAExpression) -> Rename:
+    stream = _TokenStream(tokenize(block))
+    first = stream.expect("IDENT")
+    if first.value == "prefix":
+        stream.expect("COLON")
+        prefix = stream.expect("IDENT").value
+        stream.expect_end()
+        return Rename(child, prefix=prefix)
+    mapping: list[tuple[str, str]] = []
+    stream2 = _TokenStream(tokenize(block))
+    while True:
+        old = stream2.expect("IDENT")
+        stream2.expect("OP", "->")
+        new = stream2.expect("IDENT")
+        mapping.append((old.value, new.value))
+        if not stream2.accept("COMMA"):
+            break
+    stream2.expect_end()
+    return Rename(child, attribute_mapping=tuple(mapping))
+
+
+def _parse_aggregate(block: str, child: RAExpression) -> GroupBy:
+    group_part, _, agg_part = block.partition(";")
+    group_stream = _TokenStream(tokenize(group_part))
+    group_columns: list[str] = []
+    if group_stream.peek() is not None:
+        label = group_stream.expect("IDENT")
+        if label.value.lower() != "group":
+            raise ParseError("\\aggr block must start with 'group:'")
+        group_stream.expect("COLON")
+        while group_stream.peek() is not None:
+            group_columns.append(group_stream.expect("IDENT").value)
+            if not group_stream.accept("COMMA"):
+                break
+        group_stream.expect_end()
+
+    aggregates: list[AggregateSpec] = []
+    agg_stream = _TokenStream(tokenize(agg_part))
+    while agg_stream.peek() is not None:
+        func_token = agg_stream.expect("IDENT")
+        func_name = func_token.value.lower()
+        if func_name not in _AGGREGATE_FUNCTIONS:
+            raise ParseError(f"unknown aggregate function {func_token.value!r}")
+        agg_stream.expect("LPAREN")
+        if agg_stream.accept("STAR"):
+            attribute: str | None = None
+        else:
+            attribute = agg_stream.expect("IDENT").value
+        agg_stream.expect("RPAREN")
+        agg_stream.expect("OP", "->")
+        alias = agg_stream.expect("IDENT").value
+        aggregates.append(AggregateSpec(_AGGREGATE_FUNCTIONS[func_name], attribute, alias))
+        if not agg_stream.accept("COMMA"):
+            break
+    agg_stream.expect_end()
+    if not aggregates:
+        raise ParseError("\\aggr requires at least one aggregate after ';'")
+    return GroupBy(child, tuple(group_columns), tuple(aggregates))
+
+
+class _PredicateParser(_TokenStream):
+    """Parser for predicate blocks (selection and join conditions)."""
+
+    def parse_and_finish(self) -> Predicate:
+        predicate = self.parse_or()
+        self.expect_end()
+        return predicate
+
+    def parse_or(self) -> Predicate:
+        operands = [self.parse_and()]
+        while self._accept_word("or"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return Or(tuple(operands))
+
+    def parse_and(self) -> Predicate:
+        operands = [self.parse_not()]
+        while self._accept_word("and"):
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return And(tuple(operands))
+
+    def parse_not(self) -> Predicate:
+        if self._accept_word("not"):
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Predicate:
+        if self.accept("LPAREN"):
+            inner = self.parse_or()
+            self.expect("RPAREN")
+            return inner
+        left = self.parse_scalar()
+        operator = self.expect("OP")
+        op = "!=" if operator.value == "<>" else operator.value
+        right = self.parse_scalar()
+        return Comparison(op, left, right)
+
+    def parse_scalar(self) -> Scalar:
+        token = self.next()
+        if token.kind == "IDENT":
+            if token.value.startswith("@"):
+                return Param(token.value[1:])
+            lowered = token.value.lower()
+            if lowered == "true":
+                return Literal(True)
+            if lowered == "false":
+                return Literal(False)
+            return ColumnRef(token.value)
+        if token.kind == "NUMBER":
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.kind == "STRING":
+            return Literal(token.value)
+        raise ParseError(f"unexpected token {token.value!r} in predicate", position=token.position)
+
+    def _accept_word(self, word: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "IDENT" and token.value.lower() == word:
+            self.next()
+            return True
+        return False

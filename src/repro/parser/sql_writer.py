@@ -1,0 +1,166 @@
+"""Render relational algebra expressions as SQL-style common table expressions.
+
+RATest's original implementation translated RA queries into SQL CTEs and ran
+them on SQL Server.  Our engine evaluates RA trees directly, but reports and
+debugging still benefit from a readable SQL rendering, so this module produces
+a ``WITH step_1 AS (...), step_2 AS (...) SELECT * FROM step_n`` text for any
+expression.  The output is documentation-quality SQL: it mirrors the paper's
+rewriting rules (one CTE per operator) without claiming to run on a specific
+DBMS dialect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import DatabaseSchema
+from repro.ra.ast import (
+    Difference,
+    GroupBy,
+    Intersection,
+    Join,
+    NaturalJoin,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+from repro.ra.predicates import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    Scalar,
+    TruePredicate,
+)
+
+
+@dataclass
+class _CTEBuilder:
+    db: DatabaseSchema
+    steps: list[tuple[str, str]] = field(default_factory=list)
+    counter: int = 0
+
+    def add(self, sql: str) -> str:
+        self.counter += 1
+        name = f"step_{self.counter}"
+        self.steps.append((name, sql))
+        return name
+
+
+def to_sql(expression: RAExpression, db: DatabaseSchema) -> str:
+    """SQL-style rendering of an RA expression as a chain of CTEs."""
+    builder = _CTEBuilder(db)
+    final = _emit(expression, builder)
+    if not builder.steps:
+        return f"SELECT * FROM {final}"
+    ctes = ",\n".join(f"{name} AS (\n  {sql}\n)" for name, sql in builder.steps)
+    return f"WITH {ctes}\nSELECT * FROM {final}"
+
+
+def predicate_to_sql(predicate: Predicate) -> str:
+    """SQL-style rendering of a predicate."""
+    return _predicate(predicate)
+
+
+def _emit(node: RAExpression, builder: _CTEBuilder) -> str:
+    if isinstance(node, RelationRef):
+        return node.name
+    if isinstance(node, Selection):
+        child = _emit(node.child, builder)
+        return builder.add(f"SELECT * FROM {child} WHERE {_predicate(node.predicate)}")
+    if isinstance(node, Projection):
+        child = _emit(node.child, builder)
+        columns = ", ".join(
+            column if column == alias else f"{_quote(column)} AS {_quote(alias)}"
+            for column, alias in zip(node.columns, node.output_names())
+        )
+        return builder.add(f"SELECT DISTINCT {columns} FROM {child}")
+    if isinstance(node, Rename):
+        child = _emit(node.child, builder)
+        schema = node.child.output_schema(builder.db)
+        output = node.output_schema(builder.db)
+        columns = ", ".join(
+            f"{_quote(old.name)} AS {_quote(new.name)}"
+            for old, new in zip(schema.attributes, output.attributes)
+        )
+        return builder.add(f"SELECT {columns} FROM {child}")
+    if isinstance(node, Join):
+        left = _emit(node.left, builder)
+        right = _emit(node.right, builder)
+        condition = _predicate(node.effective_predicate())
+        return builder.add(f"SELECT * FROM {left} JOIN {right} ON {condition}")
+    if isinstance(node, NaturalJoin):
+        left = _emit(node.left, builder)
+        right = _emit(node.right, builder)
+        return builder.add(f"SELECT * FROM {left} NATURAL JOIN {right}")
+    if isinstance(node, Union):
+        left = _emit(node.left, builder)
+        right = _emit(node.right, builder)
+        return builder.add(f"SELECT * FROM {left} UNION SELECT * FROM {right}")
+    if isinstance(node, Difference):
+        left = _emit(node.left, builder)
+        right = _emit(node.right, builder)
+        return builder.add(f"SELECT * FROM {left} EXCEPT SELECT * FROM {right}")
+    if isinstance(node, Intersection):
+        left = _emit(node.left, builder)
+        right = _emit(node.right, builder)
+        return builder.add(f"SELECT * FROM {left} INTERSECT SELECT * FROM {right}")
+    if isinstance(node, GroupBy):
+        child = _emit(node.child, builder)
+        group = ", ".join(_quote(name) for name in node.group_by)
+        aggregates = ", ".join(
+            f"{spec.func.value.upper()}({_quote(spec.attribute) if spec.attribute else '*'}) "
+            f"AS {_quote(spec.alias)}"
+            for spec in node.aggregates
+        )
+        select_list = ", ".join(part for part in (group, aggregates) if part)
+        sql = f"SELECT {select_list} FROM {child}"
+        if node.group_by:
+            sql += f" GROUP BY {group}"
+        return builder.add(sql)
+    raise TypeError(f"cannot render node of type {type(node).__name__}")  # pragma: no cover
+
+
+def _predicate(predicate: Predicate) -> str:
+    if isinstance(predicate, TruePredicate):
+        return "TRUE"
+    if isinstance(predicate, Comparison):
+        op = "<>" if predicate.op == "!=" else predicate.op
+        return f"{_scalar(predicate.left)} {op} {_scalar(predicate.right)}"
+    if isinstance(predicate, And):
+        return " AND ".join(f"({_predicate(p)})" for p in predicate.operands)
+    if isinstance(predicate, Or):
+        return " OR ".join(f"({_predicate(p)})" for p in predicate.operands)
+    if isinstance(predicate, Not):
+        return f"NOT ({_predicate(predicate.operand)})"
+    raise TypeError(f"cannot render predicate of type {type(predicate).__name__}")
+
+
+def _scalar(scalar: Scalar) -> str:
+    if isinstance(scalar, ColumnRef):
+        return _quote(scalar.name)
+    if isinstance(scalar, Literal):
+        if isinstance(scalar.value, str):
+            return "'" + scalar.value.replace("'", "''") + "'"
+        return str(scalar.value)
+    if isinstance(scalar, Param):
+        return f"@{scalar.name}"
+    if isinstance(scalar, Arithmetic):
+        return f"({_scalar(scalar.left)} {scalar.op} {_scalar(scalar.right)})"
+    raise TypeError(f"cannot render scalar of type {type(scalar).__name__}")
+
+
+def _quote(name: str | None) -> str:
+    if name is None:
+        return "*"
+    if "." in name:
+        return f'"{name}"'
+    return name

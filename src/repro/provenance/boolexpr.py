@@ -1,0 +1,363 @@
+"""Boolean how-provenance expressions.
+
+Input tuples are annotated with Boolean variables named by their tuple
+identifiers; how-provenance of an output tuple is a Boolean expression over
+those variables (§2.3 of the paper).  The expression is *true* under an
+assignment exactly when the output tuple appears in the query result over the
+subinstance containing the tuples whose variables are true.
+
+The smart constructors :func:`band`, :func:`bor` and :func:`bnot` perform
+light-weight simplification (constant folding, flattening, deduplication) so
+that provenance stays readable — e.g. ``t1 t4 + t1 t5`` prints as the paper's
+``(t1 ∧ (t4 ∨ t5))`` after construction-time flattening, not as a deep tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import SolverError
+
+Assignment = Mapping[str, bool]
+
+
+class BoolExpr:
+    """Base class of Boolean provenance expressions."""
+
+    def variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        """Evaluate under ``assignment``; missing variables default to False.
+
+        Defaulting to False matches the provenance semantics: a tuple that is
+        not part of the subinstance is simply absent.
+        """
+        raise NotImplementedError
+
+    def size(self) -> int:
+        """Number of nodes in the expression (a readability/size metric)."""
+        raise NotImplementedError
+
+    def is_positive(self) -> bool:
+        """True when the expression contains no negation (monotone queries)."""
+        return all(not isinstance(node, NotExpr) for node in self.walk())
+
+    def walk(self) -> Iterator["BoolExpr"]:
+        yield self
+
+    def __and__(self, other: "BoolExpr") -> "BoolExpr":
+        return band(self, other)
+
+    def __or__(self, other: "BoolExpr") -> "BoolExpr":
+        return bor(self, other)
+
+    def __invert__(self) -> "BoolExpr":
+        return bnot(self)
+
+
+@dataclass(frozen=True)
+class TrueExpr(BoolExpr):
+    """The constant ``true`` (provenance of a tuple that is always present)."""
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return True
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class FalseExpr(BoolExpr):
+    """The constant ``false``."""
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return False
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+TRUE = TrueExpr()
+FALSE = FalseExpr()
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    """A Boolean variable annotating one input tuple (named by its tid)."""
+
+    name: str
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return bool(assignment.get(self.name, False))
+
+    def size(self) -> int:
+        return 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class NotExpr(BoolExpr):
+    """Negation (introduced only by the difference operator)."""
+
+    operand: BoolExpr
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return not self.operand.evaluate(assignment)
+
+    def size(self) -> int:
+        return 1 + self.operand.size()
+
+    def walk(self) -> Iterator[BoolExpr]:
+        yield self
+        yield from self.operand.walk()
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class AndExpr(BoolExpr):
+    """Conjunction (joint use of sub-expressions, e.g. joins)."""
+
+    operands: tuple[BoolExpr, ...]
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def size(self) -> int:
+        return 1 + sum(op.size() for op in self.operands)
+
+    def walk(self) -> Iterator[BoolExpr]:
+        yield self
+        for operand in self.operands:
+            yield from operand.walk()
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class OrExpr(BoolExpr):
+    """Disjunction (alternative derivations, e.g. projection or union)."""
+
+    operands: tuple[BoolExpr, ...]
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.variables()
+        return result
+
+    def evaluate(self, assignment: Assignment) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def size(self) -> int:
+        return 1 + sum(op.size() for op in self.operands)
+
+    def walk(self) -> Iterator[BoolExpr]:
+        yield self
+        for operand in self.operands:
+            yield from operand.walk()
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(op) for op in self.operands) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Smart constructors
+# ---------------------------------------------------------------------------
+
+
+def var(name: str) -> Var:
+    """A provenance variable for the tuple with identifier ``name``."""
+    return Var(name)
+
+
+def band(*operands: BoolExpr) -> BoolExpr:
+    """Simplifying conjunction: flattens, drops ``true``, folds ``false``."""
+    flat: list[BoolExpr] = []
+    seen: set[BoolExpr] = set()
+    for operand in operands:
+        if isinstance(operand, FalseExpr):
+            return FALSE
+        if isinstance(operand, TrueExpr):
+            continue
+        parts = operand.operands if isinstance(operand, AndExpr) else (operand,)
+        for part in parts:
+            if isinstance(part, FalseExpr):
+                return FALSE
+            if isinstance(part, TrueExpr):
+                continue
+            if part not in seen:
+                seen.add(part)
+                flat.append(part)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return AndExpr(tuple(flat))
+
+
+def bor(*operands: BoolExpr) -> BoolExpr:
+    """Simplifying disjunction: flattens, drops ``false``, folds ``true``."""
+    flat: list[BoolExpr] = []
+    seen: set[BoolExpr] = set()
+    for operand in operands:
+        if isinstance(operand, TrueExpr):
+            return TRUE
+        if isinstance(operand, FalseExpr):
+            continue
+        parts = operand.operands if isinstance(operand, OrExpr) else (operand,)
+        for part in parts:
+            if isinstance(part, TrueExpr):
+                return TRUE
+            if isinstance(part, FalseExpr):
+                continue
+            if part not in seen:
+                seen.add(part)
+                flat.append(part)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return OrExpr(tuple(flat))
+
+
+def bor_all(operands: Iterable[BoolExpr]) -> BoolExpr:
+    return bor(*operands)
+
+
+def band_all(operands: Iterable[BoolExpr]) -> BoolExpr:
+    return band(*operands)
+
+
+def bnot(operand: BoolExpr) -> BoolExpr:
+    """Simplifying negation (double negation and constants are folded)."""
+    if isinstance(operand, TrueExpr):
+        return FALSE
+    if isinstance(operand, FalseExpr):
+        return TRUE
+    if isinstance(operand, NotExpr):
+        return operand.operand
+    return NotExpr(operand)
+
+
+# ---------------------------------------------------------------------------
+# Assignments and analysis
+# ---------------------------------------------------------------------------
+
+
+def assignment_from_true_set(true_variables: Iterable[str]) -> dict[str, bool]:
+    """Build an assignment mapping the listed variables to True."""
+    return {name: True for name in true_variables}
+
+
+def true_variables(assignment: Assignment) -> set[str]:
+    """The set of variables assigned True."""
+    return {name for name, value in assignment.items() if value}
+
+
+def to_dnf(expression: BoolExpr, *, max_terms: int = 100_000) -> list[frozenset[str]]:
+    """Convert a *positive* (negation-free) expression into DNF minterms.
+
+    Each minterm is a set of variables whose conjunction implies the
+    expression; the disjunction of all minterms is equivalent to it.  This is
+    the transformation behind the poly-time SPJU algorithm (Theorem 6): the
+    smallest witness of a monotone query is the smallest minterm.
+
+    Raises :class:`SolverError` if the expression contains negation or if the
+    intermediate DNF exceeds ``max_terms`` terms.
+    """
+    if not expression.is_positive():
+        raise SolverError("DNF conversion is only supported for negation-free provenance")
+
+    def convert(node: BoolExpr) -> list[frozenset[str]]:
+        if isinstance(node, TrueExpr):
+            return [frozenset()]
+        if isinstance(node, FalseExpr):
+            return []
+        if isinstance(node, Var):
+            return [frozenset({node.name})]
+        if isinstance(node, OrExpr):
+            terms: list[frozenset[str]] = []
+            for operand in node.operands:
+                terms.extend(convert(operand))
+                if len(terms) > max_terms:
+                    raise SolverError("DNF conversion exceeded the term budget")
+            return _prune_supersets(terms)
+        if isinstance(node, AndExpr):
+            terms = [frozenset()]
+            for operand in node.operands:
+                operand_terms = convert(operand)
+                product = [a | b for a in terms for b in operand_terms]
+                if len(product) > max_terms:
+                    raise SolverError("DNF conversion exceeded the term budget")
+                terms = _prune_supersets(product)
+            return terms
+        raise SolverError(f"unexpected node in positive expression: {type(node).__name__}")
+
+    return convert(expression)
+
+
+def _prune_supersets(terms: list[frozenset[str]]) -> list[frozenset[str]]:
+    """Remove minterms that are supersets of other minterms (absorption)."""
+    pruned: list[frozenset[str]] = []
+    for term in sorted(set(terms), key=len):
+        if not any(existing <= term for existing in pruned):
+            pruned.append(term)
+    return pruned
+
+
+def minimal_satisfying_subset(
+    expression: BoolExpr,
+    candidate: Iterable[str],
+    *,
+    required: Callable[[Mapping[str, bool]], bool] | None = None,
+) -> set[str]:
+    """Greedily shrink ``candidate`` to a minimal set still satisfying the expression.
+
+    The result is *minimal* (no proper subset works by removing single
+    elements), not necessarily *minimum*; it is used to post-process solver
+    models and as a baseline in tests.  ``required`` may impose an additional
+    check (e.g. foreign-key closure validity) that must stay true.
+    """
+    current = set(candidate)
+    check = required if required is not None else (lambda _assignment: True)
+    if not expression.evaluate(assignment_from_true_set(current)) or not check(
+        assignment_from_true_set(current)
+    ):
+        raise SolverError("candidate set does not satisfy the expression")
+    for name in sorted(current):
+        trial = current - {name}
+        trial_assignment = assignment_from_true_set(trial)
+        if expression.evaluate(trial_assignment) and check(trial_assignment):
+            current = trial
+    return current

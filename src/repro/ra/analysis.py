@@ -1,0 +1,233 @@
+"""Query analysis: operator usage, complexity metrics and class detection.
+
+The paper's complexity dichotomy (Table 1) and its algorithm dispatch depend
+on which operators a query uses and *where* they appear:
+
+* ``JU*`` — joins and unions only, with every union above all joins;
+* ``SPJUD*`` — differences only at the top of the tree (grammar
+  ``Q -> q+ | Q - Q`` where ``q+`` is an SPJU query);
+* aggregate queries are handled by the separate algorithms of §5.
+
+This module computes these facts for arbitrary expression trees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ra.ast import (
+    Difference,
+    GroupBy,
+    Intersection,
+    Join,
+    NaturalJoin,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+
+_JOIN_NODES = (Join, NaturalJoin, Intersection)
+
+
+class QueryClass(enum.Enum):
+    """Syntactic query classes used by the algorithm dispatcher."""
+
+    SJ = "SJ"
+    SPU = "SPU"
+    PJ = "PJ"
+    JU = "JU"
+    JU_STAR = "JU*"
+    SPJU = "SPJU"
+    SPJUD_STAR = "SPJUD*"
+    SPJUD = "SPJUD"
+    AGGREGATE = "SPJUDA"
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """Operator usage and complexity metrics of one RA expression."""
+
+    uses_selection: bool
+    uses_projection: bool
+    uses_join: bool
+    uses_union: bool
+    uses_difference: bool
+    uses_aggregate: bool
+    num_operators: int
+    num_joins: int
+    num_unions: int
+    num_differences: int
+    num_aggregates: int
+    height: int
+    num_base_relations: int
+    query_class: QueryClass
+
+    @property
+    def is_monotone(self) -> bool:
+        """Monotone queries (no difference, no aggregation) never lose answers
+        when tuples are added to the input."""
+        return not self.uses_difference and not self.uses_aggregate
+
+    @property
+    def polytime_data_complexity(self) -> bool:
+        """Whether SWP is poly-time in data complexity for this class (Table 1)."""
+        return self.query_class is not QueryClass.SPJUD
+
+    @property
+    def polytime_combined_complexity(self) -> bool:
+        """Whether SWP is poly-time in combined complexity for this class (Table 1)."""
+        return self.query_class in (QueryClass.SJ, QueryClass.SPU, QueryClass.JU_STAR)
+
+
+def _predicate_selects(predicate) -> bool:
+    """True when a join predicate does more than equate columns of the two sides."""
+    from repro.ra.predicates import ColumnRef, Comparison
+
+    for conjunct in predicate.conjuncts():
+        if not isinstance(conjunct, Comparison):
+            return True
+        if conjunct.op != "=":
+            return True
+        if not (isinstance(conjunct.left, ColumnRef) and isinstance(conjunct.right, ColumnRef)):
+            return True
+    return False
+
+
+def unions_after_joins(expression: RAExpression) -> bool:
+    """True when no union occurs below a join (the ``JU*`` restriction)."""
+    for node in expression.walk():
+        if isinstance(node, _JOIN_NODES):
+            for descendant in node.walk():
+                if descendant is node:
+                    continue
+                if isinstance(descendant, Union):
+                    return False
+    return True
+
+
+def differences_only_at_top(expression: RAExpression) -> bool:
+    """True when every difference sits above all other operators (``SPJUD*``).
+
+    Formally the expression must be derivable from ``Q -> q+ | Q - Q`` with
+    ``q+`` an SPJU query: no difference node may appear strictly below a
+    non-difference operator node.
+    """
+    for node in expression.walk():
+        if isinstance(node, (Difference, RelationRef, Rename)):
+            continue
+        for descendant in node.walk():
+            if descendant is node:
+                continue
+            if isinstance(descendant, Difference):
+                return False
+    return True
+
+
+def spju_terminals(expression: RAExpression) -> list[RAExpression]:
+    """The maximal difference-free subtrees of an SPJUD* expression.
+
+    These are the ``q+`` terminals in the grammar ``Q -> q+ | Q - Q``; the
+    SPJUD* poly-time algorithm (Theorem 7) enumerates witnesses per terminal.
+    """
+    terminals: list[RAExpression] = []
+
+    def visit(node: RAExpression) -> None:
+        if isinstance(node, Difference):
+            visit(node.left)
+            visit(node.right)
+        else:
+            terminals.append(node)
+
+    visit(expression)
+    return terminals
+
+
+def profile(expression: RAExpression) -> QueryProfile:
+    """Compute the :class:`QueryProfile` of an expression."""
+    uses_selection = uses_projection = uses_join = False
+    uses_union = uses_difference = uses_aggregate = False
+    num_joins = num_unions = num_differences = num_aggregates = 0
+    for node in expression.walk():
+        if isinstance(node, Selection):
+            uses_selection = True
+        elif isinstance(node, Projection):
+            uses_projection = True
+        elif isinstance(node, _JOIN_NODES):
+            uses_join = True
+            num_joins += 1
+            # A theta-join whose predicate compares against constants or uses
+            # non-equality operators embeds a selection; classify it as S+J.
+            if isinstance(node, Join) and node.predicate is not None and _predicate_selects(node.predicate):
+                uses_selection = True
+        elif isinstance(node, Union):
+            uses_union = True
+            num_unions += 1
+        elif isinstance(node, Difference):
+            uses_difference = True
+            num_differences += 1
+        elif isinstance(node, GroupBy):
+            uses_aggregate = True
+            num_aggregates += 1
+
+    query_class = _classify(
+        expression,
+        uses_selection=uses_selection,
+        uses_projection=uses_projection,
+        uses_join=uses_join,
+        uses_union=uses_union,
+        uses_difference=uses_difference,
+        uses_aggregate=uses_aggregate,
+    )
+    return QueryProfile(
+        uses_selection=uses_selection,
+        uses_projection=uses_projection,
+        uses_join=uses_join,
+        uses_union=uses_union,
+        uses_difference=uses_difference,
+        uses_aggregate=uses_aggregate,
+        num_operators=expression.operator_count(),
+        num_joins=num_joins,
+        num_unions=num_unions,
+        num_differences=num_differences,
+        num_aggregates=num_aggregates,
+        height=expression.height(),
+        num_base_relations=len(expression.base_relations()),
+        query_class=query_class,
+    )
+
+
+def _classify(
+    expression: RAExpression,
+    *,
+    uses_selection: bool,
+    uses_projection: bool,
+    uses_join: bool,
+    uses_union: bool,
+    uses_difference: bool,
+    uses_aggregate: bool,
+) -> QueryClass:
+    if uses_aggregate:
+        return QueryClass.AGGREGATE
+    if uses_difference:
+        if differences_only_at_top(expression):
+            return QueryClass.SPJUD_STAR
+        return QueryClass.SPJUD
+
+    # Monotone SPJU fragment: pick the most specific label from Table 1.
+    if uses_join and uses_union and not uses_selection and not uses_projection:
+        if unions_after_joins(expression):
+            return QueryClass.JU_STAR
+        return QueryClass.JU
+    if uses_join and uses_projection and not uses_union:
+        if uses_selection:
+            return QueryClass.SPJU
+        return QueryClass.PJ
+    if uses_join and not uses_projection and not uses_union:
+        return QueryClass.SJ
+    if not uses_join:
+        return QueryClass.SPU
+    return QueryClass.SPJU

@@ -1,0 +1,488 @@
+"""Relational algebra operator AST.
+
+The node classes cover the paper's SPJUDA language: Selection, Projection,
+Join (theta and natural), Union, Difference, Intersection, Rename, and
+Group-by/Aggregate, over named base relations.  All operators use **set
+semantics**, matching the paper's relational algebra formulation.
+
+Nodes are immutable; query rewrites (selection pushdown, parameterization,
+mutation operators) build new trees via :meth:`RAExpression.with_children`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.catalog.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.catalog.types import DataType, is_numeric
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.ra.predicates import Predicate, TruePredicate
+
+
+class RAExpression:
+    """Base class of relational algebra expressions."""
+
+    def children(self) -> tuple["RAExpression", ...]:
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["RAExpression"]) -> "RAExpression":
+        """Return a copy of this node with the given children substituted."""
+        raise NotImplementedError
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        """The schema of this expression's result, validating the tree."""
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["RAExpression"]:
+        """Pre-order traversal of the expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def height(self) -> int:
+        """Height of the operator tree (a leaf has height 1)."""
+        kids = self.children()
+        if not kids:
+            return 1
+        return 1 + max(child.height() for child in kids)
+
+    def operator_count(self) -> int:
+        """Number of operator nodes, excluding base relation references."""
+        return sum(1 for node in self.walk() if not isinstance(node, RelationRef))
+
+    def base_relations(self) -> set[str]:
+        """Names of base relations referenced anywhere in the tree."""
+        return {node.name for node in self.walk() if isinstance(node, RelationRef)}
+
+    def __str__(self) -> str:
+        raise NotImplementedError
+
+
+def _expect_children(children: Sequence[RAExpression], count: int, node: str) -> None:
+    if len(children) != count:
+        raise SchemaError(f"{node} expects {count} child expressions, got {len(children)}")
+
+
+@dataclass(frozen=True)
+class RelationRef(RAExpression):
+    """A reference to a named base relation."""
+
+    name: str
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 0, "RelationRef")
+        return self
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        return db.relation(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Selection(RAExpression):
+    """``sigma_predicate(child)``."""
+
+    child: RAExpression
+    predicate: Predicate
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 1, "Selection")
+        return Selection(children[0], self.predicate)
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        schema = self.child.output_schema(db)
+        for name in self.predicate.referenced_columns():
+            if not schema.has_attribute(name):
+                raise UnknownAttributeError(
+                    f"selection predicate references unknown attribute {name!r} "
+                    f"(available: {schema.attribute_names})"
+                )
+        return schema
+
+    def __str__(self) -> str:
+        return f"σ[{self.predicate}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Projection(RAExpression):
+    """``pi_columns(child)`` with optional output aliases (set semantics)."""
+
+    child: RAExpression
+    columns: tuple[str, ...]
+    aliases: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise SchemaError("projection must keep at least one column")
+        if self.aliases is not None and len(self.aliases) != len(self.columns):
+            raise SchemaError("projection aliases must match the projected columns")
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 1, "Projection")
+        return Projection(children[0], self.columns, self.aliases)
+
+    def output_names(self) -> tuple[str, ...]:
+        return self.aliases if self.aliases is not None else self.columns
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        schema = self.child.output_schema(db)
+        attrs = []
+        for column, out_name in zip(self.columns, self.output_names()):
+            attrs.append(schema.attribute(column).renamed(out_name))
+        return RelationSchema(schema.name, tuple(attrs))
+
+    def __str__(self) -> str:
+        cols = ", ".join(
+            c if a == c else f"{c} AS {a}" for c, a in zip(self.columns, self.output_names())
+        )
+        return f"π[{cols}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Rename(RAExpression):
+    """``rho`` — rename the relation and/or attributes of the child.
+
+    ``prefix`` is a convenience: when set, every attribute ``a`` becomes
+    ``prefix.a``, which is how self-joins disambiguate their columns.
+    """
+
+    child: RAExpression
+    relation_name: str | None = None
+    attribute_mapping: tuple[tuple[str, str], ...] = ()
+    prefix: str | None = None
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 1, "Rename")
+        return Rename(children[0], self.relation_name, self.attribute_mapping, self.prefix)
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        schema = self.child.output_schema(db)
+        if self.prefix is not None:
+            mapping = {a.name: f"{self.prefix}.{a.name}" for a in schema.attributes}
+        else:
+            mapping = dict(self.attribute_mapping)
+        return schema.rename_attributes(mapping, new_name=self.relation_name or schema.name)
+
+    def __str__(self) -> str:
+        if self.prefix is not None:
+            return f"ρ[{self.prefix}.*]({self.child})"
+        renames = ", ".join(f"{old}->{new}" for old, new in self.attribute_mapping)
+        name = self.relation_name or ""
+        return f"ρ[{name} {renames}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Join(RAExpression):
+    """Theta join: cross product of two children filtered by ``predicate``.
+
+    The children must have disjoint attribute names (use :class:`Rename`
+    with a prefix on one or both sides); a ``None`` predicate yields the
+    plain cross product.
+    """
+
+    left: RAExpression
+    right: RAExpression
+    predicate: Predicate | None = None
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 2, "Join")
+        return Join(children[0], children[1], self.predicate)
+
+    def effective_predicate(self) -> Predicate:
+        return self.predicate if self.predicate is not None else TruePredicate()
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        left = self.left.output_schema(db)
+        right = self.right.output_schema(db)
+        combined = left.concat(right)
+        for name in self.effective_predicate().referenced_columns():
+            if not combined.has_attribute(name):
+                raise UnknownAttributeError(
+                    f"join predicate references unknown attribute {name!r} "
+                    f"(available: {combined.attribute_names})"
+                )
+        return combined
+
+    def __str__(self) -> str:
+        if self.predicate is None:
+            return f"({self.left}) × ({self.right})"
+        return f"({self.left}) ⋈[{self.predicate}] ({self.right})"
+
+
+@dataclass(frozen=True)
+class NaturalJoin(RAExpression):
+    """Natural join on all shared attribute names (kept once in the output)."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 2, "NaturalJoin")
+        return NaturalJoin(children[0], children[1])
+
+    def shared_attributes(self, db: DatabaseSchema) -> tuple[str, ...]:
+        left = self.left.output_schema(db)
+        right = self.right.output_schema(db)
+        return tuple(name for name in left.attribute_names if right.has_attribute(name))
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        left = self.left.output_schema(db)
+        right = self.right.output_schema(db)
+        shared = set(self.shared_attributes(db))
+        attrs: list[Attribute] = list(left.attributes)
+        attrs.extend(a for a in right.attributes if a.name not in shared)
+        return RelationSchema(f"{left.name}_{right.name}", tuple(attrs))
+
+    def __str__(self) -> str:
+        return f"({self.left}) ⋈ ({self.right})"
+
+
+@dataclass(frozen=True)
+class Union(RAExpression):
+    """Set union of two union-compatible children (left operand's names win)."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 2, "Union")
+        return Union(children[0], children[1])
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        left = self.left.output_schema(db)
+        right = self.right.output_schema(db)
+        if not left.union_compatible(right):
+            raise SchemaError(f"union operands are not compatible: {left} vs {right}")
+        return left
+
+    def __str__(self) -> str:
+        return f"({self.left}) ∪ ({self.right})"
+
+
+@dataclass(frozen=True)
+class Difference(RAExpression):
+    """Set difference ``left - right`` of two union-compatible children."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 2, "Difference")
+        return Difference(children[0], children[1])
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        left = self.left.output_schema(db)
+        right = self.right.output_schema(db)
+        if not left.union_compatible(right):
+            raise SchemaError(f"difference operands are not compatible: {left} vs {right}")
+        return left
+
+    def __str__(self) -> str:
+        return f"({self.left}) − ({self.right})"
+
+
+@dataclass(frozen=True)
+class Intersection(RAExpression):
+    """Set intersection of two union-compatible children."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 2, "Intersection")
+        return Intersection(children[0], children[1])
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        left = self.left.output_schema(db)
+        right = self.right.output_schema(db)
+        if not left.union_compatible(right):
+            raise SchemaError(f"intersection operands are not compatible: {left} vs {right}")
+        return left
+
+    def __str__(self) -> str:
+        return f"({self.left}) ∩ ({self.right})"
+
+
+class AggregateFunction(enum.Enum):
+    """Aggregate functions supported by :class:`GroupBy`."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate column: ``func(attribute) AS alias``.
+
+    ``attribute`` is ``None`` only for ``COUNT(*)``.
+    """
+
+    func: AggregateFunction
+    attribute: str | None
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.attribute is None and self.func is not AggregateFunction.COUNT:
+            raise SchemaError(f"{self.func.value.upper()} requires an attribute")
+
+    def __str__(self) -> str:
+        arg = self.attribute if self.attribute is not None else "*"
+        return f"{self.func.value.upper()}({arg}) AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class GroupBy(RAExpression):
+    """``gamma_{group_by; aggregates}(child)``.
+
+    Produces one output tuple per non-empty group; the output schema is the
+    grouping attributes followed by the aggregate aliases.  HAVING clauses are
+    expressed as a :class:`Selection` above the GroupBy referencing the
+    aggregate aliases, matching the paper's RA form
+    ``sigma_{agg op const}(gamma(...))``.
+    """
+
+    child: RAExpression
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggregateSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise SchemaError("GroupBy requires at least one aggregate")
+        aliases = [spec.alias for spec in self.aggregates]
+        if len(aliases) != len(set(aliases)):
+            raise SchemaError(f"duplicate aggregate aliases: {aliases}")
+
+    def children(self) -> tuple[RAExpression, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[RAExpression]) -> RAExpression:
+        _expect_children(children, 1, "GroupBy")
+        return GroupBy(children[0], self.group_by, self.aggregates)
+
+    def output_schema(self, db: DatabaseSchema) -> RelationSchema:
+        schema = self.child.output_schema(db)
+        attrs: list[Attribute] = [schema.attribute(name) for name in self.group_by]
+        for spec in self.aggregates:
+            if spec.func is AggregateFunction.COUNT:
+                dtype = DataType.INT
+            else:
+                input_attr = schema.attribute(spec.attribute or "")
+                if not is_numeric(input_attr.dtype) and spec.func in (
+                    AggregateFunction.SUM,
+                    AggregateFunction.AVG,
+                ):
+                    raise SchemaError(
+                        f"{spec.func.value.upper()} requires a numeric attribute, "
+                        f"got {input_attr}"
+                    )
+                dtype = DataType.FLOAT if spec.func is AggregateFunction.AVG else input_attr.dtype
+            attrs.append(Attribute(spec.alias, dtype))
+        return RelationSchema(f"{schema.name}_agg", tuple(attrs))
+
+    def __str__(self) -> str:
+        group = ", ".join(self.group_by)
+        aggs = ", ".join(str(spec) for spec in self.aggregates)
+        return f"γ[{group}; {aggs}]({self.child})"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors
+# ---------------------------------------------------------------------------
+
+
+def relation(name: str) -> RelationRef:
+    return RelationRef(name)
+
+
+def select(child: RAExpression, predicate: Predicate) -> Selection:
+    return Selection(child, predicate)
+
+
+def project(child: RAExpression, columns: Sequence[str], aliases: Sequence[str] | None = None) -> Projection:
+    return Projection(child, tuple(columns), tuple(aliases) if aliases is not None else None)
+
+
+def rename_prefix(child: RAExpression, prefix: str) -> Rename:
+    return Rename(child, prefix=prefix)
+
+
+def theta_join(left: RAExpression, right: RAExpression, predicate: Predicate | None = None) -> Join:
+    return Join(left, right, predicate)
+
+
+def natural_join(left: RAExpression, right: RAExpression) -> NaturalJoin:
+    return NaturalJoin(left, right)
+
+
+def union(left: RAExpression, right: RAExpression) -> Union:
+    return Union(left, right)
+
+
+def difference(left: RAExpression, right: RAExpression) -> Difference:
+    return Difference(left, right)
+
+
+def intersection(left: RAExpression, right: RAExpression) -> Intersection:
+    return Intersection(left, right)
+
+
+def group_by(
+    child: RAExpression,
+    group_columns: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> GroupBy:
+    return GroupBy(child, tuple(group_columns), tuple(aggregates))
+
+
+def count(attribute: str | None, alias: str) -> AggregateSpec:
+    return AggregateSpec(AggregateFunction.COUNT, attribute, alias)
+
+
+def agg_sum(attribute: str, alias: str) -> AggregateSpec:
+    return AggregateSpec(AggregateFunction.SUM, attribute, alias)
+
+
+def avg(attribute: str, alias: str) -> AggregateSpec:
+    return AggregateSpec(AggregateFunction.AVG, attribute, alias)
+
+
+def agg_min(attribute: str, alias: str) -> AggregateSpec:
+    return AggregateSpec(AggregateFunction.MIN, attribute, alias)
+
+
+def agg_max(attribute: str, alias: str) -> AggregateSpec:
+    return AggregateSpec(AggregateFunction.MAX, attribute, alias)

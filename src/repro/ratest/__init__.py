@@ -1,0 +1,25 @@
+"""The end-to-end RATest system: facade, auto-grader, and text reports."""
+
+from repro.ratest.grader import AutoGrader, GradeEntry, GradeReport, Question
+from repro.ratest.report import (
+    RATestReport,
+    format_instance,
+    format_relation,
+    format_result,
+    format_table,
+)
+from repro.ratest.system import RATest, SubmissionOutcome
+
+__all__ = [
+    "AutoGrader",
+    "GradeEntry",
+    "GradeReport",
+    "Question",
+    "RATest",
+    "RATestReport",
+    "SubmissionOutcome",
+    "format_instance",
+    "format_relation",
+    "format_result",
+    "format_table",
+]

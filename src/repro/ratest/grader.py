@@ -1,0 +1,119 @@
+"""Auto-grader: test submissions against hidden instances (§7.1, Table 3).
+
+The course workflow the paper describes is: every submission is evaluated on a
+hidden test instance; submissions whose result differs from the reference
+query "fail the auto-grader" and the student is shown limited feedback (with
+RATest, a small counterexample).  The grader here reproduces that pipeline and
+is what the Table 3 experiment ("|D| vs number of wrong queries discovered")
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.catalog.instance import DatabaseInstance
+from repro.ra.ast import RAExpression
+from repro.ra.evaluator import evaluate
+from repro.ratest.system import RATest
+
+
+@dataclass(frozen=True)
+class Question:
+    """A homework question: an identifier, a prompt and the reference query."""
+
+    key: str
+    prompt: str
+    correct_query: RAExpression
+    difficulty: int = 1  # 1 (easy) .. 5 (very hard)
+
+
+@dataclass
+class GradeEntry:
+    """Grading outcome of one (student, question) submission."""
+
+    question: str
+    passed: bool
+    error: str | None = None
+    counterexample_size: int | None = None
+
+
+@dataclass
+class GradeReport:
+    """Grading outcomes for one submission set."""
+
+    entries: list[GradeEntry] = field(default_factory=list)
+
+    @property
+    def num_passed(self) -> int:
+        return sum(1 for entry in self.entries if entry.passed)
+
+    @property
+    def num_failed(self) -> int:
+        return len(self.entries) - self.num_passed
+
+
+class AutoGrader:
+    """Grade query submissions against reference queries on a hidden instance."""
+
+    def __init__(self, instance: DatabaseInstance, questions: Mapping[str, Question]) -> None:
+        self.instance = instance
+        self.questions = dict(questions)
+        self._ratest = RATest(instance)
+        self._reference_results = {
+            key: evaluate(question.correct_query, instance)
+            for key, question in self.questions.items()
+        }
+
+    def grade_one(
+        self,
+        question_key: str,
+        submission: RAExpression,
+        *,
+        explain: bool = False,
+    ) -> GradeEntry:
+        """Grade a single submission; optionally attach a counterexample size."""
+        question = self.questions[question_key]
+        try:
+            submitted = evaluate(submission, self.instance)
+        except Exception as exc:
+            return GradeEntry(question=question_key, passed=False, error=str(exc))
+        if submitted.same_rows(self._reference_results[question_key]):
+            return GradeEntry(question=question_key, passed=True)
+        entry = GradeEntry(question=question_key, passed=False)
+        if explain:
+            outcome = self._ratest.check(question.correct_query, submission)
+            if outcome.report is not None:
+                entry.counterexample_size = outcome.report.counterexample_size
+        return entry
+
+    def grade(self, submissions: Mapping[str, RAExpression], *, explain: bool = False) -> GradeReport:
+        """Grade a mapping of question key to submitted query."""
+        report = GradeReport()
+        for question_key, submission in submissions.items():
+            if question_key not in self.questions:
+                report.entries.append(
+                    GradeEntry(question=question_key, passed=False, error="unknown question")
+                )
+                continue
+            report.entries.append(self.grade_one(question_key, submission, explain=explain))
+        return report
+
+    def count_discovered_wrong_queries(self, wrong_queries: Mapping[str, list[RAExpression]]) -> int:
+        """How many of the supplied wrong queries the hidden instance catches.
+
+        This is the measurement reported in Table 3: a wrong query is
+        *discovered* when its result differs from the reference query's result
+        on the test instance (a small instance may miss corner cases).
+        """
+        discovered = 0
+        for question_key, queries in wrong_queries.items():
+            reference = self._reference_results[question_key]
+            for query in queries:
+                try:
+                    if not evaluate(query, self.instance).same_rows(reference):
+                        discovered += 1
+                except Exception:
+                    discovered += 1  # queries that crash are certainly wrong
+        return discovered

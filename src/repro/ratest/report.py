@@ -1,0 +1,108 @@
+"""Human-readable reports: the stand-in for RATest's web UI.
+
+The original system shows the student a small counterexample instance together
+with the results of both queries over it.  :class:`RATestReport` renders the
+same information as plain text tables so it can be printed from scripts,
+examples and the auto-grader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.catalog.instance import DatabaseInstance, Relation, ResultSet
+from repro.core.results import CounterexampleResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an ASCII table with column-width alignment."""
+    header_cells = [str(h) for h in headers]
+    body = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    out = [line, "| " + " | ".join(h.ljust(w) for h, w in zip(header_cells, widths)) + " |", line]
+    for row in body:
+        out.append("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    out.append(line)
+    if not body:
+        out.insert(len(out) - 1, "| " + "(empty)".ljust(sum(widths) + 3 * (len(widths) - 1)) + " |")
+    return "\n".join(out)
+
+
+def format_relation(relation: Relation) -> str:
+    headers = ("tuple id",) + relation.schema.attribute_names
+    rows = [(tid,) + values for tid, values in relation.tuples()]
+    return format_table(headers, rows)
+
+
+def format_result(result: ResultSet) -> str:
+    return format_table(result.schema.attribute_names, result.sorted_rows())
+
+
+def format_instance(instance: DatabaseInstance, *, skip_empty: bool = True) -> str:
+    sections = []
+    for name, relation in instance.relations.items():
+        if skip_empty and len(relation) == 0:
+            continue
+        sections.append(f"{name}:\n{format_relation(relation)}")
+    return "\n\n".join(sections) if sections else "(empty instance)"
+
+
+@dataclass
+class RATestReport:
+    """Everything RATest shows a user whose query is wrong."""
+
+    correct_query_text: str
+    test_query_text: str
+    result: CounterexampleResult
+
+    @property
+    def counterexample_size(self) -> int:
+        return self.result.size
+
+    def render(self) -> str:
+        """The full text report: counterexample instance plus both results."""
+        parts = [
+            "Your query returns a different result from the reference query.",
+            f"Here is a small counterexample with {self.result.size} tuple(s) "
+            f"(found by the {self.result.algorithm} algorithm):",
+            "",
+            format_instance(self.result.counterexample),
+            "",
+            "Reference query result on this counterexample:",
+            format_result(self.result.q1_rows),
+            "",
+            "Your query's result on this counterexample:",
+            format_result(self.result.q2_rows),
+        ]
+        if self.result.parameter_values:
+            rendered = ", ".join(
+                f"@{name} = {value}" for name, value in sorted(self.result.parameter_values.items())
+            )
+            parts.append("")
+            parts.append(f"Parameter setting used for this counterexample: {rendered}")
+        if self.result.distinguishing_row is not None:
+            parts.append("")
+            parts.append(
+                "The row that distinguishes the two queries is: "
+                f"{self.result.distinguishing_row}"
+            )
+        return "\n".join(parts)
+
+    def summary(self) -> str:
+        """One-line summary used in logs and the grader."""
+        return (
+            f"counterexample of {self.result.size} tuples "
+            f"({self.result.algorithm}, {'optimal' if self.result.optimal else 'best-effort'}, "
+            f"{self.result.total_time():.3f}s)"
+        )
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,116 @@
+"""The end-to-end RATest system facade (§6).
+
+:class:`RATest` binds a (hidden) test database instance and answers the
+question students and developers actually ask: *"is my query equivalent to the
+reference query on the test data — and if not, show me a small counterexample
+I can read."*  Queries may be passed as relational algebra expression objects
+or as text in the RA DSL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.catalog.instance import DatabaseInstance
+from repro.core.finder import find_smallest_counterexample
+from repro.errors import CounterexampleError
+from repro.parser.ra_parser import parse_query
+from repro.ra.ast import RAExpression
+from repro.ra.evaluator import evaluate
+from repro.ratest.report import RATestReport
+
+QueryLike = RAExpression | str
+
+
+@dataclass
+class SubmissionOutcome:
+    """Outcome of one submission: either 'correct' or a counterexample report."""
+
+    correct: bool
+    report: RATestReport | None = None
+    error: str | None = None
+
+    def render(self) -> str:
+        if self.correct:
+            return "Your query matches the reference query on the test database."
+        if self.report is not None:
+            return self.report.render()
+        return f"Your query could not be checked: {self.error}"
+
+
+class RATest:
+    """Check test queries against a reference query over a bound instance."""
+
+    def __init__(self, instance: DatabaseInstance) -> None:
+        self.instance = instance
+
+    # -- parsing -------------------------------------------------------------
+
+    def parse(self, query: QueryLike) -> RAExpression:
+        if isinstance(query, RAExpression):
+            return query
+        return parse_query(query)
+
+    # -- checking ------------------------------------------------------------
+
+    def queries_agree(
+        self, q1: QueryLike, q2: QueryLike, params: Mapping[str, Any] | None = None
+    ) -> bool:
+        """True when the two queries return the same rows on the bound instance."""
+        expr1, expr2 = self.parse(q1), self.parse(q2)
+        return evaluate(expr1, self.instance, params).same_rows(
+            evaluate(expr2, self.instance, params)
+        )
+
+    def explain(
+        self,
+        correct_query: QueryLike,
+        test_query: QueryLike,
+        *,
+        algorithm: str = "auto",
+        params: Mapping[str, Any] | None = None,
+        **options: Any,
+    ) -> RATestReport:
+        """Smallest-counterexample explanation of why the two queries differ.
+
+        Raises :class:`CounterexampleError` when the queries agree on the
+        instance (use :meth:`check` for the full submission workflow).
+        """
+        expr1, expr2 = self.parse(correct_query), self.parse(test_query)
+        result = find_smallest_counterexample(
+            expr1, expr2, self.instance, algorithm=algorithm, params=params, **options
+        )
+        return RATestReport(
+            correct_query_text=str(correct_query),
+            test_query_text=str(test_query),
+            result=result,
+        )
+
+    def check(
+        self,
+        correct_query: QueryLike,
+        test_query: QueryLike,
+        *,
+        algorithm: str = "auto",
+        params: Mapping[str, Any] | None = None,
+        **options: Any,
+    ) -> SubmissionOutcome:
+        """The full submission workflow: agree → correct, differ → explanation."""
+        try:
+            expr1, expr2 = self.parse(correct_query), self.parse(test_query)
+        except Exception as exc:  # parse/schema errors are user errors, not bugs
+            return SubmissionOutcome(correct=False, error=str(exc))
+        try:
+            if evaluate(expr1, self.instance, params).same_rows(
+                evaluate(expr2, self.instance, params)
+            ):
+                return SubmissionOutcome(correct=True)
+            report = self.explain(
+                expr1, expr2, algorithm=algorithm, params=params, **options
+            )
+            return SubmissionOutcome(correct=False, report=report)
+        except CounterexampleError as exc:
+            return SubmissionOutcome(correct=False, error=str(exc))
+        except Exception as exc:
+            return SubmissionOutcome(correct=False, error=f"internal error: {exc}")

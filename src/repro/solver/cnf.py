@@ -1,0 +1,181 @@
+"""CNF representation and Tseitin encoding of provenance expressions.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative integer denotes the negation of that variable.  The
+:class:`VariablePool` maps provenance variable names (tuple identifiers) to
+solver variables and mints fresh auxiliary variables for the Tseitin
+transformation and the cardinality encodings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import SolverError
+from repro.provenance.boolexpr import (
+    AndExpr,
+    BoolExpr,
+    FalseExpr,
+    NotExpr,
+    OrExpr,
+    TrueExpr,
+    Var,
+)
+
+Clause = tuple[int, ...]
+
+
+@dataclass
+class VariablePool:
+    """Bidirectional mapping between names and solver variable numbers."""
+
+    _by_name: dict[str, int] = field(default_factory=dict)
+    _by_index: dict[int, str] = field(default_factory=dict)
+    _next: int = 1
+
+    def variable(self, name: str) -> int:
+        """The solver variable for ``name``, creating it on first use."""
+        if name not in self._by_name:
+            index = self._next
+            self._next += 1
+            self._by_name[name] = index
+            self._by_index[index] = name
+        return self._by_name[name]
+
+    def fresh(self, hint: str = "aux") -> int:
+        """A fresh auxiliary variable (named ``_{hint}{n}`` internally)."""
+        index = self._next
+        self._next += 1
+        name = f"_{hint}{index}"
+        self._by_name[name] = index
+        self._by_index[index] = name
+        return index
+
+    def name_of(self, variable: int) -> str:
+        return self._by_index[abs(variable)]
+
+    def has_name(self, name: str) -> bool:
+        return name in self._by_name
+
+    def lookup(self, name: str) -> int | None:
+        return self._by_name.get(name)
+
+    @property
+    def num_variables(self) -> int:
+        return self._next - 1
+
+    def named_variables(self) -> dict[str, int]:
+        """All non-auxiliary variables (those not starting with ``_``)."""
+        return {name: idx for name, idx in self._by_name.items() if not name.startswith("_")}
+
+
+@dataclass
+class CNF:
+    """A conjunction of clauses plus the pool naming its variables."""
+
+    pool: VariablePool = field(default_factory=VariablePool)
+    clauses: list[Clause] = field(default_factory=list)
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        clause = tuple(literals)
+        if not clause:
+            raise SolverError("attempted to add the empty clause directly")
+        self.clauses.append(clause)
+
+    def add_unit(self, literal: int) -> None:
+        self.clauses.append((literal,))
+
+    def add_implication(self, antecedent: int, consequents: Sequence[int]) -> None:
+        """``antecedent -> (c1 ∨ c2 ∨ ...)`` as a single clause."""
+        self.clauses.append((-antecedent, *consequents))
+
+    @property
+    def num_variables(self) -> int:
+        return self.pool.num_variables
+
+    def copy(self) -> "CNF":
+        duplicate = CNF(pool=self.pool)
+        duplicate.clauses = list(self.clauses)
+        return duplicate
+
+
+def tseitin(expression: BoolExpr, cnf: CNF) -> int:
+    """Encode ``expression`` into ``cnf`` and return its root literal.
+
+    The encoding is equisatisfiability-preserving in the strong (Plaisted–
+    Greenbaum-free) sense: the returned literal is true in a model of the
+    added clauses *iff* the expression is true under the assignment of its
+    named variables, so the literal can be reused both positively and
+    negatively.
+    """
+    pool = cnf.pool
+
+    def encode(node: BoolExpr) -> int:
+        if isinstance(node, Var):
+            return pool.variable(node.name)
+        if isinstance(node, TrueExpr):
+            aux = pool.fresh("true")
+            cnf.add_unit(aux)
+            return aux
+        if isinstance(node, FalseExpr):
+            aux = pool.fresh("false")
+            cnf.add_unit(-aux)
+            return aux
+        if isinstance(node, NotExpr):
+            return -encode(node.operand)
+        if isinstance(node, AndExpr):
+            literals = [encode(op) for op in node.operands]
+            aux = pool.fresh("and")
+            for literal in literals:
+                cnf.add_clause((-aux, literal))
+            cnf.add_clause((aux, *(-lit for lit in literals)))
+            return aux
+        if isinstance(node, OrExpr):
+            literals = [encode(op) for op in node.operands]
+            aux = pool.fresh("or")
+            for literal in literals:
+                cnf.add_clause((aux, -literal))
+            cnf.add_clause((-aux, *literals))
+            return aux
+        raise SolverError(f"cannot encode expression node {type(node).__name__}")
+
+    return encode(expression)
+
+
+def assert_expression(expression: BoolExpr, cnf: CNF) -> None:
+    """Add clauses forcing ``expression`` to be true."""
+    root = tseitin(expression, cnf)
+    cnf.add_unit(root)
+
+
+def sequential_counter(cnf: CNF, variables: Sequence[int], width: int) -> list[int]:
+    """Sinz sequential-counter registers over ``variables``.
+
+    Returns ``outputs`` where ``outputs[j]`` (0-based) is implied true whenever
+    at least ``j + 1`` of the variables are true (counts beyond ``width``
+    saturate at the last register).  The clauses only constrain the registers
+    upward, so the encoding itself never restricts the variables; callers
+    enforce ``sum(variables) <= b`` by adding the unit clause
+    ``-outputs[b]`` — and can *tighten* the bound later by adding further unit
+    clauses, which is how the min-ones optimizer descends without re-encoding.
+    """
+    n = len(variables)
+    if width <= 0:
+        raise SolverError("cardinality width must be positive")
+    if n == 0:
+        return []
+    width = min(width, n)
+    # registers[i][j]: among the first i+1 variables, at least j+1 are true.
+    registers: list[list[int]] = []
+    for i in range(n):
+        registers.append([cnf.pool.fresh(f"card{i}_") for _ in range(width)])
+
+    cnf.add_clause((-variables[0], registers[0][0]))
+    for i in range(1, n):
+        cnf.add_clause((-variables[i], registers[i][0]))
+        cnf.add_clause((-registers[i - 1][0], registers[i][0]))
+        for j in range(1, width):
+            cnf.add_clause((-variables[i], -registers[i - 1][j - 1], registers[i][j]))
+            cnf.add_clause((-registers[i - 1][j], registers[i][j]))
+    return registers[n - 1]

@@ -1,0 +1,235 @@
+"""Min-ones satisfiability over Boolean provenance (§4 of the paper).
+
+Given a provenance formula, find a satisfying assignment with as few tuple
+variables set to true as possible.  Two solving modes mirror the paper:
+
+* :meth:`MinOnesSolver.enumerate_models` — the *Basic / Naive-M* strategy of
+  Algorithm 1: repeatedly ask a plain SAT solver for a model, block it, and
+  keep the smallest one seen after at most ``M`` models.
+* :meth:`MinOnesSolver.minimize` — the *Opt* strategy: after an initial model
+  of cost ``k``, attach a sequential-counter cardinality ladder and descend
+  (or binary-search) on the bound until unsatisfiable, proving optimality.
+
+Foreign-key constraints are passed as implications ``child ⇒ parent₁ ∨ …``
+(§4.3) and are enforced in every mode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+from repro.errors import SolverError, UnsatisfiableError
+from repro.provenance.boolexpr import BoolExpr
+from repro.solver.cnf import CNF, assert_expression, sequential_counter
+from repro.solver.models import EnumerationResult, MinOnesResult
+from repro.solver.sat import SATSolver
+
+Strategy = Literal["descend", "binary"]
+
+
+@dataclass(frozen=True)
+class ForeignKeyClause:
+    """``child ⇒ parent₁ ∨ parent₂ ∨ …`` over tuple variables."""
+
+    child: str
+    parents: tuple[str, ...]
+
+
+@dataclass
+class MinOnesProblem:
+    """A min-ones instance: constraints plus the variables whose count matters."""
+
+    constraints: list[BoolExpr] = field(default_factory=list)
+    cost_variables: set[str] = field(default_factory=set)
+    foreign_keys: list[ForeignKeyClause] = field(default_factory=list)
+
+    def add_constraint(self, expression: BoolExpr) -> None:
+        self.constraints.append(expression)
+        self.cost_variables.update(expression.variables())
+
+    def add_foreign_key(self, child: str, parents: Iterable[str]) -> None:
+        parents = tuple(parents)
+        self.foreign_keys.append(ForeignKeyClause(child, parents))
+        self.cost_variables.add(child)
+        self.cost_variables.update(parents)
+
+    def all_variables(self) -> set[str]:
+        names = set(self.cost_variables)
+        for constraint in self.constraints:
+            names |= constraint.variables()
+        for fk in self.foreign_keys:
+            names.add(fk.child)
+            names.update(fk.parents)
+        return names
+
+
+class MinOnesSolver:
+    """Solve a :class:`MinOnesProblem` with a CDCL SAT engine underneath."""
+
+    def __init__(self, problem: MinOnesProblem, *, default_phase: bool = False) -> None:
+        if not problem.constraints:
+            raise SolverError("a min-ones problem needs at least one constraint")
+        self.problem = problem
+        self.default_phase = default_phase
+
+    # -- shared construction -------------------------------------------------
+
+    def _build(self) -> tuple[SATSolver, CNF, dict[str, int]]:
+        cnf = CNF()
+        for constraint in self.problem.constraints:
+            assert_expression(constraint, cnf)
+        cost_ids = {name: cnf.pool.variable(name) for name in sorted(self.problem.cost_variables)}
+        for fk in self.problem.foreign_keys:
+            child = cnf.pool.variable(fk.child)
+            parents = [cnf.pool.variable(p) for p in fk.parents]
+            if parents:
+                cnf.add_implication(child, parents)
+            else:
+                # A child with no possible parent can never be kept.
+                cnf.add_unit(-child)
+        solver = SATSolver(default_phase=self.default_phase)
+        solver.add_clauses(cnf.clauses)
+        return solver, cnf, cost_ids
+
+    def _model_cost_vars(self, model: dict[int, bool], cost_ids: dict[str, int]) -> frozenset[str]:
+        return frozenset(name for name, var in cost_ids.items() if model.get(var, False))
+
+    # -- Opt: true minimisation ----------------------------------------------
+
+    def minimize(self, *, strategy: Strategy = "descend", time_budget: float | None = None) -> MinOnesResult:
+        """Find a minimum-cardinality model (the paper's *Opt* strategy)."""
+        if strategy == "binary":
+            return self._minimize_binary(time_budget)
+        return self._minimize_descend(time_budget)
+
+    def _minimize_descend(self, time_budget: float | None) -> MinOnesResult:
+        started = time.perf_counter()
+        solver, cnf, cost_ids = self._build()
+        model = solver.solve()
+        if model is None:
+            raise UnsatisfiableError("provenance constraints are unsatisfiable")
+        best = self._model_cost_vars(model, cost_ids)
+        calls = 1
+        if len(best) <= 1 or not cost_ids:
+            return MinOnesResult(best, len(best), True, calls)
+
+        counter_inputs = [cost_ids[name] for name in sorted(cost_ids)]
+        counter_cnf = CNF(pool=cnf.pool)
+        outputs = sequential_counter(counter_cnf, counter_inputs, width=len(best))
+        solver.add_clauses(counter_cnf.clauses)
+
+        optimal = False
+        while True:
+            bound = len(best) - 1
+            if bound < 0:
+                optimal = True
+                break
+            if time_budget is not None and time.perf_counter() - started > time_budget:
+                break
+            # Forbid "at least bound+1 true" => require cost <= bound.
+            solver.add_clause((-outputs[bound],))
+            model = solver.solve()
+            calls += 1
+            if model is None:
+                optimal = True
+                break
+            candidate = self._model_cost_vars(model, cost_ids)
+            if len(candidate) >= len(best):  # pragma: no cover - defensive
+                optimal = True
+                break
+            best = candidate
+        return MinOnesResult(best, len(best), optimal, calls)
+
+    def _minimize_binary(self, time_budget: float | None) -> MinOnesResult:
+        """Binary search on the bound, rebuilding the solver per probe.
+
+        Used as an ablation comparator for the incremental descend strategy.
+        """
+        started = time.perf_counter()
+        solver, cnf, cost_ids = self._build()
+        model = solver.solve()
+        if model is None:
+            raise UnsatisfiableError("provenance constraints are unsatisfiable")
+        best = self._model_cost_vars(model, cost_ids)
+        calls = 1
+        low, high = 0, len(best) - 1
+        optimal = True
+        while low <= high:
+            if time_budget is not None and time.perf_counter() - started > time_budget:
+                optimal = False
+                break
+            middle = (low + high) // 2
+            probe_solver, probe_cnf, probe_ids = self._build()
+            inputs = [probe_ids[name] for name in sorted(probe_ids)]
+            if inputs:
+                counter_cnf = CNF(pool=probe_cnf.pool)
+                outputs = sequential_counter(counter_cnf, inputs, width=middle + 1)
+                probe_solver.add_clauses(counter_cnf.clauses)
+                if middle < len(inputs):
+                    probe_solver.add_clause((-outputs[middle],))
+            model = probe_solver.solve()
+            calls += 1
+            if model is None:
+                low = middle + 1
+            else:
+                candidate = self._model_cost_vars(model, probe_ids)
+                if len(candidate) < len(best):
+                    best = candidate
+                high = len(best) - 1 if len(best) - 1 < middle else middle - 1
+        return MinOnesResult(best, len(best), optimal, calls)
+
+    # -- Naive-M: model enumeration -------------------------------------------
+
+    def enumerate_models(self, max_models: int) -> EnumerationResult:
+        """The Basic strategy (Algorithm 1): enumerate up to ``max_models`` models.
+
+        Each found model is blocked on the cost variables, so subsequent calls
+        return a different *witness* (the paper blocks the full model; blocking
+        on tuple variables only makes the baseline slightly stronger, never
+        weaker).
+        """
+        if max_models <= 0:
+            raise SolverError("max_models must be positive")
+        solver, cnf, cost_ids = self._build()
+        result = EnumerationResult()
+        for _ in range(max_models):
+            model = solver.solve()
+            result.solver_calls += 1
+            if model is None:
+                result.exhausted = True
+                break
+            witness = self._model_cost_vars(model, cost_ids)
+            result.models.append(witness)
+            if result.best is None or len(witness) < len(result.best):
+                result.best = witness
+            blocking = []
+            for name, var in cost_ids.items():
+                blocking.append(-var if name in witness else var)
+            if not blocking:
+                result.exhausted = True
+                break
+            solver.add_clause(blocking)
+        if result.best is None:
+            raise UnsatisfiableError("provenance constraints are unsatisfiable")
+        return result
+
+
+def solve_min_ones(
+    constraints: Sequence[BoolExpr],
+    *,
+    cost_variables: Iterable[str] | None = None,
+    foreign_keys: Sequence[ForeignKeyClause] = (),
+    strategy: Strategy = "descend",
+    time_budget: float | None = None,
+) -> MinOnesResult:
+    """Convenience wrapper: build a problem and minimise it in one call."""
+    problem = MinOnesProblem()
+    for constraint in constraints:
+        problem.add_constraint(constraint)
+    if cost_variables is not None:
+        problem.cost_variables.update(cost_variables)
+    for fk in foreign_keys:
+        problem.add_foreign_key(fk.child, fk.parents)
+    return MinOnesSolver(problem).minimize(strategy=strategy, time_budget=time_budget)

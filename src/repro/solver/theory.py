@@ -1,0 +1,260 @@
+"""Branch-and-bound solver for aggregate provenance constraints ("SMT-lite").
+
+Aggregate counterexamples (§5) need more than Boolean satisfiability: the
+constraint mixes tuple variables, symbolic aggregate values computed from the
+kept tuples, and — for the parameterized variant (Definition 3) — free integer
+parameters standing for the constants of HAVING predicates.
+
+Z3's optimizing solver is unavailable offline, so this module provides a
+cardinality-minimising branch-and-bound search:
+
+* variables are the tuple variables occurring in the constraint (plus any
+  foreign-key parents they drag in);
+* the search explores "exclude the tuple" before "include the tuple" and
+  prunes branches that cannot beat the best solution found so far;
+* at every candidate assignment, parameter values are synthesised from the
+  finitely many *breakpoints* of the aggregate expressions (an integer
+  parameter compared against aggregates only changes the constraint's truth
+  value at those breakpoints, so trying breakpoint±1 values is complete);
+* a node/time budget turns pathological instances (huge groups) into a
+  "timed out, best effort" answer — mirroring the paper's observation that
+  the SMT solver does not scale to large groups.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import UnsatisfiableError
+from repro.provenance.aggregate import (
+    AggAnd,
+    AggComparison,
+    AggConstraint,
+    AggNot,
+    AggOr,
+    NumExpr,
+    NumParam,
+    ValuesDiffer,
+)
+from repro.provenance.boolexpr import assignment_from_true_set
+from repro.solver.minones import ForeignKeyClause
+from repro.solver.models import AggregateSolveResult
+
+
+@dataclass
+class AggregateProblem:
+    """An aggregate min-ones instance."""
+
+    constraint: AggConstraint
+    cost_variables: set[str] = field(default_factory=set)
+    foreign_keys: list[ForeignKeyClause] = field(default_factory=list)
+    parameters: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.cost_variables |= self.constraint.variables()
+        self.parameters |= self.constraint.parameters()
+
+    def add_foreign_key(self, child: str, parents: Iterable[str]) -> None:
+        parents = tuple(parents)
+        self.foreign_keys.append(ForeignKeyClause(child, parents))
+        if child in self.cost_variables:
+            self.cost_variables.update(parents)
+
+
+@dataclass
+class AggregateSolverConfig:
+    """Budgets for the branch-and-bound search."""
+
+    max_nodes: int = 200_000
+    time_budget: float | None = 30.0
+
+
+class AggregateSolver:
+    """Minimise the number of kept tuples subject to an aggregate constraint."""
+
+    def __init__(self, problem: AggregateProblem, config: AggregateSolverConfig | None = None) -> None:
+        self.problem = problem
+        self.config = config or AggregateSolverConfig()
+        self._variables = sorted(problem.cost_variables)
+        self._fk_children: dict[str, tuple[str, ...]] = {
+            fk.child: fk.parents for fk in problem.foreign_keys if fk.child in problem.cost_variables
+        }
+
+    # -- public API -----------------------------------------------------------
+
+    def solve(self) -> AggregateSolveResult:
+        started = time.perf_counter()
+        best: tuple[frozenset[str], Mapping[str, Any]] | None = None
+
+        # Seed the upper bound with the full variable set (greedily shrunk),
+        # so that branch-and-bound always has something to prune against.  The
+        # greedy pass is quadratic in the variable count, so it is skipped for
+        # very large constraints — those are the instances where the paper
+        # observes the SMT-based approach timing out anyway.
+        full = frozenset(self._variables)
+        params = self._satisfies(full)
+        if params is not None:
+            if len(full) <= 250:
+                shrunk = self._greedy_shrink(full, started)
+                shrunk_params = self._satisfies(shrunk)
+                best = (shrunk, shrunk_params if shrunk_params is not None else params)
+            else:
+                best = (full, params)
+
+        nodes = 0
+        timed_out = False
+        order = self._variable_order()
+
+        # Iterative deepening-flavoured DFS: exclude-first, include-second.
+        stack: list[tuple[int, frozenset[str]]] = [(0, frozenset())]
+        while stack:
+            if nodes >= self.config.max_nodes:
+                timed_out = True
+                break
+            if (
+                self.config.time_budget is not None
+                and time.perf_counter() - started > self.config.time_budget
+            ):
+                timed_out = True
+                break
+            index, included = stack.pop()
+            nodes += 1
+            if best is not None and len(included) >= len(best[0]):
+                continue
+            if index == len(order):
+                params = self._satisfies(included)
+                if params is not None and (best is None or len(included) < len(best[0])):
+                    best = (included, params)
+                continue
+            variable = order[index]
+            # Include branch pushed first so the exclude branch is explored
+            # first (LIFO), biasing the search towards small witnesses.
+            stack.append((index + 1, included | {variable}))
+            stack.append((index + 1, included))
+
+        if best is None:
+            if timed_out:
+                return AggregateSolveResult(
+                    frozenset(), {}, 0, optimal=False, nodes_explored=nodes, timed_out=True
+                )
+            raise UnsatisfiableError("aggregate constraint is unsatisfiable over the instance")
+        witness, parameter_values = best
+        return AggregateSolveResult(
+            true_variables=witness,
+            parameter_values=dict(parameter_values),
+            cost=len(witness),
+            optimal=not timed_out,
+            nodes_explored=nodes,
+            timed_out=timed_out,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _variable_order(self) -> list[str]:
+        """Order variables so frequently-constrained tuples are decided first."""
+        weights: dict[str, int] = {name: 0 for name in self._variables}
+        for occurrence in _variable_occurrences(self.problem.constraint):
+            if occurrence in weights:
+                weights[occurrence] += 1
+        return sorted(self._variables, key=lambda name: (-weights[name], name))
+
+    def _respects_foreign_keys(self, included: frozenset[str]) -> bool:
+        for child, parents in self._fk_children.items():
+            if child in included and parents and not any(p in included for p in parents):
+                return False
+        return True
+
+    def _satisfies(self, included: frozenset[str]) -> Mapping[str, Any] | None:
+        """Parameter values making the constraint true, or None."""
+        if not self._respects_foreign_keys(included):
+            return None
+        assignment = assignment_from_true_set(included)
+        if not self.problem.parameters:
+            return {} if self.problem.constraint.evaluate(assignment, {}) else None
+        for candidate in self._parameter_candidates(included):
+            if self.problem.constraint.evaluate(assignment, candidate):
+                return candidate
+        return None
+
+    def _parameter_candidates(self, included: frozenset[str]) -> Iterable[dict[str, Any]]:
+        """Candidate parameter assignments derived from aggregate breakpoints."""
+        assignment = assignment_from_true_set(included)
+        per_parameter: dict[str, set[Any]] = {name: {0, 1} for name in self.problem.parameters}
+        for comparison in _comparisons(self.problem.constraint):
+            sides = [comparison.left, comparison.right]
+            for this, other in (sides, sides[::-1]):
+                if isinstance(this, NumParam):
+                    value = _safe_evaluate(other, assignment)
+                    if value is None or not isinstance(value, (int, float)):
+                        continue
+                    base = int(value)
+                    per_parameter[this.name].update({base - 1, base, base + 1})
+        names = sorted(per_parameter)
+        value_lists = [sorted(per_parameter[name]) for name in names]
+        for combination in itertools.product(*value_lists):
+            yield dict(zip(names, combination))
+
+    def _greedy_shrink(self, included: frozenset[str], started: float) -> frozenset[str]:
+        """Remove tuples one at a time while the constraint stays satisfiable."""
+        current = set(included)
+        for name in sorted(included):
+            if (
+                self.config.time_budget is not None
+                and time.perf_counter() - started > self.config.time_budget / 2
+            ):
+                break
+            trial = frozenset(current - {name})
+            if self._satisfies(trial) is not None:
+                current.discard(name)
+        return frozenset(current)
+
+
+def _variable_occurrences(constraint: AggConstraint) -> Iterable[str]:
+    """Yield tuple variables once per syntactic occurrence (for the branching order)."""
+    from repro.provenance.aggregate import AggAnd as _And, AggNot as _Not, AggOr as _Or, BoolCondition
+
+    if isinstance(constraint, BoolCondition):
+        yield from constraint.expression.variables()
+    elif isinstance(constraint, (AggComparison, ValuesDiffer)):
+        yield from constraint.left.variables()
+        yield from constraint.right.variables()
+    elif isinstance(constraint, (_And, _Or)):
+        for operand in constraint.operands:
+            yield from _variable_occurrences(operand)
+    elif isinstance(constraint, _Not):
+        yield from _variable_occurrences(constraint.operand)
+
+
+def _comparisons(constraint: AggConstraint) -> Iterable[AggComparison]:
+    if isinstance(constraint, AggComparison):
+        yield constraint
+    elif isinstance(constraint, (AggAnd, AggOr)):
+        for operand in constraint.operands:
+            yield from _comparisons(operand)
+    elif isinstance(constraint, AggNot):
+        yield from _comparisons(constraint.operand)
+    elif isinstance(constraint, ValuesDiffer):
+        yield AggComparison("=", constraint.left, constraint.right)
+
+
+def _safe_evaluate(expression: NumExpr, assignment) -> Any:
+    try:
+        return expression.evaluate(assignment, {})
+    except Exception:  # parameters on both sides, or unbound parameter
+        return None
+
+
+def solve_aggregate(
+    constraint: AggConstraint,
+    *,
+    foreign_keys: Sequence[ForeignKeyClause] = (),
+    config: AggregateSolverConfig | None = None,
+) -> AggregateSolveResult:
+    """Convenience wrapper building an :class:`AggregateProblem` and solving it."""
+    problem = AggregateProblem(constraint=constraint)
+    for fk in foreign_keys:
+        problem.add_foreign_key(fk.child, fk.parents)
+    return AggregateSolver(problem, config).solve()

@@ -1,0 +1,31 @@
+"""Complexity-dichotomy artifacts: brute-force oracles and hardness reductions."""
+
+from repro.theory.bruteforce import (
+    all_minimal_witnesses,
+    brute_force_smallest_counterexample,
+    brute_force_smallest_witness,
+    enumerate_subinstances,
+)
+from repro.theory.reductions import (
+    ReductionInstance,
+    brute_force_vertex_cover,
+    greedy_vertex_cover,
+    random_degree_bounded_graph,
+    vertex_cover_to_ju_swp,
+    vertex_cover_to_pj_swp,
+    vertex_cover_to_pjd_scp,
+)
+
+__all__ = [
+    "ReductionInstance",
+    "all_minimal_witnesses",
+    "brute_force_smallest_counterexample",
+    "brute_force_smallest_witness",
+    "brute_force_vertex_cover",
+    "enumerate_subinstances",
+    "greedy_vertex_cover",
+    "random_degree_bounded_graph",
+    "vertex_cover_to_ju_swp",
+    "vertex_cover_to_pj_swp",
+    "vertex_cover_to_pjd_scp",
+]

@@ -1,0 +1,229 @@
+"""Hardness constructions from the complexity dichotomy (Appendix A).
+
+The NP-hardness results of Table 1 (Theorems 3, 4 and 8) are proved by
+reductions from vertex cover on graphs of maximum degree 3.  This module
+implements those constructions as executable builders: given a graph, they
+produce a database instance and a query pair whose smallest witness encodes a
+minimum vertex cover.  The test suite verifies the reduction equivalences on
+small graphs against brute force, and the dichotomy benchmark uses them to
+compare the generic solver against the specialised poly-time algorithms.
+
+One deliberate simplification: the paper's constructions use an always-empty
+monotone query as ``Q2`` (its only job is to guarantee the target tuple never
+appears in ``Q2`` over any subinstance); we reference an explicitly empty
+relation for the same effect, which keeps the query classes unchanged.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.catalog.instance import DatabaseInstance
+from repro.catalog.schema import DatabaseSchema, RelationSchema
+from repro.catalog.types import DataType
+from repro.ra.ast import (
+    Difference,
+    Join,
+    NaturalJoin,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+)
+from repro.ra.predicates import ColumnRef, Comparison, Or
+
+_NULL = "*"
+_Z = "z"
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """A hardness-construction output: instance, query pair and witness target."""
+
+    instance: DatabaseInstance
+    q1: RAExpression
+    q2: RAExpression
+    target_row: tuple
+    #: Size of a witness corresponding to a vertex cover of size p is p + offset.
+    witness_offset: int
+
+
+def _edge_list(graph: nx.Graph) -> list[tuple]:
+    return sorted(tuple(sorted(edge)) for edge in graph.edges())
+
+
+def _check_degree(graph: nx.Graph, bound: int = 3) -> None:
+    for node, degree in graph.degree():
+        if degree > bound:
+            raise ValueError(f"vertex {node!r} has degree {degree} > {bound}")
+
+
+def vertex_cover_to_pj_swp(graph: nx.Graph) -> ReductionInstance:
+    """Theorem 3: vertex cover → SWP for PJ queries (hard in query complexity)."""
+    _check_degree(graph)
+    edges = _edge_list(graph)
+    edge_name = {edge: f"e{i + 1}" for i, edge in enumerate(edges)}
+
+    relations = [
+        RelationSchema.of(
+            "R",
+            [
+                ("A", DataType.STRING),
+                ("Z", DataType.STRING),
+                ("E1", DataType.STRING),
+                ("E2", DataType.STRING),
+                ("E3", DataType.STRING),
+            ],
+        ),
+        RelationSchema.of("Empty", [("Z", DataType.STRING)]),
+    ]
+    for i in range(len(edges)):
+        relations.append(RelationSchema.of(f"S{i + 1}", [("E", DataType.STRING), ("W", DataType.STRING)]))
+    schema = DatabaseSchema.of(relations)
+    instance = DatabaseInstance(schema)
+
+    for vertex in sorted(graph.nodes(), key=str):
+        incident = [edge_name[edge] for edge in edges if vertex in edge]
+        incident = (incident + [_NULL, _NULL, _NULL])[:3]
+        instance.relation("R").insert((str(vertex), _Z, *incident))
+    for i, edge in enumerate(edges):
+        instance.relation(f"S{i + 1}").insert((edge_name[edge], _Z))
+
+    subqueries: list[RAExpression] = []
+    for i in range(len(edges)):
+        s_i = RelationRef(f"S{i + 1}")
+        condition = Or(
+            tuple(
+                Comparison("=", ColumnRef(attr), ColumnRef("E"))
+                for attr in ("E1", "E2", "E3")
+            )
+        )
+        subqueries.append(Projection(Join(RelationRef("R"), s_i, condition), ("Z",)))
+    q1: RAExpression = subqueries[0]
+    for subquery in subqueries[1:]:
+        q1 = NaturalJoin(q1, subquery)
+    q2 = Projection(RelationRef("Empty"), ("Z",))
+    return ReductionInstance(instance, q1, q2, (_Z,), witness_offset=len(edges))
+
+
+def vertex_cover_to_ju_swp(graph: nx.Graph) -> ReductionInstance:
+    """Theorem 4: vertex cover → SWP for JU queries (hard in query complexity)."""
+    vertices = sorted(graph.nodes(), key=str)
+    edges = _edge_list(graph)
+    index_of = {vertex: i + 1 for i, vertex in enumerate(vertices)}
+
+    relations = [
+        RelationSchema.of(f"R{index_of[v]}", [("Z", DataType.STRING)]) for v in vertices
+    ]
+    relations.append(RelationSchema.of("Empty", [("Z", DataType.STRING)]))
+    schema = DatabaseSchema.of(relations)
+    instance = DatabaseInstance(schema)
+    for vertex in vertices:
+        instance.relation(f"R{index_of[vertex]}").insert((_Z,))
+
+    from repro.ra.ast import Union as RAUnion
+
+    subqueries: list[RAExpression] = []
+    for u, v in edges:
+        subqueries.append(RAUnion(RelationRef(f"R{index_of[u]}"), RelationRef(f"R{index_of[v]}")))
+    q1: RAExpression = subqueries[0]
+    for subquery in subqueries[1:]:
+        q1 = NaturalJoin(q1, subquery)
+    q2 = RelationRef("Empty")
+    return ReductionInstance(instance, q1, q2, (_Z,), witness_offset=0)
+
+
+def vertex_cover_to_pjd_scp(graph: nx.Graph) -> ReductionInstance:
+    """Theorem 8: vertex cover → SWP for PJD queries (hard in *data* complexity)."""
+    _check_degree(graph)
+    edges = _edge_list(graph)
+    m = len(edges)
+    edge_name = {edge: f"e{i + 1}" for i, edge in enumerate(edges)}
+
+    schema = DatabaseSchema.of(
+        [
+            RelationSchema.of(
+                "R",
+                [
+                    ("A", DataType.STRING),
+                    ("Z", DataType.STRING),
+                    ("E1", DataType.STRING),
+                    ("E2", DataType.STRING),
+                    ("E3", DataType.STRING),
+                ],
+            ),
+            RelationSchema.of("S", [("B", DataType.STRING), ("C", DataType.STRING), ("Z", DataType.STRING)]),
+        ]
+    )
+    instance = DatabaseInstance(schema)
+    for vertex in sorted(graph.nodes(), key=str):
+        incident = [edge_name[edge] for edge in edges if vertex in edge]
+        incident = (incident + [_NULL, _NULL, _NULL])[:3]
+        instance.relation("R").insert((str(vertex), _Z, *incident))
+    for i, edge in enumerate(edges):
+        next_edge = edges[(i + 1) % m]
+        instance.relation("S").insert((edge_name[edge], edge_name[next_edge], _Z))
+
+    q1 = Projection(RelationRef("S"), ("Z",))
+    # q2 = pi_Z( pi_{B,Z}(S)  -  pi_{C,Z}(S join_{C in {E1,E2,E3}} R) )
+    # R is renamed with a prefix because S and R share the constant column Z.
+    q2_left = Projection(RelationRef("S"), ("B", "Z"))
+    renamed_r = Rename(RelationRef("R"), prefix="r")
+    join_condition = Or(
+        tuple(
+            Comparison("=", ColumnRef("C"), ColumnRef(f"r.{attr}"))
+            for attr in ("E1", "E2", "E3")
+        )
+    )
+    q2_right = Projection(
+        Join(RelationRef("S"), renamed_r, join_condition), ("C", "Z"), ("B", "Z")
+    )
+    q2 = Projection(Difference(q2_left, q2_right), ("Z",))
+    return ReductionInstance(instance, q1, q2, (_Z,), witness_offset=m)
+
+
+# ---------------------------------------------------------------------------
+# Vertex cover solvers (for verifying the reductions in tests)
+# ---------------------------------------------------------------------------
+
+
+def brute_force_vertex_cover(graph: nx.Graph) -> set:
+    """Minimum vertex cover by exhaustive search (tiny graphs only)."""
+    vertices = sorted(graph.nodes(), key=str)
+    edges = _edge_list(graph)
+    for size in range(0, len(vertices) + 1):
+        for subset in itertools.combinations(vertices, size):
+            chosen = set(subset)
+            if all(u in chosen or v in chosen for u, v in edges):
+                return chosen
+    return set(vertices)
+
+
+def greedy_vertex_cover(graph: nx.Graph) -> set:
+    """2-approximate vertex cover via maximal matching (scales to larger graphs)."""
+    cover: set = set()
+    for u, v in _edge_list(graph):
+        if u not in cover and v not in cover:
+            cover.add(u)
+            cover.add(v)
+    return cover
+
+
+def random_degree_bounded_graph(num_vertices: int, num_edges: int, *, seed: int = 0) -> nx.Graph:
+    """A random graph with maximum degree 3 (input to the reductions)."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(1, num_vertices + 1))
+    attempts = 0
+    while graph.number_of_edges() < num_edges and attempts < 50 * num_edges:
+        attempts += 1
+        u, v = rng.sample(range(1, num_vertices + 1), 2)
+        if graph.degree(u) >= 3 or graph.degree(v) >= 3 or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+    return graph

@@ -1,0 +1,35 @@
+"""Simulated user study (§8): cohort model and analysis pipeline."""
+
+from repro.userstudy.analysis import (
+    headline_findings,
+    score_comparison,
+    survey_summary,
+    transfer_analysis,
+    usage_statistics,
+)
+from repro.userstudy.simulation import (
+    RATEST_AVAILABLE,
+    TRACKED_PROBLEMS,
+    CohortResult,
+    ProblemOutcome,
+    StudentProfile,
+    StudentRecord,
+    SurveyResponse,
+    simulate_cohort,
+)
+
+__all__ = [
+    "CohortResult",
+    "ProblemOutcome",
+    "RATEST_AVAILABLE",
+    "StudentProfile",
+    "StudentRecord",
+    "SurveyResponse",
+    "TRACKED_PROBLEMS",
+    "headline_findings",
+    "score_comparison",
+    "simulate_cohort",
+    "survey_summary",
+    "transfer_analysis",
+    "usage_statistics",
+]

@@ -1,0 +1,165 @@
+"""Analysis pipeline for the (simulated) user study: Figures 8–10 and Table 5.
+
+Every function takes a :class:`~repro.userstudy.simulation.CohortResult` and
+returns a list of plain dictionaries (one per table row), which the benchmarks
+and EXPERIMENTS.md render as markdown tables.
+"""
+
+from __future__ import annotations
+
+from statistics import mean, pstdev
+from typing import Any
+
+from repro.userstudy.simulation import RATEST_AVAILABLE, CohortResult
+
+Row = dict[str, Any]
+
+
+def usage_statistics(cohort: CohortResult) -> list[Row]:
+    """Figure 8: per-problem RATest usage statistics."""
+    rows: list[Row] = []
+    for problem in RATEST_AVAILABLE:
+        users = [
+            record.outcomes[problem]
+            for record in cohort.students
+            if record.outcomes[problem].used_ratest
+        ]
+        eventually_correct = [outcome for outcome in users if outcome.correct]
+        rows.append(
+            {
+                "problem": problem,
+                "num_users": len(users),
+                "num_users_correct_eventually": len(eventually_correct),
+                "avg_attempts": round(mean(o.attempts for o in users), 2) if users else 0.0,
+                "avg_attempts_before_correct": (
+                    round(mean(o.attempts_before_correct for o in eventually_correct), 2)
+                    if eventually_correct
+                    else 0.0
+                ),
+            }
+        )
+    return rows
+
+
+def score_comparison(cohort: CohortResult) -> list[Row]:
+    """Table 5: scores of RATest users vs non-users on the problems it covered."""
+    rows: list[Row] = []
+    for problem in RATEST_AVAILABLE:
+        users = [
+            record.outcomes[problem].score
+            for record in cohort.students
+            if record.outcomes[problem].used_ratest
+        ]
+        non_users = [
+            record.outcomes[problem].score
+            for record in cohort.students
+            if not record.outcomes[problem].used_ratest
+        ]
+        rows.append(
+            {
+                "problem": problem,
+                "non_users": len(non_users),
+                "non_user_mean_score": round(mean(non_users), 2) if non_users else 0.0,
+                "non_user_std": round(pstdev(non_users), 2) if len(non_users) > 1 else 0.0,
+                "users": len(users),
+                "user_mean_score": round(mean(users), 2) if users else 0.0,
+                "user_std": round(pstdev(users), 2) if len(users) > 1 else 0.0,
+            }
+        )
+    return rows
+
+
+def transfer_analysis(cohort: CohortResult) -> list[Row]:
+    """Figure 9: did using RATest on (i) transfer to the similar (h) but not (j)?"""
+    rows: list[Row] = []
+    groups = {
+        "did not use RATest on (i)": [
+            r for r in cohort.students if not r.outcomes["i"].used_ratest
+        ],
+        "used RATest on (i)": [r for r in cohort.students if r.outcomes["i"].used_ratest],
+    }
+    for label, records in groups.items():
+        row: Row = {"group": label, "num_students": len(records)}
+        for problem in ("i", "h", "j"):
+            scores = [r.outcomes[problem].score for r in records]
+            row[f"mean_score_{problem}"] = round(mean(scores), 2) if scores else 0.0
+            row[f"std_{problem}"] = round(pstdev(scores), 2) if len(scores) > 1 else 0.0
+        rows.append(row)
+
+    # Breakdown by when the student started (procrastination effect).
+    user_records = groups["used RATest on (i)"]
+    buckets = {
+        "5-7 days before due": lambda d: d >= 5,
+        "3-4 days before due": lambda d: 3 <= d <= 4,
+        "2 days before due": lambda d: d == 2,
+        "1 day before due": lambda d: d <= 1,
+    }
+    for label, predicate in buckets.items():
+        records = [r for r in user_records if predicate(r.profile.days_before_due)]
+        row = {"group": f"first use {label}", "num_students": len(records)}
+        for problem in ("i", "h", "j"):
+            scores = [r.outcomes[problem].score for r in records]
+            row[f"mean_score_{problem}"] = round(mean(scores), 2) if scores else 0.0
+            row[f"std_{problem}"] = round(pstdev(scores), 2) if len(scores) > 1 else 0.0
+        rows.append(row)
+    return rows
+
+
+def survey_summary(cohort: CohortResult) -> list[Row]:
+    """Figure 10: questionnaire response distribution."""
+    total = len(cohort.survey)
+    if total == 0:
+        return []
+    likert = ("strongly agree", "agree", "neutral", "disagree", "strongly disagree")
+
+    def distribution(attribute: str) -> Row:
+        counts = {level: 0 for level in likert}
+        for response in cohort.survey:
+            counts[getattr(response, attribute)] += 1
+        row: Row = {"question": attribute, "responses": total}
+        for level in likert:
+            row[level.replace(" ", "_")] = round(100.0 * counts[level] / total, 1)
+        return row
+
+    rows = [distribution("counterexamples_helped"), distribution("would_use_again")]
+    votes = {problem: 0 for problem in RATEST_AVAILABLE}
+    for response in cohort.survey:
+        for problem in response.most_helpful_problems:
+            votes[problem] += 1
+    rows.append(
+        {
+            "question": "most_helpful_problem_votes_pct",
+            "responses": total,
+            **{problem: round(100.0 * count / total, 1) for problem, count in votes.items()},
+        }
+    )
+    return rows
+
+
+def headline_findings(cohort: CohortResult) -> Row:
+    """The qualitative claims of §8, computed from the simulated cohort."""
+    table5 = {row["problem"]: row for row in score_comparison(cohort)}
+    transfer = {row["group"]: row for row in transfer_analysis(cohort)}
+    users_better_on_hard = (
+        table5["g"]["user_mean_score"] >= table5["g"]["non_user_mean_score"]
+        and table5["i"]["user_mean_score"] >= table5["i"]["non_user_mean_score"]
+    )
+    transfer_to_similar = (
+        transfer["used RATest on (i)"]["mean_score_h"]
+        >= transfer["did not use RATest on (i)"]["mean_score_h"]
+    )
+    no_transfer_to_dissimilar = (
+        abs(
+            transfer["used RATest on (i)"]["mean_score_j"]
+            - transfer["did not use RATest on (i)"]["mean_score_j"]
+        )
+        <= 6.0
+    )
+    survey = survey_summary(cohort)
+    helped = survey[0]["strongly_agree"] + survey[0]["agree"] if survey else 0.0
+    return {
+        "users_better_on_hard_problems": users_better_on_hard,
+        "transfer_to_similar_problem": transfer_to_similar,
+        "no_transfer_to_dissimilar_problem": no_transfer_to_dissimilar,
+        "pct_agree_counterexamples_helped": helped,
+    }

@@ -1,0 +1,218 @@
+"""Stochastic simulation of the user study cohort (§8).
+
+The paper reports a user study with ~170 students who optionally used RATest
+for five of ten relational-algebra homework problems.  Real students are not
+available to a reproduction, so this module simulates a cohort whose
+behavioural model encodes the paper's qualitative findings and whose
+parameters are calibrated to its reported marginals:
+
+* most students (≈80%) try RATest at least once, and more diligent students
+  use it more;
+* easy problems are solved by nearly everyone regardless of tooling;
+* on the hard problems (g) and (i), iterating against counterexample feedback
+  raises the chance of ending with a correct query;
+* skill acquired by debugging (i) with RATest *transfers* to the similar
+  problem (h) but not to the dissimilar problem (j);
+* procrastinators (first use one day before the deadline) get less benefit.
+
+The analysis pipeline in :mod:`repro.userstudy.analysis` recomputes the
+paper's Figure 8, Table 5, Figure 9 and Figure 10 from the simulated cohort.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.workload.beers_questions import beers_problems
+
+#: Problems for which RATest was available in the study.
+RATEST_AVAILABLE = ("b", "d", "e", "g", "i")
+#: All graded problems we track (the paper's analysis focuses on these).
+TRACKED_PROBLEMS = ("b", "d", "e", "g", "h", "i", "j")
+
+_DIFFICULTY = {"b": 1, "d": 2, "e": 3, "g": 4, "h": 4, "i": 5, "j": 5}
+_SIMILAR_TO_I = "h"
+_DISSIMILAR_TO_I = "j"
+
+
+@dataclass(frozen=True)
+class StudentProfile:
+    """Latent per-student traits driving the simulation."""
+
+    student_id: int
+    ability: float          # 0..1, query-writing skill
+    diligence: float        # 0..1, willingness to iterate
+    uses_ratest: bool       # opted in to the optional tool
+    days_before_due: int    # when the student started the hard problems (1..7)
+
+
+@dataclass
+class ProblemOutcome:
+    """Simulated outcome of one student on one problem."""
+
+    problem: str
+    used_ratest: bool
+    attempts: int
+    attempts_before_correct: int | None
+    correct: bool
+    score: float
+
+
+@dataclass
+class StudentRecord:
+    profile: StudentProfile
+    outcomes: dict[str, ProblemOutcome] = field(default_factory=dict)
+
+
+@dataclass
+class SurveyResponse:
+    """One anonymous questionnaire response (Figure 10)."""
+
+    counterexamples_helped: str      # Likert: strongly agree .. strongly disagree
+    would_use_again: str
+    most_helpful_problems: tuple[str, ...]
+
+
+@dataclass
+class CohortResult:
+    """The full simulated study: per-student records plus survey responses."""
+
+    students: list[StudentRecord]
+    survey: list[SurveyResponse]
+    problems: tuple[str, ...] = TRACKED_PROBLEMS
+
+    @property
+    def num_students(self) -> int:
+        return len(self.students)
+
+
+def _sigmoid(x: float) -> float:
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+def _solve_probability(ability: float, difficulty: int) -> float:
+    """Chance of getting the problem right in a single unaided attempt."""
+    return _sigmoid(3.5 * ability - 1.15 * difficulty + 2.3)
+
+
+def simulate_cohort(num_students: int = 169, *, seed: int = 2018) -> CohortResult:
+    """Simulate the full cohort; deterministic for a given seed."""
+    rng = random.Random(seed)
+    students: list[StudentRecord] = []
+    problem_difficulty = dict(_DIFFICULTY)
+    for problem in beers_problems():
+        problem_difficulty.setdefault(problem.key, problem.difficulty)
+
+    for student_id in range(num_students):
+        ability = rng.betavariate(5, 2)
+        diligence = rng.betavariate(4, 2)
+        uses_ratest = rng.random() < 0.45 + 0.5 * diligence
+        days_before_due = rng.choices((7, 5, 4, 3, 2, 1), weights=(15, 22, 20, 12, 10, 21))[0]
+        profile = StudentProfile(student_id, ability, diligence, uses_ratest, days_before_due)
+        record = StudentRecord(profile)
+
+        transfer_bonus = 0.0
+        # Simulate (i) before (h) so the learning-transfer effect of debugging
+        # (i) with RATest can influence the similar problem (h).
+        simulation_order = ("b", "d", "e", "g", "i", "h", "j")
+        for problem_key in simulation_order:
+            difficulty = problem_difficulty[problem_key]
+            available = problem_key in RATEST_AVAILABLE
+            effective_ability = ability
+            if problem_key == _SIMILAR_TO_I and "i" in record.outcomes:
+                # Learning effect: debugging (i) with RATest helps on the similar (h).
+                transfer_bonus = 0.18 if record.outcomes["i"].used_ratest else 0.0
+                effective_ability = min(1.0, ability + transfer_bonus)
+            outcome = _simulate_problem(
+                rng, profile, problem_key, difficulty, available, effective_ability
+            )
+            record.outcomes[problem_key] = outcome
+        students.append(record)
+
+    survey = _simulate_survey(rng, students)
+    return CohortResult(students=students, survey=survey)
+
+
+def _simulate_problem(
+    rng: random.Random,
+    profile: StudentProfile,
+    problem_key: str,
+    difficulty: int,
+    ratest_available: bool,
+    ability: float,
+) -> ProblemOutcome:
+    single_try = _solve_probability(ability, difficulty)
+    uses_tool = ratest_available and profile.uses_ratest and rng.random() < (
+        0.55 + 0.1 * difficulty
+    )
+
+    if not uses_tool:
+        # One or two blind attempts against the sample database.
+        attempts = 1 + (rng.random() < 0.4)
+        correct = rng.random() < 1 - (1 - single_try) ** attempts
+        score = _score(rng, correct, ability, difficulty)
+        return ProblemOutcome(problem_key, False, attempts, 1 if correct else None, correct, score)
+
+    # RATest users iterate: each attempt that fails yields a counterexample and
+    # a boosted retry.  Procrastinators run out of attempts.
+    max_attempts = max(2, round(2 + 2.5 * difficulty * profile.diligence))
+    if profile.days_before_due <= 1:
+        max_attempts = 2
+    elif profile.days_before_due == 2:
+        max_attempts = max(2, max_attempts // 2)
+    boost_per_attempt = max(0.10, 0.38 - 0.055 * difficulty)
+    attempts = 0
+    correct = False
+    attempts_before_correct: int | None = None
+    probability = single_try
+    while attempts < max_attempts:
+        attempts += 1
+        if rng.random() < probability:
+            correct = True
+            attempts_before_correct = attempts
+            break
+        probability = min(0.97, probability + boost_per_attempt)
+    # Some students keep poking at the tool after succeeding (observed in the log).
+    extra_pokes = rng.choices((0, 1, 2, 5), weights=(70, 18, 8, 4))[0]
+    score = _score(rng, correct, ability, difficulty, used_ratest=True)
+    return ProblemOutcome(
+        problem_key, True, attempts + extra_pokes, attempts_before_correct, correct, score
+    )
+
+
+def _score(
+    rng: random.Random, correct: bool, ability: float, difficulty: int, *, used_ratest: bool = False
+) -> float:
+    if correct:
+        return 100.0
+    # Partial credit from manual grading of a wrong final submission.
+    base = 45 + 35 * ability - 4 * difficulty + (6 if used_ratest else 0)
+    return float(max(0.0, min(95.0, rng.gauss(base, 14))))
+
+
+def _simulate_survey(rng: random.Random, students: list[StudentRecord]) -> list[SurveyResponse]:
+    responses: list[SurveyResponse] = []
+    likert = ("strongly agree", "agree", "neutral", "disagree", "strongly disagree")
+    for record in students:
+        if not record.profile.uses_ratest or rng.random() > 0.95:
+            continue
+        helped_weights = (28, 42, 18, 9, 3)
+        again_weights = (55, 38, 5, 1, 1)
+        helpful: list[str] = []
+        if rng.random() < 0.94:
+            helpful.append("i")
+        if rng.random() < 0.58:
+            helpful.append("g")
+        for easy in ("b", "d", "e"):
+            if rng.random() < 0.18:
+                helpful.append(easy)
+        responses.append(
+            SurveyResponse(
+                counterexamples_helped=rng.choices(likert, weights=helped_weights)[0],
+                would_use_again=rng.choices(likert, weights=again_weights)[0],
+                most_helpful_problems=tuple(helpful),
+            )
+        )
+    return responses

@@ -1,0 +1,55 @@
+"""Query workloads: course questions, beers homework problems, TPC-H queries."""
+
+from repro.workload.beers_questions import (
+    RATEST_PROBLEMS,
+    BeersProblem,
+    beers_problem,
+    beers_problems,
+)
+from repro.workload.course import (
+    CourseQuestion,
+    SubmissionPool,
+    course_questions,
+    course_submission_pool,
+)
+from repro.workload.mutations import (
+    ALL_MUTATION_OPERATORS,
+    Mutant,
+    drop_conjuncts,
+    drop_difference,
+    flip_comparison_operators,
+    generate_mutants,
+    mutate_constants,
+    mutate_group_by,
+    relax_comparison_operators,
+    replace_difference_with_union,
+    replace_intersection_with_union,
+    swap_difference_operands,
+)
+from repro.workload.tpch_queries import TpchQuery, tpch_queries, tpch_query
+
+__all__ = [
+    "ALL_MUTATION_OPERATORS",
+    "BeersProblem",
+    "CourseQuestion",
+    "Mutant",
+    "RATEST_PROBLEMS",
+    "SubmissionPool",
+    "TpchQuery",
+    "beers_problem",
+    "beers_problems",
+    "course_questions",
+    "course_submission_pool",
+    "drop_conjuncts",
+    "drop_difference",
+    "flip_comparison_operators",
+    "generate_mutants",
+    "mutate_constants",
+    "mutate_group_by",
+    "relax_comparison_operators",
+    "replace_difference_with_union",
+    "replace_intersection_with_union",
+    "swap_difference_operands",
+    "tpch_queries",
+    "tpch_query",
+]

@@ -1,0 +1,309 @@
+"""The user-study homework: ten RA problems over the beers database (§8).
+
+The paper's user study asked students to solve ten relational-algebra
+problems (no aggregation allowed) against a database of bars, beers and
+drinkers; RATest was made available for problems (b), (d), (e), (g), (i).
+This module provides reference queries for all ten problems — including the
+hardest ones (g), (h), (i), (j) that drive the study's findings — plus
+hand-written wrong variants for the RATest-enabled problems so that examples
+and benchmarks can exercise the tool on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.parser.ra_parser import parse_query
+from repro.ra.ast import RAExpression
+
+#: Problems for which RATest was made available in the user study.
+RATEST_PROBLEMS = ("b", "d", "e", "g", "i")
+
+
+@dataclass(frozen=True)
+class BeersProblem:
+    key: str
+    prompt: str
+    difficulty: int
+    correct_text: str
+    wrong_texts: tuple[str, ...] = ()
+    ratest_available: bool = False
+
+    @property
+    def correct_query(self) -> RAExpression:
+        return parse_query(self.correct_text)
+
+    @property
+    def handwritten_wrong_queries(self) -> tuple[RAExpression, ...]:
+        return tuple(parse_query(text) for text in self.wrong_texts)
+
+
+# -- building blocks ---------------------------------------------------------
+
+_BARS_OF = """
+\\project_{f.bar -> bar} \\select_{f.drinker = '%s'} \\rename_{prefix: f} Frequents
+"""
+
+_GOOD_PAIRS = """
+\\project_{l.drinker -> drinker, s.bar -> bar} (
+  \\rename_{prefix: l} Likes
+  \\join_{l.beer = s.beer}
+  \\rename_{prefix: s} Serves
+)
+"""
+
+_FREQUENT_PAIRS = """
+\\project_{f.drinker -> drinker, f.bar -> bar} \\rename_{prefix: f} Frequents
+"""
+
+# (drinker, bar, beer) triples for every beer served at a bar, paired with every drinker.
+_ALL_DRINKER_BAR_BEER = """
+\\project_{d.name -> drinker, s.bar -> bar, s.beer -> beer} (
+  ( \\rename_{prefix: d} Drinker ) \\cross ( \\rename_{prefix: s} Serves )
+)
+"""
+
+_LIKED_DRINKER_BAR_BEER = """
+\\project_{l.drinker -> drinker, s.bar -> bar, s.beer -> beer} (
+  \\rename_{prefix: l} Likes
+  \\join_{l.beer = s.beer}
+  \\rename_{prefix: s} Serves
+)
+"""
+
+_ALL_BAR_PAIRS = """
+\\project_{b1.name -> bar1, b2.name -> bar2} \\select_{b1.name <> b2.name} (
+  ( \\rename_{prefix: b1} Bar ) \\cross ( \\rename_{prefix: b2} Bar )
+)
+"""
+
+# Beers served at bar1 paired with every candidate bar2.
+_SERVED1_WITH_BAR2 = """
+\\project_{s1.bar -> bar1, b2.name -> bar2, s1.beer -> beer} (
+  ( \\rename_{prefix: s1} Serves ) \\cross ( \\rename_{prefix: b2} Bar )
+)
+"""
+
+# Beers served at both bars.
+_SERVED_BOTH = """
+\\project_{s1.bar -> bar1, s2.bar -> bar2, s1.beer -> beer} (
+  \\rename_{prefix: s1} Serves
+  \\join_{s1.beer = s2.beer}
+  \\rename_{prefix: s2} Serves
+)
+"""
+
+# Beers served at bar2 paired with every candidate bar1.
+_SERVED2_WITH_BAR1 = """
+\\project_{b1.name -> bar1, s2.bar -> bar2, s2.beer -> beer} (
+  ( \\rename_{prefix: b1} Bar ) \\cross ( \\rename_{prefix: s2} Serves )
+)
+"""
+
+
+@lru_cache(maxsize=1)
+def beers_problems() -> tuple[BeersProblem, ...]:
+    """All ten homework problems, keyed (a) through (j)."""
+    return (
+        BeersProblem(
+            key="a",
+            prompt="Find drinkers who like Corona.",
+            difficulty=1,
+            correct_text="\\project_{drinker} \\select_{beer = 'Corona'} Likes",
+        ),
+        BeersProblem(
+            key="b",
+            prompt="Find drinkers who frequent any bar serving Corona.",
+            difficulty=1,
+            ratest_available=True,
+            correct_text="""
+            \\project_{f.drinker -> drinker} (
+              \\rename_{prefix: f} Frequents
+              \\join_{f.bar = s.bar and s.beer = 'Corona'}
+              \\rename_{prefix: s} Serves
+            )
+            """,
+            wrong_texts=(
+                # Joined on the wrong column: drinkers who *like* Corona and go to any bar.
+                """
+                \\project_{f.drinker -> drinker} (
+                  \\rename_{prefix: f} Frequents
+                  \\join_{f.drinker = l.drinker and l.beer = 'Corona'}
+                  \\rename_{prefix: l} Likes
+                )
+                """,
+            ),
+        ),
+        BeersProblem(
+            key="c",
+            prompt="Find bars that serve some beer that Ben likes.",
+            difficulty=2,
+            correct_text="""
+            \\project_{s.bar -> bar} (
+              \\rename_{prefix: s} Serves
+              \\join_{s.beer = l.beer and l.drinker = 'Ben'}
+              \\rename_{prefix: l} Likes
+            )
+            """,
+        ),
+        BeersProblem(
+            key="d",
+            prompt="Find drinkers who frequent both JJ Pub and Satisfaction.",
+            difficulty=2,
+            ratest_available=True,
+            correct_text="""
+            ( \\project_{f.drinker -> drinker} \\select_{f.bar = 'JJ Pub'} \\rename_{prefix: f} Frequents )
+            \\intersect
+            ( \\project_{g.drinker -> drinker} \\select_{g.bar = 'Satisfaction'} \\rename_{prefix: g} Frequents )
+            """,
+            wrong_texts=(
+                # "Either" instead of "both".
+                """
+                ( \\project_{f.drinker -> drinker} \\select_{f.bar = 'JJ Pub'} \\rename_{prefix: f} Frequents )
+                \\union
+                ( \\project_{g.drinker -> drinker} \\select_{g.bar = 'Satisfaction'} \\rename_{prefix: g} Frequents )
+                """,
+            ),
+        ),
+        BeersProblem(
+            key="e",
+            prompt="Find bars frequented by either Ben or Dan, but not both.",
+            difficulty=3,
+            ratest_available=True,
+            correct_text=(
+                "( (" + (_BARS_OF % "Ben") + ") \\union (" + (_BARS_OF % "Dan") + ") )"
+                " \\diff "
+                "( (" + (_BARS_OF % "Ben") + ") \\intersect (" + (_BARS_OF % "Dan") + ") )"
+            ),
+            wrong_texts=(
+                # Forgot to remove the bars frequented by both.
+                "(" + (_BARS_OF % "Ben") + ") \\union (" + (_BARS_OF % "Dan") + ")",
+                # Only "Ben but not Dan" — missed the symmetric case.
+                "(" + (_BARS_OF % "Ben") + ") \\diff (" + (_BARS_OF % "Dan") + ")",
+            ),
+        ),
+        BeersProblem(
+            key="f",
+            prompt="Find drinkers who frequent some bar that serves no beer at all.",
+            difficulty=3,
+            correct_text="""
+            \\project_{f.drinker -> drinker} (
+              \\rename_{prefix: f} Frequents
+              \\join_{f.bar = e.bar}
+              \\rename_{prefix: e} (
+                ( \\project_{name -> bar} Bar ) \\diff ( \\project_{bar} Serves )
+              )
+            )
+            """,
+        ),
+        BeersProblem(
+            key="g",
+            prompt="For each bar, find the drinker(s) who frequent it the greatest number of times.",
+            difficulty=4,
+            ratest_available=True,
+            correct_text="""
+            ( \\project_{f.bar -> bar, f.drinker -> drinker} \\rename_{prefix: f} Frequents )
+            \\diff
+            ( \\project_{f.bar -> bar, f.drinker -> drinker} (
+                \\rename_{prefix: f} Frequents
+                \\join_{f.bar = g.bar and g.times_a_week > f.times_a_week}
+                \\rename_{prefix: g} Frequents
+            ) )
+            """,
+            wrong_texts=(
+                # Compared in the wrong direction: returns the *least* frequent drinkers.
+                """
+                ( \\project_{f.bar -> bar, f.drinker -> drinker} \\rename_{prefix: f} Frequents )
+                \\diff
+                ( \\project_{f.bar -> bar, f.drinker -> drinker} (
+                    \\rename_{prefix: f} Frequents
+                    \\join_{f.bar = g.bar and g.times_a_week < f.times_a_week}
+                    \\rename_{prefix: g} Frequents
+                ) )
+                """,
+                # Forgot to restrict the comparison to the same bar.
+                """
+                ( \\project_{f.bar -> bar, f.drinker -> drinker} \\rename_{prefix: f} Frequents )
+                \\diff
+                ( \\project_{f.bar -> bar, f.drinker -> drinker} (
+                    \\rename_{prefix: f} Frequents
+                    \\join_{g.times_a_week > f.times_a_week}
+                    \\rename_{prefix: g} Frequents
+                ) )
+                """,
+            ),
+        ),
+        BeersProblem(
+            key="h",
+            prompt="Find drinkers who frequent only bars that serve some beer they like.",
+            difficulty=4,
+            correct_text=(
+                "( \\project_{f.drinker -> drinker} \\rename_{prefix: f} Frequents )"
+                " \\diff "
+                "( \\project_{drinker} ( (" + _FREQUENT_PAIRS + ") \\diff (" + _GOOD_PAIRS + ") ) )"
+            ),
+            wrong_texts=(
+                # "Some bar" instead of "only bars".
+                """
+                \\project_{f.drinker -> drinker} (
+                  \\rename_{prefix: f} Frequents
+                  \\join_{f.drinker = l.drinker and f.bar = s.bar and l.beer = s.beer}
+                  ( \\rename_{prefix: l} Likes \\cross \\rename_{prefix: s} Serves )
+                )
+                """,
+            ),
+        ),
+        BeersProblem(
+            key="i",
+            prompt="Find drinkers who frequent only bars that serve only beers they like.",
+            difficulty=5,
+            ratest_available=True,
+            correct_text=(
+                "( \\project_{f.drinker -> drinker} \\rename_{prefix: f} Frequents )"
+                " \\diff "
+                "( \\project_{drinker} ( (" + _FREQUENT_PAIRS + ") \\intersect "
+                "( \\project_{drinker, bar} ( (" + _ALL_DRINKER_BAR_BEER + ") \\diff ("
+                + _LIKED_DRINKER_BAR_BEER
+                + ") ) ) ) )"
+            ),
+            wrong_texts=(
+                # Solved (h) instead of (i): "serve some beer they like".
+                (
+                    "( \\project_{f.drinker -> drinker} \\rename_{prefix: f} Frequents )"
+                    " \\diff "
+                    "( \\project_{drinker} ( (" + _FREQUENT_PAIRS + ") \\diff (" + _GOOD_PAIRS + ") ) )"
+                ),
+                # Forgot the final difference: returns drinkers with at least one bad bar.
+                (
+                    "\\project_{drinker} ( (" + _FREQUENT_PAIRS + ") \\intersect "
+                    "( \\project_{drinker, bar} ( (" + _ALL_DRINKER_BAR_BEER + ") \\diff ("
+                    + _LIKED_DRINKER_BAR_BEER
+                    + ") ) ) )"
+                ),
+            ),
+        ),
+        BeersProblem(
+            key="j",
+            prompt="Find all (bar1, bar2) pairs where the set of beers served at bar1 is a "
+            "proper subset of the beers served at bar2.",
+            difficulty=5,
+            correct_text=(
+                "( ( " + _ALL_BAR_PAIRS + " ) \\diff "
+                "( \\project_{bar1, bar2} ( (" + _SERVED1_WITH_BAR2 + ") \\diff (" + _SERVED_BOTH + ") ) ) )"
+                " \\intersect "
+                "( \\project_{bar1, bar2} ( (" + _SERVED2_WITH_BAR1 + ") \\diff "
+                "( \\project_{s2.bar -> bar1, s1.bar -> bar2, s1.beer -> beer} ("
+                "  \\rename_{prefix: s1} Serves \\join_{s1.beer = s2.beer} \\rename_{prefix: s2} Serves"
+                ") ) ) )"
+            ),
+        ),
+    )
+
+
+def beers_problem(key: str) -> BeersProblem:
+    """Look up a problem by its letter key."""
+    for problem in beers_problems():
+        if problem.key == key:
+            return problem
+    raise KeyError(f"unknown beers problem {key!r}")

@@ -1,0 +1,340 @@
+"""The course workload: 8 relational-algebra questions with wrong submissions.
+
+The §7.1 experiments use student submissions to a relational algebra
+assignment (8 questions, 141 students, 170 discovered wrong queries).  Real
+submissions are not available, so this module provides:
+
+* the eight reference queries over the university schema, written in the RA
+  DSL (they range from a single select-join to double-difference "exactly
+  one"/"for all" queries, matching the difficulty spread the paper describes);
+* hand-written wrong variants reproducing the classic mistakes the paper
+  quotes (the running example's "at least one instead of exactly one", wrong
+  constants, forgotten predicates, reversed differences);
+* mutation-generated wrong variants that bring the pool to the same order of
+  magnitude as the paper's 170 wrong queries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.parser.ra_parser import parse_query
+from repro.ra.analysis import profile
+from repro.ra.ast import Join, NaturalJoin, RAExpression
+from repro.ra.evaluator import split_equijoin_conjuncts
+from repro.workload.mutations import Mutant, generate_mutants
+from repro.datagen.university import university_schema
+
+_CONSTANT_POOL = ("ECON", "MATH", "BIO")
+
+
+@dataclass(frozen=True)
+class CourseQuestion:
+    """One homework question: reference query plus typical wrong submissions."""
+
+    key: str
+    prompt: str
+    difficulty: int
+    correct_text: str
+    wrong_texts: tuple[str, ...] = ()
+
+    @property
+    def correct_query(self) -> RAExpression:
+        return parse_query(self.correct_text)
+
+    @property
+    def handwritten_wrong_queries(self) -> tuple[RAExpression, ...]:
+        return tuple(parse_query(text) for text in self.wrong_texts)
+
+
+# -- building blocks ---------------------------------------------------------
+
+_STUDENTS_WITH_CS = """
+\\project_{s.name -> name, s.major -> major} (
+  \\rename_{prefix: s} Student
+  \\join_{s.name = r.name and r.dept = 'CS'}
+  \\rename_{prefix: r} Registration
+)
+"""
+
+_STUDENTS_WITH_TWO_CS = """
+\\project_{s.name -> name, s.major -> major} (
+  \\rename_{prefix: s} Student
+  \\join_{s.name = r1.name}
+  \\rename_{prefix: r1} Registration
+  \\join_{s.name = r2.name and r1.course <> r2.course and r1.dept = 'CS' and r2.dept = 'CS'}
+  \\rename_{prefix: r2} Registration
+)
+"""
+
+_STUDENTS_WITH_NON_CS = """
+\\project_{s.name -> name, s.major -> major} (
+  \\rename_{prefix: s} Student
+  \\join_{s.name = r.name and r.dept <> 'CS'}
+  \\rename_{prefix: r} Registration
+)
+"""
+
+_STUDENTS_WITH_ECON = _STUDENTS_WITH_CS.replace("'CS'", "'ECON'")
+
+
+@lru_cache(maxsize=1)
+def course_questions() -> tuple[CourseQuestion, ...]:
+    """The eight questions of the relational algebra assignment."""
+    return (
+        CourseQuestion(
+            key="q1",
+            prompt="Find students who registered for at least one CS course.",
+            difficulty=1,
+            correct_text=_STUDENTS_WITH_CS,
+            wrong_texts=(
+                # Forgot the department filter entirely.
+                """
+                \\project_{s.name -> name, s.major -> major} (
+                  \\rename_{prefix: s} Student
+                  \\join_{s.name = r.name}
+                  \\rename_{prefix: r} Registration
+                )
+                """,
+                # Filtered on the student's major instead of the course department.
+                """
+                \\project_{s.name -> name, s.major -> major} (
+                  \\select_{s.major = 'CS'} \\rename_{prefix: s} Student
+                  \\join_{s.name = r.name}
+                  \\rename_{prefix: r} Registration
+                )
+                """,
+            ),
+        ),
+        CourseQuestion(
+            key="q2",
+            prompt="Find students who registered for exactly one CS course.",
+            difficulty=4,
+            correct_text=f"({_STUDENTS_WITH_CS}) \\diff ({_STUDENTS_WITH_TWO_CS})",
+            wrong_texts=(
+                # The running example: "one or more" instead of "exactly one".
+                _STUDENTS_WITH_CS,
+                # Used equality instead of inequality between the two courses.
+                f"({_STUDENTS_WITH_CS}) \\diff ("
+                + _STUDENTS_WITH_TWO_CS.replace("r1.course <> r2.course", "r1.course = r2.course")
+                + ")",
+            ),
+        ),
+        CourseQuestion(
+            key="q3",
+            prompt="Find students who registered for no CS course at all.",
+            difficulty=3,
+            correct_text=f"(\\project_{{name, major}} Student) \\diff ({_STUDENTS_WITH_CS})",
+            wrong_texts=(
+                # "Registered for some non-CS course" is not the same thing.
+                _STUDENTS_WITH_NON_CS,
+                # Difference in the wrong direction.
+                f"({_STUDENTS_WITH_CS}) \\diff (\\project_{{name, major}} Student)",
+                # Started from "students with some registration" instead of all
+                # students: misses students who never registered for anything,
+                # a corner case only large test instances contain.
+                (
+                    "( \\project_{s.name -> name, s.major -> major} ("
+                    "  \\rename_{prefix: s} Student"
+                    "  \\join_{s.name = r.name}"
+                    "  \\rename_{prefix: r} Registration"
+                    ") ) \\diff (" + _STUDENTS_WITH_CS + ")"
+                ),
+            ),
+        ),
+        CourseQuestion(
+            key="q4",
+            prompt="Find students who registered for both a CS course and an ECON course.",
+            difficulty=2,
+            correct_text=f"({_STUDENTS_WITH_CS}) \\intersect ({_STUDENTS_WITH_ECON})",
+            wrong_texts=(
+                # "Either" instead of "both".
+                f"({_STUDENTS_WITH_CS}) \\union ({_STUDENTS_WITH_ECON})",
+            ),
+        ),
+        CourseQuestion(
+            key="q5",
+            prompt="Find students all of whose registrations are CS courses (and who "
+            "registered for at least one course).",
+            difficulty=4,
+            correct_text=(
+                "( \\project_{s.name -> name, s.major -> major} ("
+                "  \\rename_{prefix: s} Student"
+                "  \\join_{s.name = r.name}"
+                "  \\rename_{prefix: r} Registration"
+                ") ) \\diff (" + _STUDENTS_WITH_NON_CS + ")"
+            ),
+            wrong_texts=(
+                # "Some CS course" instead of "only CS courses".
+                _STUDENTS_WITH_CS,
+                # Subtracted the CS students instead of the non-CS students.
+                (
+                    "( \\project_{s.name -> name, s.major -> major} ("
+                    "  \\rename_{prefix: s} Student"
+                    "  \\join_{s.name = r.name}"
+                    "  \\rename_{prefix: r} Registration"
+                    ") ) \\diff (" + _STUDENTS_WITH_CS + ")"
+                ),
+            ),
+        ),
+        CourseQuestion(
+            key="q6",
+            prompt="Find students who registered for every CS course that Jesse registered for.",
+            difficulty=5,
+            correct_text="""
+            (\\project_{name} Student) \\diff (
+              \\project_{s.name -> name} (
+                (
+                  ( \\project_{name -> s.name} Student )
+                  \\cross
+                  ( \\project_{course -> j.course} \\select_{name = 'Jesse' and dept = 'CS'} Registration )
+                )
+                \\diff
+                ( \\project_{name -> s.name, course -> j.course} \\select_{dept = 'CS'} Registration )
+              )
+            )
+            """,
+            wrong_texts=(
+                # Students who registered for *some* CS course Jesse registered for.
+                """
+                \\project_{r.name -> name} (
+                  ( \\project_{course -> j.course} \\select_{name = 'Jesse' and dept = 'CS'} Registration )
+                  \\join_{r.course = j.course and r.dept = 'CS'}
+                  \\rename_{prefix: r} Registration
+                )
+                """,
+                # Forgot to restrict Jesse's courses to CS.
+                """
+                (\\project_{name} Student) \\diff (
+                  \\project_{s.name -> name} (
+                    (
+                      ( \\project_{name -> s.name} Student )
+                      \\cross
+                      ( \\project_{course -> j.course} \\select_{name = 'Jesse'} Registration )
+                    )
+                    \\diff
+                    ( \\project_{name -> s.name, course -> j.course} \\select_{dept = 'CS'} Registration )
+                  )
+                )
+                """,
+            ),
+        ),
+        CourseQuestion(
+            key="q7",
+            prompt="Find courses (course, dept) taken by some CS major but by no ECON major.",
+            difficulty=3,
+            correct_text="""
+            ( \\project_{r.course -> course, r.dept -> dept} (
+                \\select_{s.major = 'CS'} \\rename_{prefix: s} Student
+                \\join_{s.name = r.name}
+                \\rename_{prefix: r} Registration
+            ) ) \\diff ( \\project_{r.course -> course, r.dept -> dept} (
+                \\select_{s.major = 'ECON'} \\rename_{prefix: s} Student
+                \\join_{s.name = r.name}
+                \\rename_{prefix: r} Registration
+            ) )
+            """,
+            wrong_texts=(
+                # Filtered on the registration department instead of the student's major.
+                """
+                ( \\project_{r.course -> course, r.dept -> dept} (
+                    \\rename_{prefix: s} Student
+                    \\join_{s.name = r.name and r.dept = 'CS'}
+                    \\rename_{prefix: r} Registration
+                ) ) \\diff ( \\project_{r.course -> course, r.dept -> dept} (
+                    \\rename_{prefix: s} Student
+                    \\join_{s.name = r.name and r.dept = 'ECON'}
+                    \\rename_{prefix: r} Registration
+                ) )
+                """,
+            ),
+        ),
+        CourseQuestion(
+            key="q8",
+            prompt="Find students who registered for at least two distinct CS courses.",
+            difficulty=2,
+            correct_text=_STUDENTS_WITH_TWO_CS,
+            wrong_texts=(
+                # Forgot that the two courses must be distinct.
+                _STUDENTS_WITH_TWO_CS.replace("r1.course <> r2.course and ", ""),
+            ),
+        ),
+    )
+
+
+@dataclass
+class SubmissionPool:
+    """Wrong queries per question, standing in for the student submission pool."""
+
+    wrong_queries: dict[str, list[RAExpression]] = field(default_factory=dict)
+    descriptions: dict[str, list[str]] = field(default_factory=dict)
+
+    def total_wrong(self) -> int:
+        return sum(len(queries) for queries in self.wrong_queries.values())
+
+
+def course_submission_pool(
+    *, seed: int = 0, mutants_per_question: int = 20
+) -> SubmissionPool:
+    """Hand-written plus mutation-generated wrong queries for every question.
+
+    With the default settings the pool holds roughly 170 wrong queries across
+    the 8 questions — the same order of magnitude as the paper's student pool.
+    Mutants that lose all equi-join conjuncts of some join are dropped, the
+    analogue of the paper excluding two submissions with massive cross
+    products.
+    """
+    rng = random.Random(seed)
+    pool = SubmissionPool()
+    for question in course_questions():
+        correct = question.correct_query
+        wrong: list[RAExpression] = list(question.handwritten_wrong_queries)
+        descriptions = [f"handwritten wrong variant #{i}" for i in range(len(wrong))]
+        mutants = generate_mutants(
+            correct,
+            constant_pool=_CONSTANT_POOL,
+            max_mutants=None,
+            seed=rng.randint(0, 10_000),
+        )
+        usable = [m for m in mutants if _keeps_join_keys(correct, m) and _is_schema_valid(m.query)]
+        rng.shuffle(usable)
+        for mutant in usable[:mutants_per_question]:
+            wrong.append(mutant.query)
+            descriptions.append(mutant.description)
+        pool.wrong_queries[question.key] = wrong
+        pool.descriptions[question.key] = descriptions
+    return pool
+
+
+def _is_schema_valid(query: RAExpression) -> bool:
+    try:
+        query.output_schema(university_schema())
+        profile(query)
+    except Exception:
+        return False
+    return True
+
+
+def _equi_join_deficit(query: RAExpression) -> int:
+    """Number of theta joins that have no equi-join pair (cross-product risk)."""
+    deficit = 0
+    schema = university_schema()
+    for node in query.walk():
+        if isinstance(node, Join):
+            try:
+                left = node.left.output_schema(schema)
+                right = node.right.output_schema(schema)
+            except Exception:
+                return 10**6
+            pairs, _ = split_equijoin_conjuncts(node.effective_predicate(), left, right)
+            if not pairs:
+                deficit += 1
+        elif isinstance(node, NaturalJoin):
+            continue
+    return deficit
+
+
+def _keeps_join_keys(correct: RAExpression, mutant: Mutant) -> bool:
+    return _equi_join_deficit(mutant.query) <= _equi_join_deficit(correct)

@@ -1,0 +1,345 @@
+"""Query mutation operators: generating realistic "wrong" queries.
+
+The paper's §7.1 experiments use real student submissions; those are not
+available, so the workload reproduces the error *classes* the paper lists
+(different selection conditions, incorrect use of difference, misplaced
+projections, missing join predicates) by mutating the correct queries.  Each
+mutation changes exactly one thing and preserves the output schema, so every
+mutant is a plausible, syntactically valid submission.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.ra.ast import (
+    Difference,
+    GroupBy,
+    Intersection,
+    Join,
+    RAExpression,
+    Selection,
+    Union,
+)
+from repro.ra.predicates import (
+    And,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    conj,
+)
+
+_FLIPPED_OPERATORS = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_RELAXED_OPERATORS = {"<": "<=", ">": ">=", "<=": "<", ">=": ">"}
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """A mutated query together with a description of what was changed."""
+
+    query: RAExpression
+    description: str
+
+
+# ---------------------------------------------------------------------------
+# Predicate-level rewriting machinery
+# ---------------------------------------------------------------------------
+
+
+def _map_selections(
+    expression: RAExpression, transform: Callable[[Predicate, int], Predicate | None]
+) -> list[tuple[RAExpression, str]]:
+    """Apply ``transform`` to each selection/join predicate position separately.
+
+    ``transform`` receives the predicate and a running index; returning a new
+    predicate yields one mutant per position, returning ``None`` skips it.
+    """
+    mutants: list[tuple[RAExpression, str]] = []
+    positions = [
+        node
+        for node in expression.walk()
+        if isinstance(node, Selection) or (isinstance(node, Join) and node.predicate is not None)
+    ]
+    for index, target in enumerate(positions):
+        original = target.predicate if isinstance(target, Selection) else target.predicate
+        assert original is not None
+        new_predicate = transform(original, index)
+        if new_predicate is None or new_predicate == original:
+            continue
+        mutated = _replace_node_predicate(expression, target, new_predicate)
+        mutants.append((mutated, f"predicate #{index}"))
+    return mutants
+
+
+def _replace_node_predicate(
+    expression: RAExpression, target: RAExpression, new_predicate: Predicate
+) -> RAExpression:
+    if expression is target:
+        if isinstance(expression, Selection):
+            return Selection(expression.child, new_predicate)
+        if isinstance(expression, Join):
+            return Join(expression.left, expression.right, new_predicate)
+    children = expression.children()
+    if not children:
+        return expression
+    new_children = [_replace_node_predicate(child, target, new_predicate) for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return expression
+    return expression.with_children(new_children)
+
+
+def _comparisons_in(predicate: Predicate) -> list[Comparison]:
+    result: list[Comparison] = []
+
+    def visit(node: Predicate) -> None:
+        if isinstance(node, Comparison):
+            result.append(node)
+        elif isinstance(node, (And, Or)):
+            for operand in node.operands:
+                visit(operand)
+        elif isinstance(node, Not):
+            visit(node.operand)
+
+    visit(predicate)
+    return result
+
+
+def _replace_comparison(
+    predicate: Predicate, target: Comparison, replacement: Comparison | None
+) -> Predicate:
+    """Replace (or drop, when ``replacement`` is None) one comparison."""
+    if predicate is target:
+        return replacement if replacement is not None else TruePredicate()
+    if isinstance(predicate, And):
+        operands = [
+            _replace_comparison(op, target, replacement)
+            for op in predicate.operands
+        ]
+        operands = [op for op in operands if not isinstance(op, TruePredicate)]
+        return conj(operands)
+    if isinstance(predicate, Or):
+        return Or(tuple(_replace_comparison(op, target, replacement) for op in predicate.operands))
+    if isinstance(predicate, Not):
+        return Not(_replace_comparison(predicate.operand, target, replacement))
+    return predicate
+
+
+# ---------------------------------------------------------------------------
+# Mutation operators
+# ---------------------------------------------------------------------------
+
+
+def mutate_constants(
+    expression: RAExpression, constant_pool: Sequence[Any]
+) -> list[Mutant]:
+    """Replace a literal constant in some predicate with a different constant."""
+    mutants: list[Mutant] = []
+
+    def transform_factory(pool_value: Any):
+        def transform(predicate: Predicate, index: int) -> Predicate | None:
+            for comparison in _comparisons_in(predicate):
+                for side_name in ("left", "right"):
+                    side = getattr(comparison, side_name)
+                    if isinstance(side, Literal) and side.value != pool_value and type(side.value) is type(pool_value):
+                        new_sides = {
+                            "left": comparison.left,
+                            "right": comparison.right,
+                            side_name: Literal(pool_value),
+                        }
+                        replacement = Comparison(comparison.op, new_sides["left"], new_sides["right"])
+                        return _replace_comparison(predicate, comparison, replacement)
+            return None
+
+        return transform
+
+    for value in constant_pool:
+        for query, where in _map_selections(expression, transform_factory(value)):
+            mutants.append(Mutant(query, f"changed a constant to {value!r} in {where}"))
+    return mutants
+
+
+def flip_comparison_operators(expression: RAExpression) -> list[Mutant]:
+    """Flip a comparison operator (= to !=, < to >=, ...)."""
+    mutants: list[Mutant] = []
+
+    def transform(predicate: Predicate, index: int) -> Predicate | None:
+        for comparison in _comparisons_in(predicate):
+            flipped = _FLIPPED_OPERATORS.get(comparison.op)
+            if flipped is None:
+                continue
+            replacement = Comparison(flipped, comparison.left, comparison.right)
+            return _replace_comparison(predicate, comparison, replacement)
+        return None
+
+    for query, where in _map_selections(expression, transform):
+        mutants.append(Mutant(query, f"flipped a comparison operator in {where}"))
+    return mutants
+
+
+def relax_comparison_operators(expression: RAExpression) -> list[Mutant]:
+    """Turn strict inequalities into non-strict ones and vice versa (off-by-one errors)."""
+    mutants: list[Mutant] = []
+
+    def transform(predicate: Predicate, index: int) -> Predicate | None:
+        for comparison in _comparisons_in(predicate):
+            relaxed = _RELAXED_OPERATORS.get(comparison.op)
+            if relaxed is None:
+                continue
+            replacement = Comparison(relaxed, comparison.left, comparison.right)
+            return _replace_comparison(predicate, comparison, replacement)
+        return None
+
+    for query, where in _map_selections(expression, transform):
+        mutants.append(Mutant(query, f"relaxed a comparison operator in {where}"))
+    return mutants
+
+
+def drop_conjuncts(expression: RAExpression) -> list[Mutant]:
+    """Drop one conjunct from a selection/join predicate (a forgotten condition)."""
+    mutants: list[Mutant] = []
+    seen_positions: set[int] = set()
+
+    def transform_factory(drop_index: int):
+        def transform(predicate: Predicate, index: int) -> Predicate | None:
+            comparisons = _comparisons_in(predicate)
+            if len(comparisons) <= 1 or drop_index >= len(comparisons):
+                return None
+            return _replace_comparison(predicate, comparisons[drop_index], None)
+
+        return transform
+
+    for drop_index in range(6):
+        for query, where in _map_selections(expression, transform_factory(drop_index)):
+            key = hash((str(query),))
+            if key in seen_positions:
+                continue
+            seen_positions.add(key)
+            mutants.append(Mutant(query, f"dropped conjunct #{drop_index} in {where}"))
+    return mutants
+
+
+def swap_difference_operands(expression: RAExpression) -> list[Mutant]:
+    """Swap the operands of a difference (a classic direction mistake)."""
+    return _swap_binary(expression, Difference, "swapped the operands of a difference")
+
+
+def replace_difference_with_union(expression: RAExpression) -> list[Mutant]:
+    """Replace a difference with a union (misunderstanding of EXCEPT)."""
+    mutants: list[Mutant] = []
+    for node in expression.walk():
+        if isinstance(node, Difference):
+            replacement = Union(node.left, node.right)
+            mutants.append(
+                Mutant(_replace_subtree(expression, node, replacement), "replaced a difference with a union")
+            )
+    return mutants
+
+
+def drop_difference(expression: RAExpression) -> list[Mutant]:
+    """Keep only the left operand of a difference (the running-example mistake)."""
+    mutants: list[Mutant] = []
+    for node in expression.walk():
+        if isinstance(node, Difference):
+            mutants.append(
+                Mutant(_replace_subtree(expression, node, node.left), "dropped the right side of a difference")
+            )
+    return mutants
+
+
+def replace_intersection_with_union(expression: RAExpression) -> list[Mutant]:
+    """Replace an intersection with a union ("both" misread as "either")."""
+    mutants: list[Mutant] = []
+    for node in expression.walk():
+        if isinstance(node, Intersection):
+            replacement = Union(node.left, node.right)
+            mutants.append(
+                Mutant(
+                    _replace_subtree(expression, node, replacement),
+                    "replaced an intersection with a union",
+                )
+            )
+    return mutants
+
+
+def mutate_group_by(expression: RAExpression) -> list[Mutant]:
+    """Drop one grouping attribute from a GroupBy (wrong granularity)."""
+    mutants: list[Mutant] = []
+    for node in expression.walk():
+        if isinstance(node, GroupBy) and len(node.group_by) > 1:
+            for index in range(len(node.group_by)):
+                remaining = node.group_by[:index] + node.group_by[index + 1 :]
+                replacement = GroupBy(node.child, remaining, node.aggregates)
+                mutants.append(
+                    Mutant(
+                        _replace_subtree(expression, node, replacement),
+                        f"dropped grouping attribute {node.group_by[index]!r}",
+                    )
+                )
+    return mutants
+
+
+def _swap_binary(expression: RAExpression, node_type, description: str) -> list[Mutant]:
+    mutants: list[Mutant] = []
+    for node in expression.walk():
+        if isinstance(node, node_type):
+            swapped = node.with_children([node.children()[1], node.children()[0]])
+            mutants.append(Mutant(_replace_subtree(expression, node, swapped), description))
+    return mutants
+
+
+def _replace_subtree(
+    expression: RAExpression, target: RAExpression, replacement: RAExpression
+) -> RAExpression:
+    if expression is target:
+        return replacement
+    children = expression.children()
+    if not children:
+        return expression
+    new_children = [_replace_subtree(child, target, replacement) for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return expression
+    return expression.with_children(new_children)
+
+
+ALL_MUTATION_OPERATORS: tuple[Callable[..., list[Mutant]], ...] = (
+    flip_comparison_operators,
+    relax_comparison_operators,
+    drop_conjuncts,
+    swap_difference_operands,
+    replace_difference_with_union,
+    drop_difference,
+    replace_intersection_with_union,
+    mutate_group_by,
+)
+
+
+def generate_mutants(
+    expression: RAExpression,
+    *,
+    constant_pool: Sequence[Any] = (),
+    max_mutants: int | None = None,
+    seed: int = 0,
+) -> list[Mutant]:
+    """All single-step mutants of a query (optionally subsampled deterministically)."""
+    mutants: list[Mutant] = []
+    seen: set[str] = {str(expression)}
+    candidates: list[Mutant] = []
+    for operator in ALL_MUTATION_OPERATORS:
+        candidates.extend(operator(expression))
+    if constant_pool:
+        candidates.extend(mutate_constants(expression, constant_pool))
+    for mutant in candidates:
+        text = str(mutant.query)
+        if text in seen:
+            continue
+        seen.add(text)
+        mutants.append(mutant)
+    if max_mutants is not None and len(mutants) > max_mutants:
+        rng = random.Random(seed)
+        mutants = rng.sample(mutants, max_mutants)
+    return mutants

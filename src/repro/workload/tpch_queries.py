@@ -1,0 +1,222 @@
+"""Relational-algebra translations of the TPC-H queries used in §7.2.
+
+The paper evaluates the aggregate algorithms on TPC-H Q4, Q16, Q18, Q21 and a
+modified Q21-S (Q21 with an extra selection on the aggregate value), each with
+two hand-made wrong variants whose errors mirror common student mistakes
+(different selection conditions, incorrect use of difference, incorrect
+position of projection).  The queries below keep the structure of the official
+SQL — semijoins/antijoins become joins and differences, aggregation sits at
+the top of the tree — with constants adapted to the TPC-H-lite generator
+(dates are day numbers, thresholds are scaled to the smaller row counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.parser.ra_parser import parse_query
+from repro.ra.ast import RAExpression
+
+
+@dataclass(frozen=True)
+class TpchQuery:
+    """One benchmark query: reference RA text plus wrong variants."""
+
+    key: str
+    description: str
+    correct_text: str
+    wrong_texts: tuple[str, ...]
+    #: True when the query has a selection on an aggregate value at the top
+    #: (these are the queries the parameterization optimisation targets).
+    has_aggregate_predicate: bool = False
+
+    @property
+    def correct_query(self) -> RAExpression:
+        return parse_query(self.correct_text)
+
+    @property
+    def wrong_queries(self) -> tuple[RAExpression, ...]:
+        return tuple(parse_query(text) for text in self.wrong_texts)
+
+
+# -- Q4: order priority checking ---------------------------------------------
+
+_Q4_CORE = """
+\\project_{o_orderpriority, o_orderkey} (
+  \\select_{o_orderdate >= 300 and o_orderdate < 800} orders
+  \\join_{o_orderkey = l_orderkey and l_commitdate < l_receiptdate}
+  lineitem
+)
+"""
+
+_Q4 = "\\aggr_{group: o_orderpriority ; count(*) -> order_count} (" + _Q4_CORE + ")"
+
+_Q4_WRONG_FLIPPED = _Q4.replace("l_commitdate < l_receiptdate", "l_commitdate > l_receiptdate")
+
+# Counting join rows instead of orders: the projection keeps the line number,
+# so the same order is counted once per late lineitem.
+_Q4_WRONG_PROJECTION = (
+    "\\aggr_{group: o_orderpriority ; count(*) -> order_count} ("
+    + _Q4_CORE.replace(
+        "\\project_{o_orderpriority, o_orderkey}",
+        "\\project_{o_orderpriority, o_orderkey, l_linenumber}",
+    )
+    + ")"
+)
+
+# -- Q16: parts/supplier relationship ------------------------------------------
+
+_Q16_BASE = """
+\\project_{p_brand, p_type, p_size, ps_suppkey} (
+  \\select_{p_brand <> 'Brand#45' and (p_size = 49 or p_size = 23 or p_size = 45)} part
+  \\join_{p_partkey = ps_partkey}
+  partsupp
+)
+"""
+
+_Q16_EXCLUDED = """
+\\project_{p_brand, p_type, p_size, ps_suppkey} (
+  (
+    \\select_{p_brand <> 'Brand#45' and (p_size = 49 or p_size = 23 or p_size = 45)} part
+    \\join_{p_partkey = ps_partkey}
+    partsupp
+  )
+  \\join_{ps_suppkey = s_suppkey and s_nationkey < 5}
+  supplier
+)
+"""
+
+_Q16_CORE = "(" + _Q16_BASE + ") \\diff (" + _Q16_EXCLUDED + ")"
+
+_Q16 = (
+    "\\aggr_{group: p_brand, p_type, p_size ; count(ps_suppkey) -> supplier_cnt} ("
+    + _Q16_CORE
+    + ")"
+)
+
+_Q16_WRONG_BRAND = _Q16.replace("p_brand <> 'Brand#45'", "p_brand = 'Brand#45'")
+_Q16_WRONG_NO_DIFF = (
+    "\\aggr_{group: p_brand, p_type, p_size ; count(ps_suppkey) -> supplier_cnt} ("
+    + _Q16_BASE
+    + ")"
+)
+
+# -- Q18: large volume customers ------------------------------------------------
+
+_Q18_CORE = """
+customer
+\\join_{c_custkey = o_custkey}
+orders
+\\join_{o_orderkey = l_orderkey}
+lineitem
+"""
+
+_Q18 = (
+    "\\select_{total_qty > 150} "
+    "\\aggr_{group: c_name, c_custkey, o_orderkey ; sum(l_quantity) -> total_qty} ("
+    + _Q18_CORE
+    + ")"
+)
+
+_Q18_WRONG_THRESHOLD = _Q18.replace("total_qty > 150", "total_qty > 120")
+_Q18_WRONG_FILTER = (
+    "\\select_{total_qty > 150} "
+    "\\aggr_{group: c_name, c_custkey, o_orderkey ; sum(l_quantity) -> total_qty} ("
+    "customer \\join_{c_custkey = o_custkey} orders "
+    "\\join_{o_orderkey = l_orderkey} \\select_{l_returnflag = 'R'} lineitem"
+    ")"
+)
+
+# -- Q21: suppliers who kept orders waiting -------------------------------------
+
+_Q21_LATE = "\\project_{l_orderkey, l_suppkey} \\select_{l_receiptdate > l_commitdate} lineitem"
+
+_Q21_MULTI = (
+    "\\project_{l_orderkey, l_suppkey} ("
+    "  \\select_{l_receiptdate > l_commitdate} lineitem"
+    "  \\join_{l_orderkey = m.l_orderkey and l_suppkey <> m.l_suppkey}"
+    "  \\rename_{prefix: m} (" + _Q21_LATE + ")"
+    ")"
+)
+
+_Q21_SOLE = "(" + _Q21_LATE + ") \\diff (" + _Q21_MULTI + ")"
+
+_Q21_CORE = (
+    "\\project_{s_name, o_orderkey} ("
+    "  supplier"
+    "  \\join_{s_suppkey = l_suppkey}"
+    "  (" + _Q21_SOLE + ")"
+    "  \\join_{l_orderkey = o_orderkey and o_orderstatus = 'F'}"
+    "  orders"
+    ")"
+)
+
+_Q21 = "\\aggr_{group: s_name ; count(*) -> numwait} (" + _Q21_CORE + ")"
+
+_Q21_WRONG_NO_SOLE = (
+    "\\aggr_{group: s_name ; count(*) -> numwait} ("
+    "\\project_{s_name, o_orderkey} ("
+    "  supplier"
+    "  \\join_{s_suppkey = l_suppkey}"
+    "  (" + _Q21_LATE + ")"
+    "  \\join_{l_orderkey = o_orderkey and o_orderstatus = 'F'}"
+    "  orders"
+    ")"
+    ")"
+)
+_Q21_WRONG_FLIPPED = _Q21.replace("l_receiptdate > l_commitdate", "l_receiptdate < l_commitdate")
+
+# -- Q21-S: Q21 with a selection on the aggregate value --------------------------
+
+_Q21S = "\\select_{numwait >= 2} (" + _Q21 + ")"
+_Q21S_WRONG_NO_SOLE = "\\select_{numwait >= 2} (" + _Q21_WRONG_NO_SOLE + ")"
+_Q21S_WRONG_THRESHOLD = "\\select_{numwait >= 1} (" + _Q21 + ")"
+
+
+@lru_cache(maxsize=1)
+def tpch_queries() -> tuple[TpchQuery, ...]:
+    """The five benchmark queries with two wrong variants each."""
+    return (
+        TpchQuery(
+            key="Q4",
+            description="Order priority checking: count orders per priority with a late lineitem.",
+            correct_text=_Q4,
+            wrong_texts=(_Q4_WRONG_FLIPPED, _Q4_WRONG_PROJECTION),
+        ),
+        TpchQuery(
+            key="Q16",
+            description="Parts/supplier relationship: count suppliers per brand/type/size, "
+            "excluding a supplier blacklist.",
+            correct_text=_Q16,
+            wrong_texts=(_Q16_WRONG_BRAND, _Q16_WRONG_NO_DIFF),
+        ),
+        TpchQuery(
+            key="Q18",
+            description="Large-volume customers: orders whose total quantity exceeds a threshold.",
+            correct_text=_Q18,
+            wrong_texts=(_Q18_WRONG_THRESHOLD, _Q18_WRONG_FILTER),
+            has_aggregate_predicate=True,
+        ),
+        TpchQuery(
+            key="Q21",
+            description="Suppliers who kept orders waiting: count, per supplier, the 'F' orders "
+            "where only that supplier's lineitem was late.",
+            correct_text=_Q21,
+            wrong_texts=(_Q21_WRONG_NO_SOLE, _Q21_WRONG_FLIPPED),
+        ),
+        TpchQuery(
+            key="Q21-S",
+            description="Q21 with an additional selection on the aggregate value at the top.",
+            correct_text=_Q21S,
+            wrong_texts=(_Q21S_WRONG_NO_SOLE, _Q21S_WRONG_THRESHOLD),
+            has_aggregate_predicate=True,
+        ),
+    )
+
+
+def tpch_query(key: str) -> TpchQuery:
+    for query in tpch_queries():
+        if query.key == key:
+            return query
+    raise KeyError(f"unknown TPC-H query {key!r}")

@@ -1,0 +1,78 @@
+"""Shared fixtures: the paper's running example and small generated instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import DatabaseInstance
+from repro.datagen import (
+    beers_instance,
+    toy_beers_instance,
+    toy_university_instance,
+    university_instance,
+)
+from repro.parser import parse_query
+from repro.ra import RAExpression
+
+
+@pytest.fixture(scope="session")
+def toy_university() -> DatabaseInstance:
+    """The exact instance of Figure 1."""
+    return toy_university_instance()
+
+
+@pytest.fixture(scope="session")
+def small_university() -> DatabaseInstance:
+    """A slightly larger seeded instance (≈40 students)."""
+    return university_instance(40, seed=11)
+
+
+@pytest.fixture(scope="session")
+def toy_beers() -> DatabaseInstance:
+    return toy_beers_instance()
+
+
+@pytest.fixture(scope="session")
+def small_beers() -> DatabaseInstance:
+    return beers_instance(num_drinkers=15, num_bars=6, num_beers=5, seed=5)
+
+
+# --- The running example (Example 1) -----------------------------------------
+
+_Q1_TEXT = """
+(
+  \\project_{s.name -> name, s.major -> major} (
+    \\rename_{prefix: s} Student
+    \\join_{s.name = r.name and r.dept = 'CS'}
+    \\rename_{prefix: r} Registration
+  )
+) \\diff (
+  \\project_{s.name -> name, s.major -> major} (
+    \\rename_{prefix: s} Student
+    \\join_{s.name = r1.name}
+    \\rename_{prefix: r1} Registration
+    \\join_{s.name = r2.name and r1.course <> r2.course and r1.dept = 'CS' and r2.dept = 'CS'}
+    \\rename_{prefix: r2} Registration
+  )
+)
+"""
+
+_Q2_TEXT = """
+\\project_{s.name -> name, s.major -> major} (
+  \\rename_{prefix: s} Student
+  \\join_{s.name = r.name and r.dept = 'CS'}
+  \\rename_{prefix: r} Registration
+)
+"""
+
+
+@pytest.fixture(scope="session")
+def example1_q1() -> RAExpression:
+    """The correct query of Example 1: students with exactly one CS course."""
+    return parse_query(_Q1_TEXT)
+
+
+@pytest.fixture(scope="session")
+def example1_q2() -> RAExpression:
+    """The wrong query of Example 1: students with one or more CS courses."""
+    return parse_query(_Q2_TEXT)

@@ -1,0 +1,118 @@
+"""Tests for integrity constraints and foreign-key closure."""
+
+import pytest
+
+from repro.catalog import (
+    DatabaseInstance,
+    DatabaseSchema,
+    DataType,
+    ForeignKeyConstraint,
+    FunctionalDependency,
+    KeyConstraint,
+    NotNullConstraint,
+    RelationSchema,
+    close_under_foreign_keys,
+)
+from repro.catalog.schema import Attribute
+from repro.datagen import toy_university_instance
+from repro.errors import SchemaError
+
+
+def _schema_with_nullable():
+    return DatabaseSchema.of(
+        [
+            RelationSchema(
+                "R",
+                (
+                    Attribute("a", DataType.INT),
+                    Attribute("b", DataType.STRING, nullable=True),
+                ),
+            )
+        ]
+    )
+
+
+class TestKeyConstraint:
+    def test_satisfied(self):
+        instance = toy_university_instance()
+        assert KeyConstraint("Student", ("name",)).holds(instance)
+
+    def test_violated(self):
+        instance = toy_university_instance()
+        instance.relation("Student").insert(("Mary", "ECON"))
+        violations = KeyConstraint("Student", ("name",)).violations(instance)
+        assert len(violations) == 1
+        assert "Mary" in violations[0]
+
+    def test_composite_key(self):
+        instance = toy_university_instance()
+        assert KeyConstraint("Registration", ("name", "course")).holds(instance)
+
+    def test_closed_under_subinstances_flag(self):
+        assert KeyConstraint("Student", ("name",)).closed_under_subinstances
+        fk = ForeignKeyConstraint("Registration", ("name",), "Student", ("name",))
+        assert not fk.closed_under_subinstances
+
+
+class TestNotNullAndFD:
+    def test_not_null_violation(self):
+        schema = _schema_with_nullable()
+        instance = DatabaseInstance(schema)
+        instance.relation("R").insert((1, None))
+        assert NotNullConstraint("R", "b").violations(instance)
+
+    def test_not_null_satisfied(self):
+        schema = _schema_with_nullable()
+        instance = DatabaseInstance(schema)
+        instance.relation("R").insert((1, "x"))
+        assert NotNullConstraint("R", "b").holds(instance)
+
+    def test_functional_dependency_violation(self):
+        instance = toy_university_instance()
+        # name -> major holds; add a conflicting row to break it.
+        instance.relation("Student").insert(("Mary", "MATH"))
+        fd = FunctionalDependency("Student", ("name",), ("major",))
+        assert fd.violations(instance)
+
+    def test_functional_dependency_satisfied(self):
+        instance = toy_university_instance()
+        assert FunctionalDependency("Student", ("name",), ("major",)).holds(instance)
+
+
+class TestForeignKey:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKeyConstraint("Registration", ("name", "course"), "Student", ("name",))
+
+    def test_implications(self):
+        instance = toy_university_instance()
+        fk = ForeignKeyConstraint("Registration", ("name",), "Student", ("name",))
+        implications = fk.implications(instance)
+        assert implications["Registration:1"] == ["Student:1"]
+        assert len(implications) == 8
+
+    def test_violation_on_dangling_child(self):
+        instance = toy_university_instance()
+        instance.relation("Registration").insert(("Ghost", "101", "CS", 90))
+        fk = ForeignKeyConstraint("Registration", ("name",), "Student", ("name",))
+        assert fk.violations(instance)
+
+    def test_subinstance_can_violate_fk(self):
+        instance = toy_university_instance()
+        sub = instance.subinstance({"Registration:1"})
+        assert not sub.satisfies_constraints()
+
+    def test_close_under_foreign_keys_adds_parent(self):
+        instance = toy_university_instance()
+        closed = close_under_foreign_keys(instance, {"Registration:1"})
+        assert closed == {"Registration:1", "Student:1"}
+
+    def test_close_under_foreign_keys_idempotent(self):
+        instance = toy_university_instance()
+        closed = close_under_foreign_keys(instance, {"Registration:4", "Student:2"})
+        assert closed == {"Registration:4", "Student:2"}
+
+    def test_closed_subinstance_satisfies_constraints(self):
+        instance = toy_university_instance()
+        closed = close_under_foreign_keys(instance, {"Registration:6", "Registration:3"})
+        assert instance.subinstance(closed).satisfies_constraints()

@@ -1,0 +1,100 @@
+"""Tests for relation and database schemas."""
+
+import pytest
+
+from repro.catalog import Attribute, DatabaseSchema, DataType, KeyConstraint, RelationSchema
+from repro.errors import SchemaError, UnknownAttributeError, UnknownRelationError
+
+
+@pytest.fixture
+def student_schema() -> RelationSchema:
+    return RelationSchema.of("Student", [("name", DataType.STRING), ("major", DataType.STRING)])
+
+
+class TestRelationSchema:
+    def test_attribute_lookup(self, student_schema):
+        assert student_schema.attribute("major").dtype is DataType.STRING
+        assert student_schema.index_of("major") == 1
+
+    def test_unknown_attribute(self, student_schema):
+        with pytest.raises(UnknownAttributeError):
+            student_schema.attribute("gpa")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("R", [("a", DataType.INT), ("a", DataType.INT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ())
+
+    def test_project(self, student_schema):
+        projected = student_schema.project(["major"])
+        assert projected.attribute_names == ("major",)
+
+    def test_project_preserves_order(self, student_schema):
+        projected = student_schema.project(["major", "name"])
+        assert projected.attribute_names == ("major", "name")
+
+    def test_rename_attributes(self, student_schema):
+        renamed = student_schema.rename_attributes({"name": "student_name"})
+        assert renamed.attribute_names == ("student_name", "major")
+
+    def test_rename_unknown_attribute(self, student_schema):
+        with pytest.raises(UnknownAttributeError):
+            student_schema.rename_attributes({"gpa": "x"})
+
+    def test_concat_disjoint(self, student_schema):
+        other = RelationSchema.of("Course", [("course", DataType.STRING)])
+        combined = student_schema.concat(other)
+        assert combined.attribute_names == ("name", "major", "course")
+
+    def test_concat_overlapping_rejected(self, student_schema):
+        other = RelationSchema.of("Other", [("name", DataType.STRING)])
+        with pytest.raises(SchemaError):
+            student_schema.concat(other)
+
+    def test_union_compatibility_ignores_names(self, student_schema):
+        other = RelationSchema.of("X", [("a", DataType.STRING), ("b", DataType.STRING)])
+        assert student_schema.union_compatible(other)
+
+    def test_union_compatibility_arity(self, student_schema):
+        other = RelationSchema.of("X", [("a", DataType.STRING)])
+        assert not student_schema.union_compatible(other)
+
+    def test_union_compatibility_numeric_widening(self):
+        ints = RelationSchema.of("A", [("x", DataType.INT)])
+        floats = RelationSchema.of("B", [("y", DataType.FLOAT)])
+        assert ints.union_compatible(floats)
+
+    def test_str_rendering(self, student_schema):
+        assert "Student" in str(student_schema)
+        assert "name:string" in str(student_schema)
+
+
+class TestDatabaseSchema:
+    def test_add_and_lookup(self, student_schema):
+        db = DatabaseSchema.of([student_schema])
+        assert db.relation("Student") is student_schema
+        assert db.has_relation("Student")
+
+    def test_duplicate_relation_rejected(self, student_schema):
+        db = DatabaseSchema.of([student_schema])
+        with pytest.raises(SchemaError):
+            db.add_relation(student_schema)
+
+    def test_unknown_relation(self, student_schema):
+        db = DatabaseSchema.of([student_schema])
+        with pytest.raises(UnknownRelationError):
+            db.relation("Professors")
+
+    def test_constraint_validation(self, student_schema):
+        db = DatabaseSchema.of([student_schema])
+        with pytest.raises(UnknownAttributeError):
+            db.add_constraint(KeyConstraint("Student", ("gpa",)))
+
+    def test_attribute_renamed_copy_is_new(self):
+        attr = Attribute("a", DataType.INT)
+        renamed = attr.renamed("b")
+        assert attr.name == "a" and renamed.name == "b"
+        assert renamed.dtype is DataType.INT

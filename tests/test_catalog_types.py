@@ -1,0 +1,83 @@
+"""Tests for data types and value coercion."""
+
+import pytest
+
+from repro.catalog.types import (
+    DataType,
+    coerce,
+    common_numeric_type,
+    comparable,
+    infer_type,
+    is_numeric,
+)
+from repro.errors import TypeMismatchError
+
+
+class TestInferType:
+    def test_infer_int(self):
+        assert infer_type(42) is DataType.INT
+
+    def test_infer_float(self):
+        assert infer_type(3.5) is DataType.FLOAT
+
+    def test_infer_string(self):
+        assert infer_type("CS") is DataType.STRING
+
+    def test_infer_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOL
+
+    def test_infer_unsupported(self):
+        with pytest.raises(TypeMismatchError):
+            infer_type([1, 2])
+
+
+class TestCoerce:
+    def test_int_passthrough(self):
+        assert coerce(7, DataType.INT) == 7
+
+    def test_int_widens_to_float(self):
+        value = coerce(7, DataType.FLOAT)
+        assert value == 7.0
+        assert isinstance(value, float)
+
+    def test_string_not_coerced_to_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("42", DataType.INT)
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, DataType.INT)
+
+    def test_int_not_accepted_as_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(1, DataType.BOOL)
+
+    def test_null_rejected_by_default(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(None, DataType.STRING)
+
+    def test_null_allowed_when_nullable(self):
+        assert coerce(None, DataType.STRING, nullable=True) is None
+
+    def test_string_passthrough(self):
+        assert coerce("hello", DataType.STRING) == "hello"
+
+
+class TestNumericHelpers:
+    def test_is_numeric(self):
+        assert is_numeric(DataType.INT)
+        assert is_numeric(DataType.FLOAT)
+        assert not is_numeric(DataType.STRING)
+
+    def test_common_numeric_type_widening(self):
+        assert common_numeric_type(DataType.INT, DataType.FLOAT) is DataType.FLOAT
+        assert common_numeric_type(DataType.INT, DataType.INT) is DataType.INT
+
+    def test_common_numeric_type_rejects_strings(self):
+        with pytest.raises(TypeMismatchError):
+            common_numeric_type(DataType.INT, DataType.STRING)
+
+    def test_comparable(self):
+        assert comparable(DataType.INT, DataType.FLOAT)
+        assert comparable(DataType.STRING, DataType.STRING)
+        assert not comparable(DataType.STRING, DataType.INT)

@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_dataset, main
+from repro.errors import ReproError
+
+
+class TestDatasetLoading:
+    def test_toy_datasets(self):
+        assert load_dataset("toy-university").total_size() == 11
+        assert load_dataset("toy-beers").total_size() > 0
+
+    def test_parameterised_datasets(self):
+        small = load_dataset("university:20", seed=1)
+        large = load_dataset("university:60", seed=1)
+        assert large.total_size() > small.total_size()
+        assert load_dataset("tpch:0.05", seed=1).total_size() > 0
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ReproError):
+            load_dataset("mysterious")
+
+
+class TestCommands:
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        output = capsys.readouterr().out
+        assert "counterexample" in output
+
+    def test_explain_wrong_query(self, capsys):
+        exit_code = main(
+            [
+                "explain",
+                "--dataset",
+                "toy-university",
+                "--correct",
+                "\\project_{name} \\select_{dept = 'ECON'} Registration",
+                "--test",
+                "\\project_{name} Registration",
+            ]
+        )
+        assert exit_code == 1
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_explain_correct_query(self, capsys):
+        query = "\\project_{name} Student"
+        assert main(["explain", "--correct", query, "--test", query]) == 0
+        assert "matches the reference" in capsys.readouterr().out
+
+    def test_explain_reads_query_files(self, tmp_path, capsys):
+        correct = tmp_path / "correct.ra"
+        correct.write_text("\\project_{name} \\select_{dept = 'ECON'} Registration")
+        test = tmp_path / "test.ra"
+        test.write_text("\\project_{name} Registration")
+        exit_code = main(["explain", "--correct", str(correct), "--test", str(test)])
+        assert exit_code == 1
+
+    def test_explain_unparsable_query(self, capsys):
+        exit_code = main(["explain", "--correct", "\\select_{", "--test", "Student"])
+        assert exit_code == 2
+
+    def test_unknown_dataset_is_reported(self, capsys):
+        exit_code = main(
+            ["explain", "--dataset", "nope", "--correct", "Student", "--test", "Student"]
+        )
+        assert exit_code == 2
+        assert "error:" in capsys.readouterr().err

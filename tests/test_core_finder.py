@@ -1,0 +1,94 @@
+"""Tests for the algorithm dispatcher and the foreign-key clause builder."""
+
+import pytest
+
+from repro.core import (
+    ALGORITHMS,
+    SmallestCounterexampleFinder,
+    find_smallest_counterexample,
+    foreign_key_clauses,
+)
+from repro.datagen import toy_beers_instance, toy_university_instance
+from repro.errors import ReproError
+from repro.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+class TestDispatch:
+    def test_auto_uses_optsigma_for_spjud(self, instance, example1_q1, example1_q2):
+        result = find_smallest_counterexample(example1_q1, example1_q2, instance)
+        assert result.algorithm == "optsigma"
+
+    def test_auto_routes_aggregates(self, instance):
+        q1 = parse_query(
+            "\\aggr_{group: name; count(*) -> n} \\select_{dept = 'CS'} Registration"
+        )
+        q2 = parse_query("\\aggr_{group: name; count(*) -> n} Registration")
+        result = find_smallest_counterexample(q1, q2, instance)
+        assert result.algorithm.startswith("agg")
+        assert result.verified
+
+    def test_explicit_algorithm_selection(self, instance, example1_q1, example1_q2):
+        result = find_smallest_counterexample(
+            example1_q1, example1_q2, instance, algorithm="basic"
+        )
+        assert result.algorithm == "basic"
+
+    def test_unknown_algorithm(self, instance, example1_q1, example1_q2):
+        with pytest.raises(ReproError):
+            find_smallest_counterexample(
+                example1_q1, example1_q2, instance, algorithm="magic"
+            )
+
+    def test_algorithm_registry_contents(self):
+        assert {"basic", "optsigma", "polytime-dnf", "spjud-star", "agg-basic", "agg-opt"} <= set(
+            ALGORITHMS
+        )
+
+    def test_finder_facade(self, instance, example1_q1, example1_q2):
+        finder = SmallestCounterexampleFinder(instance)
+        result = finder.find(example1_q1, example1_q2)
+        assert result.size == 3
+
+    def test_options_forwarded(self, instance, example1_q1, example1_q2):
+        result = find_smallest_counterexample(
+            example1_q1, example1_q2, instance, algorithm="basic", mode="enumerate", max_trials=2
+        )
+        assert result.algorithm == "basic-naive-2"
+
+
+class TestForeignKeyClauses:
+    def test_university_clauses(self, instance):
+        clauses = foreign_key_clauses(instance, {"Registration:1", "Registration:4"})
+        children = {clause.child for clause in clauses}
+        assert children == {"Registration:1", "Registration:4"}
+        by_child = {clause.child: clause.parents for clause in clauses}
+        assert by_child["Registration:1"] == ("Student:1",)
+
+    def test_irrelevant_tids_produce_no_clauses(self, instance):
+        assert foreign_key_clauses(instance, {"Student:1"}) == []
+
+    def test_no_foreign_keys_in_schema(self):
+        from repro.datagen import university_schema
+        from repro.catalog import DatabaseInstance
+
+        schema = university_schema(with_foreign_keys=False)
+        instance = DatabaseInstance(schema)
+        instance.relation("Registration").insert(("Mary", "216", "CS", 100))
+        assert foreign_key_clauses(instance, instance.all_tids()) == []
+
+    def test_transitive_chain_in_beers_schema(self):
+        instance = toy_beers_instance()
+        # Frequents references both Drinker and Bar.
+        frequents_tid = next(iter(instance.relation("Frequents").tids()))
+        clauses = foreign_key_clauses(instance, {frequents_tid})
+        assert len([c for c in clauses if c.child == frequents_tid]) == 2
+
+    def test_clause_count_scales_with_relevant_set(self, instance):
+        small = foreign_key_clauses(instance, {"Registration:1"})
+        large = foreign_key_clauses(instance, set(instance.relation("Registration").tids()))
+        assert len(large) > len(small)

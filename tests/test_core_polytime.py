@@ -1,0 +1,119 @@
+"""Tests for the poly-time specialised algorithms (Theorems 1–7)."""
+
+import pytest
+
+from repro.core import (
+    smallest_witness_monotone_dnf,
+    smallest_witness_optsigma,
+    smallest_witness_spjud_star,
+)
+from repro.datagen import toy_university_instance, university_instance
+from repro.errors import NotApplicableError
+from repro.parser import parse_query
+from repro.ra import results_differ
+from repro.theory import brute_force_smallest_counterexample
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+# Monotone (SPJU) pairs: both queries monotone and distinguishable on Figure 1's
+# toy instance (so no test needs to skip).
+_MONOTONE_PAIRS = [
+    (
+        # SJ-ish: CS registrations of CS majors vs ECON registrations of CS majors.
+        """
+        \\project_{s.name -> name} (
+          \\select_{s.major = 'CS'} \\rename_{prefix: s} Student
+          \\join_{s.name = r.name and r.dept = 'CS'} \\rename_{prefix: r} Registration
+        )
+        """,
+        """
+        \\project_{s.name -> name} (
+          \\select_{s.major = 'CS'} \\rename_{prefix: s} Student
+          \\join_{s.name = r.name and r.dept = 'ECON'} \\rename_{prefix: r} Registration
+        )
+        """,
+    ),
+    (
+        # SPU: names with a CS or ECON registration vs only ECON.
+        "(\\project_{name} \\select_{dept = 'CS'} Registration) \\union "
+        "(\\project_{name} \\select_{dept = 'ECON'} Registration)",
+        "\\project_{name} \\select_{dept = 'ECON'} Registration",
+    ),
+    (
+        # PJ with self join vs a plain selection+projection.
+        """
+        \\project_{r1.name -> name} (
+          \\rename_{prefix: r1} Registration
+          \\join_{r1.name = r2.name and r1.course <> r2.course}
+          \\rename_{prefix: r2} Registration
+        )
+        """,
+        "\\project_{name} \\select_{dept = 'ECON'} Registration",
+    ),
+]
+
+
+class TestMonotoneDNF:
+    @pytest.mark.parametrize("pair_index", range(len(_MONOTONE_PAIRS)))
+    def test_matches_generic_solver(self, instance, pair_index):
+        q1 = parse_query(_MONOTONE_PAIRS[pair_index][0])
+        q2 = parse_query(_MONOTONE_PAIRS[pair_index][1])
+        if not results_differ(q1, q2, instance):
+            pytest.skip("queries agree on the toy instance")
+        dnf_result = smallest_witness_monotone_dnf(q1, q2, instance)
+        generic = smallest_witness_optsigma(q1, q2, instance)
+        assert dnf_result.verified
+        assert dnf_result.size == generic.size
+
+    def test_rejects_non_monotone_queries(self, instance, example1_q1, example1_q2):
+        with pytest.raises(NotApplicableError):
+            smallest_witness_monotone_dnf(example1_q1, example1_q2, instance)
+
+    def test_witness_respects_foreign_keys(self, instance):
+        q1 = parse_query(_MONOTONE_PAIRS[0][0])
+        q2 = parse_query(_MONOTONE_PAIRS[0][1])
+        result = smallest_witness_monotone_dnf(q1, q2, instance)
+        assert result.counterexample.satisfies_constraints()
+
+    def test_matches_brute_force(self, instance):
+        q1 = parse_query(_MONOTONE_PAIRS[1][0])
+        q2 = parse_query(_MONOTONE_PAIRS[1][1])
+        expected = brute_force_smallest_counterexample(q1, q2, instance, max_size=3)
+        result = smallest_witness_monotone_dnf(q1, q2, instance)
+        assert result.size == len(expected)
+
+
+class TestSpjudStar:
+    def test_running_example(self, instance, example1_q1, example1_q2):
+        result = smallest_witness_spjud_star(example1_q1, example1_q2, instance)
+        assert result.verified
+        assert result.size == 3
+
+    def test_matches_generic_solver_on_small_instance(self, example1_q1, example1_q2):
+        instance = university_instance(12, seed=2)
+        if not results_differ(example1_q1, example1_q2, instance):
+            pytest.skip("queries agree on this instance")
+        star = smallest_witness_spjud_star(example1_q1, example1_q2, instance)
+        generic = smallest_witness_optsigma(example1_q1, example1_q2, instance)
+        assert star.size == generic.size
+
+    def test_monotone_pairs_also_accepted(self, instance):
+        q1 = parse_query(_MONOTONE_PAIRS[1][0])
+        q2 = parse_query(_MONOTONE_PAIRS[1][1])
+        result = smallest_witness_spjud_star(q1, q2, instance)
+        assert result.verified
+
+    def test_rejects_nested_difference_queries(self, instance):
+        nested = parse_query(
+            "\\project_{name} ("
+            "  ((\\project_{name} Student) \\diff (\\project_{name} Registration))"
+            "  \\join (\\project_{name, major} Student)"
+            ")"
+        )
+        other = parse_query("\\project_{name} Student")
+        with pytest.raises(NotApplicableError):
+            smallest_witness_spjud_star(nested, other, instance)

@@ -1,0 +1,108 @@
+"""Tests for the data generators: determinism, constraints, scale knobs."""
+
+import pytest
+
+from repro.datagen import (
+    beers_instance,
+    toy_beers_instance,
+    toy_university_instance,
+    tpch_instance,
+    tpch_schema,
+    university_instance,
+    university_instance_with_size,
+    university_schema,
+)
+
+
+class TestUniversityGenerator:
+    def test_toy_instance_matches_figure1(self):
+        instance = toy_university_instance()
+        assert instance.lookup("Student:1") == ("Mary", "CS")
+        assert instance.lookup("Registration:8") == ("Jesse", "330", "CS", 85)
+        assert instance.satisfies_constraints()
+
+    def test_deterministic_for_seed(self):
+        a = university_instance(30, seed=5)
+        b = university_instance(30, seed=5)
+        assert [r for _, r in a.relation("Registration").tuples()] == [
+            r for _, r in b.relation("Registration").tuples()
+        ]
+
+    def test_different_seeds_differ(self):
+        a = university_instance(30, seed=5)
+        b = university_instance(30, seed=6)
+        assert a.relation("Registration").value_set() != b.relation("Registration").value_set()
+
+    def test_constraints_hold(self):
+        instance = university_instance(50, seed=1)
+        assert instance.satisfies_constraints()
+
+    def test_size_targeting(self):
+        for target in (200, 1000, 3000):
+            instance = university_instance_with_size(target, seed=2)
+            assert abs(instance.total_size() - target) / target < 0.25
+
+    def test_size_targeting_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            university_instance_with_size(5)
+
+    def test_cs_courses_present_at_every_scale(self):
+        instance = university_instance(20, seed=9)
+        depts = {row[2] for _, row in instance.relation("Registration").tuples()}
+        assert "CS" in depts
+
+    def test_schema_without_foreign_keys(self):
+        schema = university_schema(with_foreign_keys=False)
+        assert not schema.foreign_keys()
+        assert university_schema().foreign_keys()
+
+
+class TestBeersGenerator:
+    def test_toy_instance_valid(self):
+        assert toy_beers_instance().satisfies_constraints()
+
+    def test_generated_instance_valid_and_deterministic(self):
+        a = beers_instance(num_drinkers=20, num_bars=8, num_beers=6, seed=4)
+        b = beers_instance(num_drinkers=20, num_bars=8, num_beers=6, seed=4)
+        assert a.satisfies_constraints()
+        assert a.relation("Serves").value_set() == b.relation("Serves").value_set()
+
+    def test_corner_cases_present(self):
+        instance = beers_instance(num_drinkers=30, num_bars=9, num_beers=6, seed=2)
+        drinkers = {row[0] for _, row in instance.relation("Drinker").tuples()}
+        frequenters = {row[0] for _, row in instance.relation("Frequents").tuples()}
+        assert drinkers - frequenters, "expected some drinker who frequents no bar"
+        bars = {row[0] for _, row in instance.relation("Bar").tuples()}
+        serving = {row[0] for _, row in instance.relation("Serves").tuples()}
+        assert bars - serving, "expected some bar that serves nothing"
+
+
+class TestTpchGenerator:
+    def test_schema_has_eight_tables(self):
+        assert len(tpch_schema().relation_names) == 8
+
+    def test_instance_valid_and_scaled(self):
+        small = tpch_instance(scale=0.05, seed=3)
+        large = tpch_instance(scale=0.2, seed=3)
+        assert small.satisfies_constraints()
+        assert large.total_size() > small.total_size()
+
+    def test_deterministic(self):
+        a = tpch_instance(scale=0.05, seed=8)
+        b = tpch_instance(scale=0.05, seed=8)
+        assert a.relation("orders").value_set() == b.relation("orders").value_set()
+
+    def test_lineitems_reference_orders(self):
+        instance = tpch_instance(scale=0.05, seed=1)
+        order_keys = {row[0] for _, row in instance.relation("orders").tuples()}
+        for _, row in instance.relation("lineitem").tuples():
+            assert row[0] in order_keys
+
+    def test_late_lineitems_exist(self):
+        instance = tpch_instance(scale=0.05, seed=1)
+        late = [
+            row
+            for _, row in instance.relation("lineitem").tuples()
+            if row[7] > row[6]  # receipt after commit
+        ]
+        assert late

@@ -1,0 +1,139 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These tests exercise the exact workflows the paper describes: a student
+submits a wrong query, RATest returns a small counterexample, the student can
+inspect both query results on it; TPC-H regression testing of a rewritten
+aggregate query; and the invariant that every counterexample is a valid,
+verifying subinstance regardless of which algorithm produced it.
+"""
+
+import pytest
+
+from repro.catalog import close_under_foreign_keys
+from repro.core import find_smallest_counterexample
+from repro.datagen import beers_instance, toy_university_instance, tpch_instance, university_instance
+from repro.ra import evaluate, results_differ
+from repro.ratest import RATest
+from repro.theory import brute_force_smallest_counterexample
+from repro.workload import beers_problem, course_questions, tpch_query
+
+
+class TestStudentWorkflow:
+    def test_grading_session_on_hidden_instance(self):
+        hidden = university_instance(60, seed=42)
+        tool = RATest(hidden)
+        question = course_questions()[1]
+        wrong = question.handwritten_wrong_queries[0]
+        outcome = tool.check(question.correct_query, wrong)
+        assert not outcome.correct
+        report = outcome.report
+        assert report is not None
+        # The counterexample is tiny compared to the hidden instance.
+        assert report.counterexample_size <= 5
+        assert hidden.total_size() > 20 * report.counterexample_size
+        # And it really distinguishes the two queries.
+        assert results_differ(
+            question.correct_query, wrong, report.result.counterexample
+        )
+
+    def test_counterexamples_much_smaller_than_instance_across_questions(self):
+        hidden = university_instance(80, seed=31)
+        tool = RATest(hidden)
+        sizes = []
+        for question in course_questions():
+            for wrong in question.handwritten_wrong_queries:
+                outcome = tool.check(question.correct_query, wrong)
+                if outcome.correct or outcome.report is None:
+                    continue
+                sizes.append(outcome.report.counterexample_size)
+        assert sizes
+        assert max(sizes) <= 10
+        assert sum(sizes) / len(sizes) < 6
+
+    def test_beers_problem_counterexample(self):
+        instance = beers_instance(num_drinkers=20, num_bars=8, num_beers=6, seed=13)
+        problem = beers_problem("g")
+        wrong = problem.handwritten_wrong_queries[0]
+        if not results_differ(problem.correct_query, wrong, instance):
+            pytest.skip("wrong variant not distinguishable on this instance")
+        result = find_smallest_counterexample(problem.correct_query, wrong, instance)
+        assert result.verified
+        assert result.counterexample.satisfies_constraints()
+        assert result.size <= 6
+
+
+class TestOptimalityAgainstBruteForce:
+    @pytest.mark.parametrize("question_index", [0, 1, 3, 7])
+    def test_optsigma_is_optimal_on_toy_instance(self, question_index):
+        instance = toy_university_instance()
+        question = course_questions()[question_index]
+        wrong = question.handwritten_wrong_queries[0]
+        if not results_differ(question.correct_query, wrong, instance):
+            pytest.skip("not distinguishable on the toy instance")
+        result = find_smallest_counterexample(question.correct_query, wrong, instance)
+        expected = brute_force_smallest_counterexample(
+            question.correct_query, wrong, instance, max_size=result.size
+        )
+        assert result.size == len(expected)
+
+    def test_swp_reduction_can_miss_a_smaller_counterexample(self):
+        """Documented nuance of the paper's SCP→SWP reduction.
+
+        The reduction only considers output tuples on which the queries differ
+        over the *full* instance.  For non-monotone queries a smaller
+        counterexample may exist whose distinguishing tuple only appears on the
+        subinstance — question q3 ("no CS course") exhibits exactly this: a
+        single student with her CS registrations removed already distinguishes
+        the queries, but that student is not in the symmetric difference on D.
+        """
+        instance = toy_university_instance()
+        question = course_questions()[2]
+        wrong = question.handwritten_wrong_queries[0]
+        result = find_smallest_counterexample(question.correct_query, wrong, instance)
+        brute = brute_force_smallest_counterexample(
+            question.correct_query, wrong, instance, max_size=result.size
+        )
+        assert result.verified
+        assert len(brute) <= result.size
+
+
+class TestTpchRegressionWorkflow:
+    def test_rewritten_query_regression(self):
+        # "Regression testing of a rewritten query": the wrong variant plays the
+        # role of a buggy rewrite of the reference aggregate query.
+        instance = tpch_instance(scale=0.08, seed=2)
+        query = tpch_query("Q16")
+        buggy_rewrite = query.wrong_queries[0]
+        if not results_differ(query.correct_query, buggy_rewrite, instance):
+            pytest.skip("rewrite not distinguishable at this scale")
+        result = find_smallest_counterexample(query.correct_query, buggy_rewrite, instance)
+        assert result.verified
+        assert result.size < 20
+        assert result.size < instance.total_size() / 10
+
+
+class TestCounterexampleInvariants:
+    def test_foreign_key_closure_of_any_result(self):
+        instance = university_instance(40, seed=8)
+        question = course_questions()[4]
+        wrong = question.handwritten_wrong_queries[0]
+        if not results_differ(question.correct_query, wrong, instance):
+            pytest.skip("not distinguishable")
+        for algorithm in ("optsigma", "basic"):
+            result = find_smallest_counterexample(
+                question.correct_query, wrong, instance, algorithm=algorithm
+            )
+            closed = close_under_foreign_keys(instance, result.tids)
+            assert closed == set(result.tids), f"{algorithm} returned an FK-open set"
+            assert result.verified
+
+    def test_counterexample_results_match_reporting(self):
+        instance = toy_university_instance()
+        question = course_questions()[1]
+        result = find_smallest_counterexample(
+            question.correct_query, question.handwritten_wrong_queries[0], instance
+        )
+        assert result.q1_rows.rows == evaluate(question.correct_query, result.counterexample).rows
+        assert result.q2_rows.rows == evaluate(
+            question.handwritten_wrong_queries[0], result.counterexample
+        ).rows

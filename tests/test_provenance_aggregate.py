@@ -1,0 +1,168 @@
+"""Tests for aggregate provenance (§5, Table 2 of the paper)."""
+
+import pytest
+
+from repro.datagen import toy_university_instance, university_schema
+from repro.errors import NotApplicableError
+from repro.parser import parse_query
+from repro.provenance.aggregate import (
+    AggComparison,
+    NumConst,
+    NumParam,
+    SymbolicAggregate,
+    ValuesDiffer,
+    annotate_aggregate_query,
+    decompose_aggregate_query,
+    is_aggregate_at_top,
+)
+from repro.provenance.boolexpr import assignment_from_true_set, var
+from repro.ra import AggregateFunction
+
+DB = university_schema()
+
+# The queries of Example 4 / Example 5.
+_Q1_AVG = """
+\\aggr_{group: s.name; avg(r.grade) -> avg_grade} (
+  \\rename_{prefix: s} Student
+  \\join_{s.name = r.name and r.dept = 'CS'}
+  \\rename_{prefix: r} Registration
+)
+"""
+_Q2_AVG = """
+\\aggr_{group: s.name; avg(r.grade) -> avg_grade} (
+  \\rename_{prefix: s} Student
+  \\join_{s.name = r.name}
+  \\rename_{prefix: r} Registration
+)
+"""
+_Q1_HAVING = "\\select_{n >= 3} \\aggr_{group: s.name; avg(r.grade) -> avg_grade, count(*) -> n} (" \
+    "\\rename_{prefix: s} Student \\join_{s.name = r.name and r.dept = 'CS'} \\rename_{prefix: r} Registration)"
+_Q2_HAVING = "\\select_{n >= 3} \\aggr_{group: s.name; avg(r.grade) -> avg_grade, count(*) -> n} (" \
+    "\\rename_{prefix: s} Student \\join_{s.name = r.name} \\rename_{prefix: r} Registration)"
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+class TestSymbolicAggregates:
+    def _avg(self):
+        return SymbolicAggregate(
+            AggregateFunction.AVG,
+            ((var("t4"), 100), (var("t5"), 75), (var("t6"), 95)),
+        )
+
+    def test_avg_depends_on_kept_tuples(self):
+        expr = self._avg()
+        assert expr.evaluate(assignment_from_true_set({"t4", "t5"}), {}) == 87.5
+        assert expr.evaluate(assignment_from_true_set({"t4"}), {}) == 100
+        assert expr.evaluate(assignment_from_true_set(set()), {}) is None
+
+    def test_count_of_empty_group_is_zero(self):
+        expr = SymbolicAggregate(AggregateFunction.COUNT, ((var("t4"), 1),))
+        assert expr.evaluate({}, {}) == 0
+
+    def test_sum_min_max(self):
+        contributions = ((var("a"), 5), (var("b"), 2))
+        assert SymbolicAggregate(AggregateFunction.SUM, contributions).evaluate(
+            assignment_from_true_set({"a", "b"}), {}
+        ) == 7
+        assert SymbolicAggregate(AggregateFunction.MIN, contributions).evaluate(
+            assignment_from_true_set({"a", "b"}), {}
+        ) == 2
+        assert SymbolicAggregate(AggregateFunction.MAX, contributions).evaluate(
+            assignment_from_true_set({"a"}), {}
+        ) == 5
+
+    def test_comparison_with_null_is_false(self):
+        comparison = AggComparison(">=", self._avg(), NumConst(50))
+        assert not comparison.evaluate({}, {})
+
+    def test_parameter_comparison(self):
+        count = SymbolicAggregate(AggregateFunction.COUNT, ((var("t4"), 1), (var("t5"), 1)))
+        comparison = AggComparison(">=", count, NumParam("numCS"))
+        kept = assignment_from_true_set({"t4", "t5"})
+        assert comparison.evaluate(kept, {"numCS": 2})
+        assert not comparison.evaluate(kept, {"numCS": 3})
+
+    def test_values_differ_semantics(self):
+        left = SymbolicAggregate(AggregateFunction.AVG, ((var("a"), 10),))
+        right = NumConst(10)
+        differ = ValuesDiffer(left, right)
+        assert differ.evaluate({}, {})  # NULL vs 10 are distinct
+        assert not differ.evaluate(assignment_from_true_set({"a"}), {})
+
+
+class TestDecomposition:
+    def test_aggregate_at_top_accepted(self):
+        assert is_aggregate_at_top(parse_query(_Q1_HAVING), DB)
+
+    def test_non_aggregate_rejected(self):
+        with pytest.raises(NotApplicableError):
+            decompose_aggregate_query(parse_query("\\project_{name} Student"), DB)
+
+    def test_nested_aggregate_rejected(self):
+        nested = parse_query(
+            "\\aggr_{group: name; count(*) -> m} \\aggr_{group: name, dept; count(*) -> n} Registration"
+        )
+        with pytest.raises(NotApplicableError):
+            decompose_aggregate_query(nested, DB)
+
+    def test_wrappers_collected_outermost_first(self):
+        form = decompose_aggregate_query(parse_query(_Q1_HAVING), DB)
+        assert len(form.wrappers) == 1
+        assert form.group_by.group_by == ("s.name",)
+
+
+class TestAggregateAnnotation:
+    def test_example4_group_values(self, instance):
+        annotation = annotate_aggregate_query(parse_query(_Q2_AVG), instance)
+        assert annotation.key_columns == ("s.name",)
+        assert annotation.value_columns == ("avg_grade",)
+        mary = annotation.groups[("Mary",)]
+        full = assignment_from_true_set(instance.all_tids())
+        assert mary.outputs["avg_grade"].evaluate(full, {}) == 90
+        # Dropping the ECON registration changes the average to 87.5.
+        without_econ = assignment_from_true_set(instance.all_tids() - {"Registration:3"})
+        assert mary.outputs["avg_grade"].evaluate(without_econ, {}) == 87.5
+
+    def test_example5_having_condition(self, instance):
+        annotation = annotate_aggregate_query(parse_query(_Q2_HAVING), instance)
+        mary = annotation.groups[("Mary",)]
+        full = assignment_from_true_set(instance.all_tids())
+        assert mary.condition.evaluate(full, {})
+        # With only two of Mary's registrations kept the HAVING count >= 3 fails.
+        two_kept = assignment_from_true_set({"Student:1", "Registration:1", "Registration:2"})
+        assert not mary.condition.evaluate(two_kept, {})
+
+    def test_group_presence_requires_some_member(self, instance):
+        annotation = annotate_aggregate_query(parse_query(_Q1_AVG), instance)
+        john = annotation.groups[("John",)]
+        assert not john.condition.evaluate(assignment_from_true_set({"Student:2"}), {})
+        assert john.condition.evaluate(
+            assignment_from_true_set({"Student:2", "Registration:4"}), {}
+        )
+
+    def test_parameterized_having(self, instance):
+        query = parse_query(_Q2_HAVING.replace("n >= 3", "n >= @k"))
+        annotation = annotate_aggregate_query(query, instance, {"k": 3})
+        mary = annotation.groups[("Mary",)]
+        two_kept = assignment_from_true_set({"Student:1", "Registration:1", "Registration:2"})
+        assert not mary.condition.evaluate(two_kept, {"k": 3})
+        assert mary.condition.evaluate(two_kept, {"k": 2})
+
+    def test_matches_plain_evaluation_on_full_instance(self, instance):
+        from repro.ra import evaluate
+
+        query = parse_query(_Q1_HAVING)
+        annotation = annotate_aggregate_query(query, instance)
+        full = assignment_from_true_set(instance.all_tids())
+        expected_keys = set()
+        for row in evaluate(query, instance).rows:
+            key_idx = [annotation.schema.index_of(c) for c in annotation.key_columns]
+            expected_keys.add(tuple(row[i] for i in key_idx))
+        satisfied_keys = {
+            key for key, group in annotation.groups.items() if group.condition.evaluate(full, {})
+        }
+        assert satisfied_keys == expected_keys

@@ -1,0 +1,141 @@
+"""Tests for provenance-annotated evaluation, including the core semantic property.
+
+The key property (used throughout the paper): for every candidate output row
+``v`` with provenance ``Prv(v)`` computed over ``D`` and every subinstance
+``D' ⊆ D``, ``v ∈ Q(D')`` iff ``Prv(v)`` is true under "tuple kept in D'".
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import toy_university_instance
+from repro.errors import NotApplicableError
+from repro.parser import parse_query
+from repro.provenance import annotate, provenance_of
+from repro.provenance.boolexpr import assignment_from_true_set
+from repro.ra import Difference, count, evaluate, group_by, relation
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+# A small pool of structurally diverse SPJUD queries over the toy schema.
+_QUERY_TEXTS = [
+    "\\project_{name} \\select_{dept = 'CS'} Registration",
+    "\\project_{name, major} Student",
+    """
+    \\project_{s.name -> name} (
+      \\rename_{prefix: s} Student
+      \\join_{s.name = r.name and r.dept = 'CS'}
+      \\rename_{prefix: r} Registration
+    )
+    """,
+    "(\\project_{name} Student) \\diff (\\project_{name} \\select_{dept = 'CS'} Registration)",
+    "(\\project_{name} \\select_{dept = 'CS'} Registration) \\union "
+    "(\\project_{name} \\select_{dept = 'ECON'} Registration)",
+    "(\\project_{name} \\select_{dept = 'CS'} Registration) \\intersect "
+    "(\\project_{name} \\select_{dept = 'ECON'} Registration)",
+    """
+    (\\project_{name} Student) \\diff (
+      \\project_{name} (
+        (\\project_{name} Student) \\cross (\\project_{course -> c} \\select_{dept = 'ECON'} Registration)
+        \\diff
+        (\\project_{name, course -> c} Registration)
+      )
+    )
+    """,
+]
+
+
+@pytest.fixture(scope="module", params=range(len(_QUERY_TEXTS)))
+def query(request):
+    return parse_query(_QUERY_TEXTS[request.param])
+
+
+class TestAnnotationBasics:
+    def test_base_relation_annotation(self, instance):
+        annotated = annotate(relation("Student"), instance)
+        assert annotated.expression_for(("Mary", "CS")).variables() == {"Student:1"}
+
+    def test_duplicate_values_become_disjunction(self):
+        instance = toy_university_instance()
+        instance.relation("Student").insert(("Mary", "CS"))  # duplicate values
+        annotated = annotate(relation("Student"), instance)
+        assert len(annotated.expression_for(("Mary", "CS")).variables()) == 2
+
+    def test_equation_1_of_the_paper(self, instance, example1_q2):
+        # Prv_{Q2(D)}(Mary, CS) = t1 t4 + t1 t5
+        expression = provenance_of(example1_q2, instance, ("Mary", "CS"))
+        assert expression.variables() == {"Student:1", "Registration:1", "Registration:2"}
+        assert expression.evaluate(assignment_from_true_set({"Student:1", "Registration:1"}))
+        assert not expression.evaluate(assignment_from_true_set({"Registration:1", "Registration:2"}))
+
+    def test_example_2_1_difference_provenance(self, instance, example1_q1, example1_q2):
+        # Prv_{(Q2 − Q1)(D)}(Mary, CS) simplifies to t1 t4 t5.
+        expression = provenance_of(Difference(example1_q2, example1_q1), instance, ("Mary", "CS"))
+        full = {"Student:1", "Registration:1", "Registration:2"}
+        assert expression.evaluate(assignment_from_true_set(full))
+        assert not expression.evaluate(assignment_from_true_set({"Student:1", "Registration:1"}))
+        assert not expression.evaluate(assignment_from_true_set({"Student:1", "Registration:2"}))
+
+    def test_unknown_row_maps_to_false(self, instance, example1_q2):
+        annotated = annotate(example1_q2, instance)
+        assert not annotated.expression_for(("Nobody", "CS")).evaluate(
+            assignment_from_true_set(instance.all_tids())
+        )
+
+    def test_group_by_rejected(self, instance):
+        with pytest.raises(NotApplicableError):
+            annotate(group_by(relation("Registration"), ["name"], [count(None, "n")]), instance)
+
+    def test_rows_on_full_instance_have_true_provenance(self, instance, query):
+        annotated = annotate(query, instance)
+        full_assignment = assignment_from_true_set(instance.all_tids())
+        actual_rows = set(evaluate(query, instance).rows)
+        for row, expression in annotated.items():
+            assert expression.evaluate(full_assignment) == (row in actual_rows)
+
+
+class TestSubinstanceProperty:
+    """The central provenance correctness property, checked per query."""
+
+    def _check(self, query, instance, kept_tids):
+        annotated = annotate(query, instance)
+        sub = instance.subinstance(kept_tids)
+        actual = set(evaluate(query, sub).rows)
+        assignment = assignment_from_true_set(kept_tids)
+        candidate_rows = set(annotated.provenance)
+        # No row outside the candidate set may ever appear.
+        assert actual <= candidate_rows
+        for row, expression in annotated.items():
+            assert expression.evaluate(assignment) == (row in actual), (
+                f"provenance mismatch for {row} with kept={sorted(kept_tids)}"
+            )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_subinstances(self, instance, query, seed):
+        rng = random.Random(seed)
+        all_tids = sorted(instance.all_tids())
+        kept = {tid for tid in all_tids if rng.random() < 0.55}
+        self._check(query, instance, kept)
+
+    def test_empty_subinstance(self, instance, query):
+        self._check(query, instance, set())
+
+    def test_full_subinstance(self, instance, query):
+        self._check(query, instance, instance.all_tids())
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_queries_and_subsets(self, data):
+        instance = toy_university_instance()
+        text = data.draw(st.sampled_from(_QUERY_TEXTS))
+        query = parse_query(text)
+        all_tids = sorted(instance.all_tids())
+        kept = data.draw(st.sets(st.sampled_from(all_tids), max_size=len(all_tids)))
+        self._check(query, instance, kept)

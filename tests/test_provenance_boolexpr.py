@@ -1,0 +1,171 @@
+"""Tests for Boolean provenance expressions, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.provenance import (
+    FALSE,
+    TRUE,
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    Var,
+    assignment_from_true_set,
+    band,
+    bnot,
+    bor,
+    minimal_satisfying_subset,
+    to_dnf,
+    true_variables,
+    var,
+)
+
+# -- random expression strategy ------------------------------------------------
+
+_VARIABLES = [f"t{i}" for i in range(1, 7)]
+
+
+def expressions(max_depth: int = 4, allow_negation: bool = True):
+    leaf = st.sampled_from([Var(name) for name in _VARIABLES] + [TRUE, FALSE])
+
+    def extend(children):
+        options = [
+            st.builds(lambda ops: band(*ops), st.lists(children, min_size=1, max_size=3)),
+            st.builds(lambda ops: bor(*ops), st.lists(children, min_size=1, max_size=3)),
+        ]
+        if allow_negation:
+            options.append(st.builds(bnot, children))
+        return st.one_of(options)
+
+    return st.recursive(leaf, extend, max_leaves=12)
+
+
+assignments = st.sets(st.sampled_from(_VARIABLES), max_size=len(_VARIABLES))
+
+
+class TestConstructors:
+    def test_and_simplification(self):
+        assert band(TRUE, var("a")) == var("a")
+        assert band(FALSE, var("a")) == FALSE
+        assert band() == TRUE
+
+    def test_or_simplification(self):
+        assert bor(FALSE, var("a")) == var("a")
+        assert bor(TRUE, var("a")) == TRUE
+        assert bor() == FALSE
+
+    def test_flattening_and_dedup(self):
+        expr = band(var("a"), band(var("b"), var("a")))
+        assert isinstance(expr, AndExpr)
+        assert len(expr.operands) == 2
+
+    def test_double_negation(self):
+        assert bnot(bnot(var("a"))) == var("a")
+        assert bnot(TRUE) == FALSE
+
+    def test_operator_overloads(self):
+        expr = (var("a") & var("b")) | ~var("c")
+        assert expr.variables() == {"a", "b", "c"}
+
+    def test_paper_equation_1(self):
+        # Prv(r2) = t1 t4 + t1 t5 = t1 (t4 + t5)
+        expr = bor(band(var("t1"), var("t4")), band(var("t1"), var("t5")))
+        assert expr.evaluate({"t1": True, "t4": True})
+        assert expr.evaluate({"t1": True, "t5": True})
+        assert not expr.evaluate({"t4": True, "t5": True})
+
+    def test_size_metric(self):
+        assert var("a").size() == 1
+        assert band(var("a"), var("b")).size() == 3
+
+    def test_is_positive(self):
+        assert band(var("a"), bor(var("b"), var("c"))).is_positive()
+        assert not band(var("a"), bnot(var("b"))).is_positive()
+
+
+class TestEvaluation:
+    def test_missing_variables_default_false(self):
+        assert not var("a").evaluate({})
+        assert bnot(var("a")).evaluate({})
+
+    def test_assignment_helpers(self):
+        assignment = assignment_from_true_set({"a", "b"})
+        assert true_variables(assignment) == {"a", "b"}
+
+    @given(expr=expressions(), assignment=assignments)
+    @settings(max_examples=60, deadline=None)
+    def test_de_morgan(self, expr, assignment):
+        mapping = assignment_from_true_set(assignment)
+        assert bnot(expr).evaluate(mapping) == (not expr.evaluate(mapping))
+
+    @given(a=expressions(), b=expressions(), assignment=assignments)
+    @settings(max_examples=60, deadline=None)
+    def test_and_or_semantics(self, a, b, assignment):
+        mapping = assignment_from_true_set(assignment)
+        assert band(a, b).evaluate(mapping) == (a.evaluate(mapping) and b.evaluate(mapping))
+        assert bor(a, b).evaluate(mapping) == (a.evaluate(mapping) or b.evaluate(mapping))
+
+
+class TestDNF:
+    def test_simple_dnf(self):
+        expr = band(var("t1"), bor(var("t4"), var("t5")))
+        minterms = to_dnf(expr)
+        assert set(minterms) == {frozenset({"t1", "t4"}), frozenset({"t1", "t5"})}
+
+    def test_absorption(self):
+        # a + a b  ->  a
+        expr = bor(var("a"), band(var("a"), var("b")))
+        assert to_dnf(expr) == [frozenset({"a"})]
+
+    def test_negation_rejected(self):
+        with pytest.raises(SolverError):
+            to_dnf(band(var("a"), bnot(var("b"))))
+
+    def test_budget_enforced(self):
+        big = band(*[bor(var(f"x{i}"), var(f"y{i}")) for i in range(20)])
+        with pytest.raises(SolverError):
+            to_dnf(big, max_terms=100)
+
+    @given(expr=expressions(allow_negation=False), assignment=assignments)
+    @settings(max_examples=60, deadline=None)
+    def test_dnf_equivalence(self, expr, assignment):
+        mapping = assignment_from_true_set(assignment)
+        minterms = to_dnf(expr)
+        dnf_value = any(term <= assignment for term in minterms)
+        assert dnf_value == expr.evaluate(mapping)
+
+    @given(expr=expressions(allow_negation=False))
+    @settings(max_examples=40, deadline=None)
+    def test_smallest_minterm_is_minimal_witness(self, expr):
+        minterms = to_dnf(expr)
+        if not minterms:
+            return
+        smallest = min(minterms, key=len)
+        assert expr.evaluate(assignment_from_true_set(smallest))
+        for dropped in smallest:
+            assert not any(term <= smallest - {dropped} for term in minterms)
+
+
+class TestMinimalSatisfyingSubset:
+    def test_greedy_shrink(self):
+        expr = band(var("t1"), bor(var("t4"), var("t5")))
+        result = minimal_satisfying_subset(expr, {"t1", "t4", "t5"})
+        assert expr.evaluate(assignment_from_true_set(result))
+        assert len(result) == 2
+
+    def test_rejects_non_satisfying_candidate(self):
+        with pytest.raises(SolverError):
+            minimal_satisfying_subset(band(var("a"), var("b")), {"a"})
+
+    @given(expr=expressions(allow_negation=False), assignment=assignments)
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_minimal(self, expr, assignment):
+        mapping = assignment_from_true_set(assignment)
+        if not expr.evaluate(mapping):
+            return
+        result = minimal_satisfying_subset(expr, assignment)
+        assert expr.evaluate(assignment_from_true_set(result))
+        for name in result:
+            assert not expr.evaluate(assignment_from_true_set(result - {name}))

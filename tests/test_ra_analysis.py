@@ -1,0 +1,157 @@
+"""Tests for query class detection and complexity metrics (Table 1 machinery)."""
+
+import pytest
+
+from repro.parser import parse_query
+from repro.ra import (
+    QueryClass,
+    difference,
+    eq,
+    equals_constant,
+    group_by,
+    count,
+    natural_join,
+    profile,
+    project,
+    relation,
+    rename_prefix,
+    select,
+    spju_terminals,
+    theta_join,
+    union,
+)
+from repro.ra.analysis import differences_only_at_top, unions_after_joins
+from repro.workload import course_questions
+
+
+def _sj():
+    return select(
+        theta_join(
+            rename_prefix(relation("Student"), "s"),
+            rename_prefix(relation("Registration"), "r"),
+            eq("s.name", "r.name"),
+        ),
+        equals_constant("r.dept", "CS"),
+    )
+
+
+class TestClassification:
+    def test_sj(self):
+        assert profile(_sj()).query_class is QueryClass.SJ
+
+    def test_spu(self):
+        expr = union(
+            project(select(relation("Registration"), equals_constant("dept", "CS")), ["name"]),
+            project(relation("Student"), ["name"]),
+        )
+        assert profile(expr).query_class is QueryClass.SPU
+
+    def test_pj(self):
+        expr = project(
+            theta_join(
+                rename_prefix(relation("Student"), "s"),
+                rename_prefix(relation("Registration"), "r"),
+                eq("s.name", "r.name"),
+            ),
+            ["s.name"],
+        )
+        assert profile(expr).query_class is QueryClass.PJ
+
+    def test_spju(self):
+        expr = project(_sj(), ["s.name"])
+        assert profile(expr).query_class is QueryClass.SPJU
+
+    def test_ju_star(self):
+        left = union(relation("Student"), relation("Student"))
+        expr = natural_join(left, relation("Student"))
+        # Union appears below a join: NOT JU*.
+        assert profile(expr).query_class is QueryClass.JU
+        expr2 = union(natural_join(relation("Student"), relation("Student")), relation("Student"))
+        assert profile(expr2).query_class is QueryClass.JU_STAR
+
+    def test_spjud_star(self):
+        expr = difference(project(_sj(), ["s.name"]), project(relation("Student"), ["name"]))
+        assert profile(expr).query_class is QueryClass.SPJUD_STAR
+
+    def test_spjud_general(self):
+        inner = difference(project(relation("Student"), ["name"]), project(relation("Registration"), ["name"]))
+        expr = project(natural_join(inner, relation("Student")), ["name"])
+        assert profile(expr).query_class is QueryClass.SPJUD
+
+    def test_aggregate_class(self):
+        expr = group_by(relation("Registration"), ["name"], [count(None, "n")])
+        assert profile(expr).query_class is QueryClass.AGGREGATE
+
+    def test_course_questions_have_expected_classes(self):
+        classes = {q.key: profile(q.correct_query).query_class for q in course_questions()}
+        assert classes["q1"] is QueryClass.SPJU
+        assert classes["q2"] is QueryClass.SPJUD_STAR
+        assert classes["q6"] in (QueryClass.SPJUD, QueryClass.SPJUD_STAR)
+
+
+class TestStructuralPredicates:
+    def test_unions_after_joins(self):
+        good = union(natural_join(relation("Student"), relation("Student")), relation("Student"))
+        bad = natural_join(union(relation("Student"), relation("Student")), relation("Student"))
+        assert unions_after_joins(good)
+        assert not unions_after_joins(bad)
+
+    def test_differences_only_at_top(self):
+        top = difference(project(relation("Student"), ["name"]), project(relation("Registration"), ["name"]))
+        assert differences_only_at_top(top)
+        nested = project(
+            natural_join(
+                difference(project(relation("Student"), ["name"]), project(relation("Registration"), ["name"])),
+                relation("Student"),
+            ),
+            ["name"],
+        )
+        assert not differences_only_at_top(nested)
+
+    def test_spju_terminals(self):
+        q = parse_query(
+            "(\\project_{name} Student \\diff \\project_{name} Registration) "
+            "\\diff \\project_{name} Student"
+        )
+        terminals = spju_terminals(q)
+        assert len(terminals) == 3
+
+    def test_terminals_of_difference_free_query(self):
+        assert len(spju_terminals(_sj())) == 1
+
+
+class TestMetricsAndFlags:
+    def test_metrics(self):
+        expr = difference(project(_sj(), ["s.name"]), project(relation("Student"), ["name"]))
+        metrics = profile(expr)
+        assert metrics.num_differences == 1
+        assert metrics.num_joins == 1
+        assert metrics.num_operators == expr.operator_count()
+        assert metrics.height == expr.height()
+        assert metrics.num_base_relations == 2
+
+    def test_monotonicity(self):
+        assert profile(_sj()).is_monotone
+        expr = difference(project(relation("Student"), ["name"]), project(relation("Registration"), ["name"]))
+        assert not profile(expr).is_monotone
+
+    def test_polytime_flags_match_table1(self):
+        assert profile(_sj()).polytime_combined_complexity
+        pj = project(
+            theta_join(
+                rename_prefix(relation("Student"), "s"),
+                rename_prefix(relation("Registration"), "r"),
+                eq("s.name", "r.name"),
+            ),
+            ["s.name"],
+        )
+        assert profile(pj).polytime_data_complexity
+        assert not profile(pj).polytime_combined_complexity
+        nested = project(
+            natural_join(
+                difference(project(relation("Student"), ["name"]), project(relation("Registration"), ["name"])),
+                relation("Student"),
+            ),
+            ["name"],
+        )
+        assert not profile(nested).polytime_data_complexity

@@ -1,0 +1,172 @@
+"""Tests for the relational algebra AST: schema inference and tree utilities."""
+
+import pytest
+
+from repro.catalog import DataType
+from repro.datagen import university_schema
+from repro.errors import SchemaError, UnknownAttributeError
+from repro.ra import (
+    AggregateFunction,
+    AggregateSpec,
+    Difference,
+    GroupBy,
+    Projection,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+    avg,
+    count,
+    difference,
+    eq,
+    equals_constant,
+    group_by,
+    intersection,
+    natural_join,
+    project,
+    relation,
+    rename_prefix,
+    select,
+    theta_join,
+    union,
+)
+
+DB = university_schema()
+
+
+class TestSchemaInference:
+    def test_relation_ref(self):
+        assert relation("Student").output_schema(DB).attribute_names == ("name", "major")
+
+    def test_selection_keeps_schema(self):
+        expr = select(relation("Student"), equals_constant("major", "CS"))
+        assert expr.output_schema(DB).attribute_names == ("name", "major")
+
+    def test_selection_unknown_column(self):
+        expr = select(relation("Student"), equals_constant("gpa", 4))
+        with pytest.raises(UnknownAttributeError):
+            expr.output_schema(DB)
+
+    def test_projection_with_aliases(self):
+        expr = project(relation("Student"), ["name"], ["student_name"])
+        assert expr.output_schema(DB).attribute_names == ("student_name",)
+
+    def test_projection_alias_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            Projection(relation("Student"), ("name",), ("a", "b"))
+
+    def test_projection_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Projection(relation("Student"), ())
+
+    def test_rename_prefix(self):
+        expr = rename_prefix(relation("Student"), "s")
+        assert expr.output_schema(DB).attribute_names == ("s.name", "s.major")
+
+    def test_rename_mapping(self):
+        expr = Rename(relation("Student"), attribute_mapping=(("name", "who"),))
+        assert expr.output_schema(DB).attribute_names == ("who", "major")
+
+    def test_theta_join_requires_disjoint_names(self):
+        expr = theta_join(relation("Student"), relation("Registration"))
+        with pytest.raises(SchemaError):
+            expr.output_schema(DB)
+
+    def test_theta_join_schema(self):
+        expr = theta_join(
+            rename_prefix(relation("Student"), "s"),
+            rename_prefix(relation("Registration"), "r"),
+            eq("s.name", "r.name"),
+        )
+        assert len(expr.output_schema(DB).attributes) == 6
+
+    def test_theta_join_unknown_predicate_column(self):
+        expr = theta_join(
+            rename_prefix(relation("Student"), "s"),
+            rename_prefix(relation("Registration"), "r"),
+            eq("s.name", "bogus"),
+        )
+        with pytest.raises(UnknownAttributeError):
+            expr.output_schema(DB)
+
+    def test_natural_join_merges_shared(self):
+        expr = natural_join(relation("Student"), relation("Registration"))
+        names = expr.output_schema(DB).attribute_names
+        assert names == ("name", "major", "course", "dept", "grade")
+
+    def test_union_compatible(self):
+        expr = union(project(relation("Student"), ["name"]), project(relation("Registration"), ["name"]))
+        assert expr.output_schema(DB).attribute_names == ("name",)
+
+    def test_union_incompatible(self):
+        expr = union(relation("Student"), relation("Registration"))
+        with pytest.raises(SchemaError):
+            expr.output_schema(DB)
+
+    def test_difference_and_intersection_schema(self):
+        left = project(relation("Student"), ["name"])
+        right = project(relation("Registration"), ["name"])
+        assert difference(left, right).output_schema(DB).arity == 1
+        assert intersection(left, right).output_schema(DB).arity == 1
+
+    def test_group_by_schema(self):
+        expr = group_by(relation("Registration"), ["name"], [count(None, "n"), avg("grade", "g")])
+        schema = expr.output_schema(DB)
+        assert schema.attribute_names == ("name", "n", "g")
+        assert schema.attribute("n").dtype is DataType.INT
+        assert schema.attribute("g").dtype is DataType.FLOAT
+
+    def test_group_by_sum_requires_numeric(self):
+        expr = group_by(
+            relation("Registration"),
+            ["name"],
+            [AggregateSpec(AggregateFunction.SUM, "dept", "s")],
+        )
+        with pytest.raises(SchemaError):
+            expr.output_schema(DB)
+
+    def test_aggregate_requires_attribute(self):
+        with pytest.raises(SchemaError):
+            AggregateSpec(AggregateFunction.AVG, None, "a")
+
+    def test_duplicate_aggregate_aliases(self):
+        with pytest.raises(SchemaError):
+            GroupBy(relation("Registration"), ("name",), (count(None, "n"), count("grade", "n")))
+
+
+class TestTreeUtilities:
+    def _example(self):
+        q2 = project(
+            theta_join(
+                rename_prefix(relation("Student"), "s"),
+                rename_prefix(relation("Registration"), "r"),
+                eq("s.name", "r.name"),
+            ),
+            ["s.name"],
+        )
+        return difference(q2, project(relation("Student"), ["name"]))
+
+    def test_walk_and_operator_count(self):
+        expr = self._example()
+        assert expr.operator_count() == 6
+        assert sum(1 for node in expr.walk() if isinstance(node, RelationRef)) == 3
+
+    def test_height(self):
+        expr = self._example()
+        assert expr.height() == 5
+
+    def test_base_relations(self):
+        assert self._example().base_relations() == {"Student", "Registration"}
+
+    def test_with_children_roundtrip(self):
+        expr = self._example()
+        rebuilt = expr.with_children(list(expr.children()))
+        assert str(rebuilt) == str(expr)
+
+    def test_with_children_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            self._example().with_children([relation("Student")])
+
+    def test_str_contains_operators(self):
+        rendered = str(self._example())
+        assert "π" in rendered and "⋈" in rendered and "−" in rendered

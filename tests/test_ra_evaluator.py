@@ -1,0 +1,216 @@
+"""Tests for set-semantics evaluation of RA expressions (Figures 1–2 of the paper)."""
+
+import pytest
+
+from repro.datagen import toy_university_instance
+from repro.ra import (
+    agg_max,
+    agg_min,
+    agg_sum,
+    avg,
+    conj,
+    count,
+    difference,
+    eq,
+    equals_constant,
+    evaluate,
+    ge,
+    group_by,
+    intersection,
+    lit,
+    col,
+    natural_join,
+    project,
+    relation,
+    rename_prefix,
+    results_differ,
+    select,
+    theta_join,
+    union,
+)
+from repro.ra.evaluator import split_equijoin_conjuncts
+from repro.datagen import university_schema
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+def rows(expr, instance, params=None):
+    return set(evaluate(expr, instance, params).rows)
+
+
+class TestBasicOperators:
+    def test_relation_scan(self, instance):
+        assert rows(relation("Student"), instance) == {
+            ("Mary", "CS"),
+            ("John", "ECON"),
+            ("Jesse", "CS"),
+        }
+
+    def test_selection(self, instance):
+        expr = select(relation("Registration"), equals_constant("dept", "ECON"))
+        assert rows(expr, instance) == {
+            ("Mary", "208D", "ECON", 95),
+            ("John", "208D", "ECON", 88),
+        }
+
+    def test_selection_with_param(self, instance):
+        from repro.ra import param
+
+        expr = select(relation("Registration"), ge("grade", param("cutoff")))
+        assert len(rows(expr, instance, {"cutoff": 95})) == 3
+
+    def test_projection_deduplicates(self, instance):
+        expr = project(relation("Registration"), ["dept"])
+        assert rows(expr, instance) == {("CS",), ("ECON",)}
+
+    def test_projection_reorders(self, instance):
+        expr = project(relation("Student"), ["major", "name"])
+        assert ("CS", "Mary") in rows(expr, instance)
+
+    def test_theta_join_matches_figure2(self, instance):
+        q2 = project(
+            theta_join(
+                rename_prefix(relation("Student"), "s"),
+                rename_prefix(relation("Registration"), "r"),
+                conj([eq("s.name", "r.name"), eq(col("r.dept"), lit("CS"))]),
+            ),
+            ["s.name", "s.major"],
+        )
+        assert rows(q2, instance) == {("Mary", "CS"), ("John", "ECON"), ("Jesse", "CS")}
+
+    def test_cross_product(self, instance):
+        expr = theta_join(
+            rename_prefix(relation("Student"), "a"), rename_prefix(relation("Student"), "b")
+        )
+        assert len(rows(expr, instance)) == 9
+
+    def test_natural_join(self, instance):
+        expr = natural_join(relation("Student"), relation("Registration"))
+        result = rows(expr, instance)
+        assert ("Mary", "CS", "216", "CS", 100) in result
+        assert len(result) == 8
+
+    def test_union(self, instance):
+        expr = union(
+            project(select(relation("Registration"), equals_constant("dept", "CS")), ["name"]),
+            project(select(relation("Registration"), equals_constant("dept", "ECON")), ["name"]),
+        )
+        assert rows(expr, instance) == {("Mary",), ("John",), ("Jesse",)}
+
+    def test_difference(self, instance):
+        expr = difference(
+            project(relation("Student"), ["name"]),
+            project(select(relation("Registration"), equals_constant("dept", "ECON")), ["name"]),
+        )
+        assert rows(expr, instance) == {("Jesse",)}
+
+    def test_intersection(self, instance):
+        expr = intersection(
+            project(select(relation("Registration"), equals_constant("dept", "CS")), ["name"]),
+            project(select(relation("Registration"), equals_constant("dept", "ECON")), ["name"]),
+        )
+        assert rows(expr, instance) == {("Mary",), ("John",)}
+
+    def test_results_differ(self, instance, example1_q1, example1_q2):
+        assert results_differ(example1_q1, example1_q2, instance)
+        assert not results_differ(example1_q1, example1_q1, instance)
+
+
+class TestRunningExample:
+    def test_q1_result_matches_figure2(self, instance, example1_q1):
+        assert rows(example1_q1, instance) == {("John", "ECON")}
+
+    def test_q2_result_matches_figure2(self, instance, example1_q2):
+        assert rows(example1_q2, instance) == {
+            ("Mary", "CS"),
+            ("John", "ECON"),
+            ("Jesse", "CS"),
+        }
+
+    def test_counterexample_subinstance(self, instance, example1_q1, example1_q2):
+        # {t1, t4, t5} from Example 2 is a counterexample.
+        sub = instance.subinstance({"Student:1", "Registration:1", "Registration:2"})
+        assert results_differ(example1_q1, example1_q2, sub)
+
+    def test_non_counterexample_subinstance(self, instance, example1_q1, example1_q2):
+        # Keeping only one of Mary's CS courses makes the two queries agree.
+        sub = instance.subinstance({"Student:1", "Registration:1"})
+        assert not results_differ(example1_q1, example1_q2, sub)
+
+
+class TestAggregates:
+    def test_avg_per_group_example4(self, instance):
+        q2 = group_by(
+            natural_join(relation("Student"), relation("Registration")),
+            ["name"],
+            [avg("grade", "avg_grade")],
+        )
+        result = dict((row[0], row[1]) for row in evaluate(q2, instance).rows)
+        assert result["Mary"] == 90
+        assert result["John"] == 89
+        # All three of Jesse's registrations are CS courses (95, 90, 85).
+        assert result["Jesse"] == 90
+
+    def test_count_sum_min_max(self, instance):
+        expr = group_by(
+            relation("Registration"),
+            ["name"],
+            [count(None, "n"), agg_sum("grade", "total"), agg_min("grade", "lo"), agg_max("grade", "hi")],
+        )
+        by_name = {row[0]: row[1:] for row in evaluate(expr, instance).rows}
+        assert by_name["Mary"] == (3, 270, 75, 100)
+        assert by_name["Jesse"] == (3, 270, 85, 95)
+
+    def test_having_via_selection(self, instance):
+        expr = select(
+            group_by(
+                select(relation("Registration"), equals_constant("dept", "CS")),
+                ["name"],
+                [count(None, "n")],
+            ),
+            ge("n", lit(3)),
+        )
+        assert rows(expr, instance) == {("Jesse", 3)}
+
+    def test_global_aggregate_empty_group_by(self, instance):
+        expr = group_by(relation("Registration"), [], [count(None, "n")])
+        assert rows(expr, instance) == {(8,)}
+
+    def test_aggregate_over_empty_input(self, instance):
+        expr = group_by(
+            select(relation("Registration"), equals_constant("dept", "NOPE")),
+            ["name"],
+            [count(None, "n")],
+        )
+        assert rows(expr, instance) == set()
+
+
+class TestHashJoinPlanning:
+    def test_split_equijoin_conjuncts(self):
+        db = university_schema()
+        left = rename_prefix(relation("Student"), "s").output_schema(db)
+        right = rename_prefix(relation("Registration"), "r").output_schema(db)
+        predicate = conj([eq("s.name", "r.name"), eq(col("r.dept"), lit("CS"))])
+        pairs, residual = split_equijoin_conjuncts(predicate, left, right)
+        assert pairs == [("s.name", "r.name")]
+        assert len(residual) == 1
+
+    def test_reversed_equijoin_detected(self):
+        db = university_schema()
+        left = rename_prefix(relation("Student"), "s").output_schema(db)
+        right = rename_prefix(relation("Registration"), "r").output_schema(db)
+        pairs, residual = split_equijoin_conjuncts(eq("r.name", "s.name"), left, right)
+        assert pairs == [("s.name", "r.name")]
+        assert not residual
+
+    def test_hash_and_nested_loop_agree(self, instance):
+        # The same join once with an equi conjunct and once as a filtered cross
+        # product must give identical results.
+        s = rename_prefix(relation("Student"), "s")
+        r = rename_prefix(relation("Registration"), "r")
+        with_equi = theta_join(s, r, eq("s.name", "r.name"))
+        as_filter = select(theta_join(s, r), eq("s.name", "r.name"))
+        assert rows(with_equi, instance) == rows(as_filter, instance)

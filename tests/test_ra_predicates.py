@@ -1,0 +1,152 @@
+"""Tests for scalar and predicate expressions."""
+
+import pytest
+
+from repro.catalog import DataType, RelationSchema
+from repro.errors import QueryEvaluationError
+from repro.ra.predicates import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Param,
+    TruePredicate,
+    col,
+    conj,
+    eq,
+    equals_constant,
+    ge,
+    gt,
+    le,
+    lit,
+    lt,
+    neq,
+    param,
+)
+
+SCHEMA = RelationSchema.of(
+    "R", [("name", DataType.STRING), ("grade", DataType.INT), ("dept", DataType.STRING)]
+)
+ROW = ("Mary", 95, "CS")
+
+
+def evaluate(predicate, row=ROW, params=None):
+    return predicate.evaluate(SCHEMA, row, params or {})
+
+
+class TestScalars:
+    def test_column_ref(self):
+        assert ColumnRef("grade").evaluate(SCHEMA, ROW, {}) == 95
+
+    def test_column_ref_unknown(self):
+        with pytest.raises(QueryEvaluationError):
+            ColumnRef("gpa").evaluate(SCHEMA, ROW, {})
+
+    def test_literal(self):
+        assert Literal(42).evaluate(SCHEMA, ROW, {}) == 42
+
+    def test_param_bound(self):
+        assert Param("k").evaluate(SCHEMA, ROW, {"k": 3}) == 3
+
+    def test_param_unbound(self):
+        with pytest.raises(QueryEvaluationError):
+            Param("k").evaluate(SCHEMA, ROW, {})
+
+    def test_param_substitution(self):
+        substituted = Param("k").substitute_params({"k": 7})
+        assert isinstance(substituted, Literal)
+        assert substituted.value == 7
+
+    def test_arithmetic(self):
+        expr = Arithmetic("+", ColumnRef("grade"), Literal(5))
+        assert expr.evaluate(SCHEMA, ROW, {}) == 100
+
+    def test_arithmetic_division_by_zero(self):
+        expr = Arithmetic("/", Literal(1), Literal(0))
+        with pytest.raises(QueryEvaluationError):
+            expr.evaluate(SCHEMA, ROW, {})
+
+    def test_arithmetic_unknown_operator(self):
+        with pytest.raises(QueryEvaluationError):
+            Arithmetic("%", Literal(1), Literal(2))
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("=", False), ("!=", True), ("<", False), ("<=", False), (">", True), (">=", True)],
+    )
+    def test_operators(self, op, expected):
+        predicate = Comparison(op, ColumnRef("grade"), Literal(90))
+        assert evaluate(predicate) is expected
+
+    def test_unknown_operator(self):
+        with pytest.raises(QueryEvaluationError):
+            Comparison("~", ColumnRef("grade"), Literal(90))
+
+    def test_null_comparison_is_false(self):
+        predicate = Comparison("=", ColumnRef("name"), Literal("Mary"))
+        assert predicate.evaluate(SCHEMA, (None, 95, "CS"), {}) is False
+
+    def test_string_equality(self):
+        assert evaluate(eq(col("dept"), lit("CS")))
+        assert not evaluate(eq(col("dept"), lit("ECON")))
+
+    def test_referenced_columns_and_params(self):
+        predicate = Comparison(">=", ColumnRef("grade"), Param("threshold"))
+        assert predicate.referenced_columns() == {"grade"}
+        assert predicate.referenced_params() == {"threshold"}
+
+
+class TestLogical:
+    def test_and_or_not(self):
+        p = And((gt("grade", lit(90)), eq(col("dept"), lit("CS"))))
+        assert evaluate(p)
+        q = Or((eq(col("dept"), lit("ECON")), lt("grade", lit(50))))
+        assert not evaluate(q)
+        assert evaluate(Not(q))
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(QueryEvaluationError):
+            And(())
+
+    def test_conjuncts_flattening(self):
+        p = And((And((eq("name", "name"), TruePredicate())), gt("grade", lit(0))))
+        assert len(p.conjuncts()) == 3
+
+    def test_conj_of_empty_is_true(self):
+        assert isinstance(conj([]), TruePredicate)
+
+    def test_operator_overloads(self):
+        p = eq(col("dept"), lit("CS")) & gt("grade", lit(90))
+        assert evaluate(p)
+        q = ~p | le("grade", lit(10))
+        assert not evaluate(q)
+
+    def test_substitute_params_recursive(self):
+        p = And((ge("grade", param("k")), eq(col("dept"), lit("CS"))))
+        bound = p.substitute_params({"k": 90})
+        assert evaluate(bound)
+        assert bound.referenced_params() == set()
+
+
+class TestHelpers:
+    def test_equals_constant_keeps_string_literal(self):
+        predicate = equals_constant("dept", "CS")
+        assert isinstance(predicate.right, Literal)
+        assert evaluate(predicate)
+
+    def test_eq_treats_bare_strings_as_columns(self):
+        predicate = eq("name", "name")
+        assert isinstance(predicate.left, ColumnRef)
+        assert evaluate(predicate)
+
+    def test_neq(self):
+        assert evaluate(neq(col("dept"), lit("ECON")))
+
+    def test_str_renderings(self):
+        assert "grade >= @k" in str(ge("grade", param("k")))
+        assert "'CS'" in str(equals_constant("dept", "CS"))

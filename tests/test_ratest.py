@@ -1,0 +1,127 @@
+"""Tests for the end-to-end RATest system, the auto-grader and report rendering."""
+
+import pytest
+
+from repro.datagen import toy_university_instance, university_instance
+from repro.ratest import AutoGrader, Question, RATest, format_result, format_table
+from repro.workload import course_questions
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+@pytest.fixture(scope="module")
+def ratest(instance):
+    return RATest(instance)
+
+
+class TestRATestSystem:
+    def test_correct_submission(self, ratest, example1_q1):
+        outcome = ratest.check(example1_q1, example1_q1)
+        assert outcome.correct
+        assert "matches the reference" in outcome.render()
+
+    def test_wrong_submission_gets_counterexample(self, ratest, example1_q1, example1_q2):
+        outcome = ratest.check(example1_q1, example1_q2)
+        assert not outcome.correct
+        assert outcome.report is not None
+        assert outcome.report.counterexample_size == 3
+
+    def test_queries_can_be_dsl_strings(self, ratest):
+        correct = "\\project_{name} \\select_{dept = 'ECON'} Registration"
+        wrong = "\\project_{name} Registration"
+        outcome = ratest.check(correct, wrong)
+        assert not outcome.correct
+        assert outcome.report is not None
+
+    def test_parse_error_reported_not_raised(self, ratest, example1_q1):
+        outcome = ratest.check(example1_q1, "\\select_{oops")
+        assert not outcome.correct
+        assert outcome.error is not None
+
+    def test_schema_error_reported_not_raised(self, ratest, example1_q1):
+        outcome = ratest.check(example1_q1, "\\project_{nonexistent} Student")
+        assert not outcome.correct
+        assert outcome.error is not None
+
+    def test_queries_agree_helper(self, ratest, example1_q1, example1_q2):
+        assert ratest.queries_agree(example1_q1, example1_q1)
+        assert not ratest.queries_agree(example1_q1, example1_q2)
+
+    def test_explain_report_rendering(self, ratest, example1_q1, example1_q2):
+        report = ratest.explain(example1_q1, example1_q2)
+        rendered = report.render()
+        assert "counterexample" in rendered
+        assert "Student" in rendered and "Registration" in rendered
+        assert "Reference query result" in rendered
+        assert report.summary().startswith("counterexample of 3 tuples")
+
+    def test_explain_with_explicit_algorithm(self, ratest, example1_q1, example1_q2):
+        report = ratest.explain(example1_q1, example1_q2, algorithm="basic")
+        assert report.result.algorithm == "basic"
+
+
+class TestAutoGrader:
+    @pytest.fixture(scope="class")
+    def grader(self):
+        hidden = university_instance(35, seed=21)
+        questions = {
+            q.key: Question(q.key, q.prompt, q.correct_query, q.difficulty)
+            for q in course_questions()
+        }
+        return AutoGrader(hidden, questions)
+
+    def test_correct_submissions_pass(self, grader):
+        submissions = {q.key: q.correct_query for q in course_questions()}
+        report = grader.grade(submissions)
+        assert report.num_passed == len(submissions)
+        assert report.num_failed == 0
+
+    def test_wrong_submission_fails_with_counterexample_size(self, grader):
+        question = course_questions()[1]
+        entry = grader.grade_one(
+            question.key, question.handwritten_wrong_queries[0], explain=True
+        )
+        assert not entry.passed
+        assert entry.counterexample_size is not None
+        assert entry.counterexample_size <= 5
+
+    def test_unknown_question(self, grader):
+        report = grader.grade({"zzz": course_questions()[0].correct_query})
+        assert report.entries[0].error == "unknown question"
+
+    def test_crashing_submission_counts_as_wrong(self, grader):
+        from repro.parser import parse_query
+
+        bad = parse_query("\\project_{no_such_column} Student")
+        entry = grader.grade_one("q1", bad)
+        assert not entry.passed
+        assert entry.error is not None
+
+    def test_count_discovered_wrong_queries(self, grader):
+        wrong_pool = {
+            q.key: list(q.handwritten_wrong_queries) for q in course_questions()
+        }
+        discovered = grader.count_discovered_wrong_queries(wrong_pool)
+        total = sum(len(queries) for queries in wrong_pool.values())
+        assert 0 < discovered <= total
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        table = format_table(("a", "long header"), [(1, "x"), (22, "yy")])
+        lines = table.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all lines same width
+        assert "long header" in table
+
+    def test_format_empty_result(self, instance, example1_q1):
+        from repro.ra import evaluate
+
+        empty = evaluate(example1_q1, instance.subinstance(set()))
+        rendered = format_result(empty)
+        assert "(empty)" in rendered
+
+    def test_format_table_empty_rows(self):
+        assert "(empty)" in format_table(("a",), [])

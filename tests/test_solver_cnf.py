@@ -1,0 +1,168 @@
+"""Tests for the Tseitin encoding and the sequential-counter cardinality ladder."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.provenance import FALSE, TRUE, band, bnot, bor, var
+from repro.solver.cnf import CNF, VariablePool, assert_expression, sequential_counter, tseitin
+from repro.solver.sat import SATSolver
+
+
+class TestVariablePool:
+    def test_stable_mapping(self):
+        pool = VariablePool()
+        assert pool.variable("t1") == pool.variable("t1")
+        assert pool.variable("t2") != pool.variable("t1")
+        assert pool.name_of(pool.variable("t1")) == "t1"
+
+    def test_fresh_variables_are_auxiliary(self):
+        pool = VariablePool()
+        pool.variable("t1")
+        aux = pool.fresh()
+        assert aux not in pool.named_variables().values()
+        assert pool.named_variables() == {"t1": 1}
+
+    def test_lookup_missing(self):
+        assert VariablePool().lookup("nope") is None
+
+
+def _solve(cnf: CNF):
+    solver = SATSolver()
+    solver.add_clauses(cnf.clauses)
+    return solver.solve()
+
+
+def _models_of_expression(expression, names):
+    """All satisfying assignments of the expression over ``names`` (brute force)."""
+    models = set()
+    for bits in itertools.product((False, True), repeat=len(names)):
+        assignment = dict(zip(names, bits))
+        if expression.evaluate(assignment):
+            models.add(tuple(sorted(n for n, b in assignment.items() if b)))
+    return models
+
+
+class TestTseitin:
+    def test_assert_simple_expression(self):
+        cnf = CNF()
+        assert_expression(band(var("a"), bor(var("b"), var("c"))), cnf)
+        model = _solve(cnf)
+        assert model is not None
+        assert model[cnf.pool.variable("a")]
+
+    def test_unsatisfiable_expression(self):
+        cnf = CNF()
+        assert_expression(band(var("a"), bnot(var("a"))), cnf)
+        assert _solve(cnf) is None
+
+    def test_constants(self):
+        cnf = CNF()
+        assert_expression(bor(FALSE, TRUE), cnf)
+        assert _solve(cnf) is not None
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(SolverError):
+            CNF().add_clause([])
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_tseitin_preserves_models(self, data):
+        names = ["a", "b", "c", "d"]
+        leaf = st.sampled_from([var(n) for n in names])
+        expr_strategy = st.recursive(
+            leaf,
+            lambda children: st.one_of(
+                st.builds(lambda xs: band(*xs), st.lists(children, min_size=1, max_size=3)),
+                st.builds(lambda xs: bor(*xs), st.lists(children, min_size=1, max_size=3)),
+                st.builds(bnot, children),
+            ),
+            max_leaves=10,
+        )
+        expression = data.draw(expr_strategy)
+        cnf = CNF()
+        assert_expression(expression, cnf)
+        # Enumerate the CNF models projected onto the named variables and
+        # compare against the expression's models.
+        name_vars = {name: cnf.pool.lookup(name) for name in names}
+        expected = _models_of_expression(expression, names)
+        solver_models = set()
+        solver = SATSolver()
+        solver.add_clauses(cnf.clauses)
+        for _ in range(2 ** len(names) + 2):
+            model = solver.solve()
+            if model is None:
+                break
+            projected = tuple(
+                sorted(
+                    name
+                    for name, idx in name_vars.items()
+                    if idx is not None and model.get(idx, False)
+                )
+            )
+            solver_models.add(projected)
+            blocking = []
+            for name, idx in name_vars.items():
+                if idx is None:
+                    continue
+                blocking.append(-idx if model.get(idx, False) else idx)
+            if not blocking:
+                break
+            solver.add_clause(blocking)
+        if expected:
+            # Every projected model found by the solver must satisfy the
+            # expression, and at least one expected model must be found.
+            free_names = [n for n in names if name_vars[n] is None]
+            for projected in solver_models:
+                base = {name: name in projected for name in names}
+                assert any(
+                    expression.evaluate({**base, **dict(zip(free_names, bits))})
+                    for bits in itertools.product((False, True), repeat=len(free_names))
+                )
+            assert solver_models
+        else:
+            assert not solver_models
+
+
+class TestSequentialCounter:
+    def _count_reachable(self, n, bound, force_true):
+        cnf = CNF()
+        variables = [cnf.pool.variable(f"x{i}") for i in range(n)]
+        outputs = sequential_counter(cnf, variables, width=n)
+        solver = SATSolver()
+        solver.add_clauses(cnf.clauses)
+        solver.add_clause([-outputs[bound]])
+        for index in force_true:
+            solver.add_clause([variables[index]])
+        return solver.solve()
+
+    def test_at_most_k_allows_k(self):
+        assert self._count_reachable(5, 2, force_true=[0, 1]) is not None
+
+    def test_at_most_k_blocks_k_plus_one(self):
+        assert self._count_reachable(5, 2, force_true=[0, 1, 2]) is None
+
+    def test_at_most_zero(self):
+        assert self._count_reachable(4, 0, force_true=[]) is not None
+        assert self._count_reachable(4, 0, force_true=[3]) is None
+
+    def test_width_validation(self):
+        with pytest.raises(SolverError):
+            sequential_counter(CNF(), [1, 2], width=0)
+
+    def test_empty_variable_list(self):
+        assert sequential_counter(CNF(), [], width=3) == []
+
+    @pytest.mark.parametrize("n,k", [(4, 1), (5, 3), (6, 2)])
+    def test_exhaustive_bound_check(self, n, k):
+        # For every subset forced true, at-most-k must be satisfiable iff |subset| <= k.
+        for bits in itertools.product((0, 1), repeat=n):
+            force = [i for i, bit in enumerate(bits) if bit]
+            result = self._count_reachable(n, k, force)
+            if len(force) <= k:
+                assert result is not None
+            else:
+                assert result is None

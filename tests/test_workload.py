@@ -1,0 +1,206 @@
+"""Tests for the query workloads: course questions, mutations, beers, TPC-H."""
+
+import pytest
+
+from repro.datagen import (
+    beers_instance,
+    toy_university_instance,
+    tpch_instance,
+    university_instance,
+    university_schema,
+)
+from repro.ra import QueryClass, evaluate, profile, results_differ
+from repro.workload import (
+    RATEST_PROBLEMS,
+    beers_problem,
+    beers_problems,
+    course_questions,
+    course_submission_pool,
+    drop_conjuncts,
+    drop_difference,
+    flip_comparison_operators,
+    generate_mutants,
+    mutate_constants,
+    swap_difference_operands,
+    tpch_queries,
+    tpch_query,
+)
+
+
+class TestCourseQuestions:
+    def test_eight_questions(self):
+        questions = course_questions()
+        assert len(questions) == 8
+        assert [q.key for q in questions] == [f"q{i}" for i in range(1, 9)]
+
+    def test_all_queries_schema_valid(self):
+        schema = university_schema()
+        for question in course_questions():
+            question.correct_query.output_schema(schema)
+            for wrong in question.handwritten_wrong_queries:
+                wrong.output_schema(schema)
+
+    def test_wrong_queries_union_compatible_with_correct(self):
+        schema = university_schema()
+        for question in course_questions():
+            correct_schema = question.correct_query.output_schema(schema)
+            for wrong in question.handwritten_wrong_queries:
+                assert correct_schema.union_compatible(wrong.output_schema(schema))
+
+    def test_running_example_is_question_two(self):
+        instance = toy_university_instance()
+        q2 = course_questions()[1]
+        assert set(evaluate(q2.correct_query, instance).rows) == {("John", "ECON")}
+        assert len(evaluate(q2.handwritten_wrong_queries[0], instance)) == 3
+
+    def test_every_wrong_query_differs_somewhere(self):
+        # Each handwritten wrong query must be distinguishable on some
+        # reasonably sized instance (otherwise it would not be "wrong").
+        instance = university_instance(300, seed=17)
+        for question in course_questions():
+            for index, wrong in enumerate(question.handwritten_wrong_queries):
+                assert results_differ(question.correct_query, wrong, instance), (
+                    f"{question.key} wrong #{index} is indistinguishable"
+                )
+
+    def test_difficulty_range(self):
+        difficulties = [q.difficulty for q in course_questions()]
+        assert min(difficulties) == 1 and max(difficulties) == 5
+
+
+class TestSubmissionPool:
+    def test_pool_contains_handwritten_and_mutants(self):
+        pool = course_submission_pool(seed=1, mutants_per_question=10)
+        assert pool.total_wrong() > sum(
+            len(q.handwritten_wrong_queries) for q in course_questions()
+        )
+        assert set(pool.wrong_queries) == {q.key for q in course_questions()}
+
+    def test_pool_is_deterministic(self):
+        a = course_submission_pool(seed=5, mutants_per_question=8)
+        b = course_submission_pool(seed=5, mutants_per_question=8)
+        assert {k: [str(q) for q in v] for k, v in a.wrong_queries.items()} == {
+            k: [str(q) for q in v] for k, v in b.wrong_queries.items()
+        }
+
+    def test_pool_queries_are_schema_valid(self):
+        schema = university_schema()
+        pool = course_submission_pool(seed=2, mutants_per_question=6)
+        for queries in pool.wrong_queries.values():
+            for query in queries:
+                query.output_schema(schema)
+
+
+class TestMutations:
+    def _q1(self):
+        return course_questions()[0].correct_query
+
+    def test_constant_mutation(self):
+        mutants = mutate_constants(self._q1(), ["ECON"])
+        assert mutants
+        assert all("ECON" in str(m.query) for m in mutants)
+
+    def test_flip_comparison(self):
+        mutants = flip_comparison_operators(self._q1())
+        assert mutants
+        assert any("!=" in str(m.query) for m in mutants)
+
+    def test_drop_conjuncts_reduces_predicate(self):
+        mutants = drop_conjuncts(self._q1())
+        assert mutants
+        original_length = len(str(self._q1()))
+        assert all(len(str(m.query)) < original_length for m in mutants)
+
+    def test_difference_mutations(self):
+        q2 = course_questions()[1].correct_query
+        assert swap_difference_operands(q2)
+        dropped = drop_difference(q2)
+        assert dropped
+        assert all("−" not in str(m.query) for m in dropped)
+
+    def test_generate_mutants_unique_and_capped(self):
+        mutants = generate_mutants(self._q1(), constant_pool=["ECON", "MATH"], max_mutants=5, seed=1)
+        assert len(mutants) <= 5
+        assert len({str(m.query) for m in mutants}) == len(mutants)
+
+    def test_mutants_differ_from_original(self):
+        q2 = course_questions()[1].correct_query
+        for mutant in generate_mutants(q2, constant_pool=["ECON"]):
+            assert str(mutant.query) != str(q2)
+            assert mutant.description
+
+
+class TestBeersProblems:
+    def test_ten_problems(self):
+        assert len(beers_problems()) == 10
+        assert [p.key for p in beers_problems()] == list("abcdefghij")
+
+    def test_ratest_availability_matches_paper(self):
+        available = {p.key for p in beers_problems() if p.ratest_available}
+        assert available == set(RATEST_PROBLEMS) == {"b", "d", "e", "g", "i"}
+
+    def test_queries_evaluate_on_generated_instance(self):
+        instance = beers_instance(num_drinkers=20, num_bars=8, num_beers=6, seed=7)
+        for problem in beers_problems():
+            evaluate(problem.correct_query, instance)
+
+    def test_problem_i_is_no_aggregation_division(self):
+        problem = beers_problem("i")
+        assert profile(problem.correct_query).query_class in (
+            QueryClass.SPJUD,
+            QueryClass.SPJUD_STAR,
+        )
+        assert not profile(problem.correct_query).uses_aggregate
+
+    def test_problem_h_and_i_differ(self):
+        # (h) and (i) are similar but not equivalent ("some beers" vs "only
+        # beers"): a bar with an empty menu is bad for (h) but harmless for (i).
+        instance = beers_instance(num_drinkers=25, num_bars=8, num_beers=6, seed=3)
+        h_rows = evaluate(beers_problem("h").correct_query, instance).rows
+        i_rows = evaluate(beers_problem("i").correct_query, instance).rows
+        assert i_rows != h_rows
+        assert h_rows and i_rows
+
+    def test_unknown_problem_key(self):
+        with pytest.raises(KeyError):
+            beers_problem("z")
+
+    def test_wrong_variants_differ_on_generated_instance(self):
+        instance = beers_instance(num_drinkers=30, num_bars=10, num_beers=7, seed=11)
+        for key in ("b", "g", "i"):
+            problem = beers_problem(key)
+            for wrong in problem.handwritten_wrong_queries:
+                assert results_differ(problem.correct_query, wrong, instance)
+
+
+class TestTpchQueries:
+    def test_five_queries_with_two_wrong_variants(self):
+        queries = tpch_queries()
+        assert [q.key for q in queries] == ["Q4", "Q16", "Q18", "Q21", "Q21-S"]
+        assert all(len(q.wrong_texts) == 2 for q in queries)
+
+    def test_queries_are_aggregate_class(self):
+        for query in tpch_queries():
+            assert profile(query.correct_query).uses_aggregate
+
+    def test_aggregate_predicate_flags(self):
+        assert tpch_query("Q18").has_aggregate_predicate
+        assert tpch_query("Q21-S").has_aggregate_predicate
+        assert not tpch_query("Q4").has_aggregate_predicate
+
+    def test_queries_evaluate_on_tpch_lite(self):
+        instance = tpch_instance(scale=0.05, seed=1)
+        for query in tpch_queries():
+            result = evaluate(query.correct_query, instance)
+            assert result.schema.arity >= 2
+
+    def test_wrong_variants_schema_compatible(self):
+        instance = tpch_instance(scale=0.05, seed=1)
+        for query in tpch_queries():
+            correct_schema = query.correct_query.output_schema(instance.schema)
+            for wrong in query.wrong_queries:
+                assert correct_schema.union_compatible(wrong.output_schema(instance.schema))
+
+    def test_unknown_query_key(self):
+        with pytest.raises(KeyError):
+            tpch_query("Q99")
