@@ -1,0 +1,118 @@
+"""Micro-benchmark: old tuple-at-a-time interpreter vs. the plan-based engine.
+
+Models the evaluation load of a grading session on the TPC-H join workload
+(``repro.workload.tpch_queries`` over ``repro.datagen.tpch`` at the
+10K-tuple scale): for every (reference, submission) pair the system evaluates
+both queries for the agreement check and again to pick the differing rows —
+exactly what ``RATest.check`` does before any solver work.
+
+Three configurations are timed:
+
+* ``old``            — the historical interpreter (``ReferenceEvaluator``),
+                       one fresh evaluator per evaluation, as ``evaluate()``
+                       behaved before the engine existed;
+* ``engine-cold``    — the engine with a fresh ``EngineSession`` per
+                       evaluation (no cross-call caching: measures plan
+                       compilation + optimized execution alone);
+* ``engine-session`` — one ``EngineSession`` per instance, the way
+                       ``RATest`` now evaluates (structural plan/result
+                       caching across the whole grading session).
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_engine_speedup.py``)
+for a table, or through pytest
+(``pytest benchmarks/bench_engine_speedup.py``) to assert the ≥2× session
+speedup recorded in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datagen import tpch_instance
+from repro.engine import EngineSession
+from repro.engine.reference import ReferenceEvaluator
+from repro.workload import tpch_queries
+
+#: Scale factor putting the TPC-H-lite instance at the paper's 10K-tuple scale.
+SCALE = 1.45
+
+
+def _grading_pairs():
+    pairs = []
+    for query in tpch_queries():
+        correct = query.correct_query
+        for wrong in query.wrong_queries:
+            pairs.append((query.key, correct, wrong))
+    return pairs
+
+
+def _grading_evaluations(pairs):
+    """The evaluation sequence of a grading session over the pairs."""
+    for _, correct, wrong in pairs:
+        # Agreement check, then symmetric difference on disagreement.
+        yield correct
+        yield wrong
+        yield correct
+        yield wrong
+
+
+def run_benchmark(scale: float = SCALE, seed: int = 0) -> dict:
+    instance = tpch_instance(scale=scale, seed=seed)
+    pairs = _grading_pairs()
+
+    start = time.perf_counter()
+    old_rows = [
+        frozenset(ReferenceEvaluator(instance, {}).rows(query))
+        for query in _grading_evaluations(pairs)
+    ]
+    old_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold_rows = [
+        EngineSession(instance).evaluate(query).rows
+        for query in _grading_evaluations(pairs)
+    ]
+    cold_s = time.perf_counter() - start
+
+    session = EngineSession(instance)
+    start = time.perf_counter()
+    session_rows = [
+        session.evaluate(query).rows for query in _grading_evaluations(pairs)
+    ]
+    session_s = time.perf_counter() - start
+
+    assert old_rows == cold_rows == session_rows  # identical semantics
+    return {
+        "total_tuples": instance.total_size(),
+        "evaluations": 4 * len(pairs),
+        "old_s": old_s,
+        "engine_cold_s": cold_s,
+        "engine_session_s": session_s,
+        "speedup_cold": old_s / cold_s,
+        "speedup_session": old_s / session_s,
+    }
+
+
+def test_engine_speedup_on_tpch(benchmark=None):
+    if benchmark is not None:
+        result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+        benchmark.extra_info["result"] = result
+    else:  # plain pytest without pytest-benchmark
+        result = run_benchmark()
+    assert result["total_tuples"] >= 10_000
+    assert result["speedup_session"] >= 2.0
+
+
+def main() -> None:
+    result = run_benchmark()
+    print(f"TPC-H grading-session workload, {result['total_tuples']} tuples, "
+          f"{result['evaluations']} evaluations")
+    print(f"  old interpreter     : {result['old_s']:8.3f} s")
+    print(f"  engine (cold)       : {result['engine_cold_s']:8.3f} s   "
+          f"({result['speedup_cold']:.2f}x)")
+    print(f"  engine (session)    : {result['engine_session_s']:8.3f} s   "
+          f"({result['speedup_session']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,13 +22,15 @@ from repro.core import (
     find_smallest_counterexample,
     find_smallest_witness,
 )
+from repro.engine import EngineSession
 from repro.ratest import AutoGrader, Question, RATest, RATestReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AutoGrader",
     "CounterexampleResult",
+    "EngineSession",
     "Question",
     "RATest",
     "RATestReport",

@@ -34,6 +34,8 @@ class Relation:
         self.schema = schema
         self._rows: dict[str, Values] = {}
         self._next_id = 1
+        self._version = 0
+        self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple[str, Values]]]] = {}
 
     # -- mutation ----------------------------------------------------------
 
@@ -59,6 +61,9 @@ class Relation:
         elif tid in self._rows:
             raise SchemaError(f"duplicate tuple identifier {tid!r}")
         self._rows[tid] = coerced
+        self._version += 1
+        if self._indexes:
+            self._indexes.clear()
         return tid
 
     def insert_all(self, rows: Iterable[Sequence[Any]]) -> list[str]:
@@ -85,6 +90,28 @@ class Relation:
 
     def value_set(self) -> frozenset[Values]:
         return frozenset(self._rows.values())
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing mutation counter (invalidates caches)."""
+        return self._version
+
+    def hash_index(self, key_indexes: tuple[int, ...]) -> dict[tuple, list[tuple[str, Values]]]:
+        """A lazily built, cached hash index grouping tuples by a column tuple.
+
+        Maps each distinct key (the values at ``key_indexes``) to the
+        ``(tid, values)`` pairs carrying it, in insertion order.  The index is
+        built on first use, reused by subsequent equi-joins on the same
+        columns, and dropped on mutation.
+        """
+        index = self._indexes.get(key_indexes)
+        if index is None:
+            index = {}
+            for tid, values in self._rows.items():
+                key = tuple(values[i] for i in key_indexes)
+                index.setdefault(key, []).append((tid, values))
+            self._indexes[key_indexes] = index
+        return index
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """Rows as attribute-name dictionaries (handy for display and tests)."""
@@ -147,6 +174,11 @@ class DatabaseInstance:
     def total_size(self) -> int:
         """Total number of tuples across all relations (the paper's ``|D|``)."""
         return sum(len(rel) for rel in self.relations.values())
+
+    @property
+    def data_version(self) -> int:
+        """Sum of relation mutation counters; changes whenever data changes."""
+        return sum(rel.version for rel in self.relations.values())
 
     def all_tids(self) -> set[str]:
         return {tid for rel in self.relations.values() for tid in rel.tids()}

@@ -39,10 +39,11 @@ from repro.provenance.aggregate import (
     annotate_aggregate_query,
     decompose_aggregate_query,
 )
-from repro.provenance.annotate import annotate
 from repro.ra.analysis import profile
 from repro.ra.ast import Difference, GroupBy, Projection, RAExpression
 from repro.ra.evaluator import evaluate
+from repro.core.common import annotate_cached, evaluate_cached
+from repro.engine.session import EngineSession
 from repro.ra.rewrite import add_tuple_selection, parameterize_query, push_selections_down
 from repro.solver.minones import MinOnesProblem, MinOnesSolver
 from repro.solver.theory import AggregateProblem, AggregateSolver, AggregateSolverConfig
@@ -69,6 +70,7 @@ def smallest_counterexample_agg_basic(
     parameterize: bool = False,
     solver_config: AggregateSolverConfig | None = None,
     all_groups: bool = False,
+    session: EngineSession | None = None,
 ) -> CounterexampleResult:
     """Aggregate-provenance counterexamples (Agg-Basic; Agg-Param when parameterized)."""
     stopwatch = Stopwatch()
@@ -83,16 +85,16 @@ def smallest_counterexample_agg_basic(
         original_params.update(parameterized2.original_values)
 
     with stopwatch.measure("raw_eval"):
-        result1 = evaluate(query1, instance, original_params)
-        result2 = evaluate(query2, instance, original_params)
+        result1 = evaluate_cached(query1, instance, original_params, session)
+        result2 = evaluate_cached(query2, instance, original_params, session)
         if result1.same_rows(result2):
             raise CounterexampleError(
                 "the two queries return identical results on this instance"
             )
 
     with stopwatch.measure("provenance"):
-        annotation1 = annotate_aggregate_query(query1, instance, original_params)
-        annotation2 = annotate_aggregate_query(query2, instance, original_params)
+        annotation1 = annotate_aggregate_query(query1, instance, original_params, session)
+        annotation2 = annotate_aggregate_query(query2, instance, original_params, session)
         differing = _differing_keys(annotation1, result1, result2)
         candidates = [
             item for item in _group_constraints(annotation1, annotation2) if item[0] in differing
@@ -210,6 +212,7 @@ def smallest_counterexample_agg_opt(
     *,
     params: ParamValues | None = None,
     max_retries: int = 8,
+    session: EngineSession | None = None,
 ) -> CounterexampleResult:
     """Algorithm 3: compare the pre-aggregation queries, then re-validate.
 
@@ -233,17 +236,17 @@ def smallest_counterexample_agg_opt(
         common = [name for name in schema1.attribute_names if schema2.has_attribute(name)]
         if not common:
             return smallest_counterexample_agg_basic(
-                q1, q2, instance, params=params, parameterize=True
+                q1, q2, instance, params=params, parameterize=True, session=session
             )
         core1 = Projection(core1, tuple(common))
         core2 = Projection(core2, tuple(common))
 
     with stopwatch.measure("raw_eval"):
-        core_rows1 = evaluate(core1, instance, original_params)
-        core_rows2 = evaluate(core2, instance, original_params)
+        core_rows1 = evaluate_cached(core1, instance, original_params, session)
+        core_rows2 = evaluate_cached(core2, instance, original_params, session)
     if core_rows1.rows == core_rows2.rows:
         return smallest_counterexample_agg_basic(
-            q1, q2, instance, params=params, parameterize=True
+            q1, q2, instance, params=params, parameterize=True, session=session
         )
     only_in_1 = sorted(core_rows1.rows - core_rows2.rows, key=lambda r: tuple(str(v) for v in r))
     only_in_2 = sorted(core_rows2.rows - core_rows1.rows, key=lambda r: tuple(str(v) for v in r))
@@ -258,7 +261,7 @@ def smallest_counterexample_agg_opt(
         add_tuple_selection(diff, instance.schema, target), instance.schema
     )
     with stopwatch.measure("provenance"):
-        annotated = annotate(selected, instance, original_params)
+        annotated = annotate_cached(selected, instance, original_params, session)
         expression = annotated.expression_for(target)
 
     problem = MinOnesProblem()

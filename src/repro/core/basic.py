@@ -13,11 +13,16 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.catalog.instance import DatabaseInstance, Values
-from repro.core.common import Stopwatch, finalize_result, symmetric_difference_rows
+from repro.core.common import (
+    Stopwatch,
+    annotate_cached,
+    finalize_result,
+    symmetric_difference_rows,
+)
 from repro.core.fk import foreign_key_clauses
 from repro.core.results import CounterexampleResult, WitnessResult
+from repro.engine.session import EngineSession
 from repro.errors import CounterexampleError
-from repro.provenance.annotate import annotate
 from repro.provenance.boolexpr import BoolExpr
 from repro.ra.ast import Difference, RAExpression
 from repro.solver.minones import MinOnesProblem, MinOnesSolver
@@ -69,16 +74,18 @@ def smallest_counterexample_basic(
     max_trials: int = 128,
     strategy: str = "descend",
     max_rows: int | None = None,
+    session: EngineSession | None = None,
 ) -> CounterexampleResult:
     """Find the smallest counterexample by examining every differing output tuple.
 
     ``max_rows`` caps how many differing tuples are examined (useful for large
     result differences); the paper's Basic algorithm has no such cap, so the
-    default is unlimited.
+    default is unlimited.  ``session`` optionally shares an engine session's
+    plan/result caches with the caller (e.g. the RATest facade).
     """
     stopwatch = Stopwatch()
     with stopwatch.measure("raw_eval"):
-        only_in_q1, only_in_q2 = symmetric_difference_rows(q1, q2, instance, params)
+        only_in_q1, only_in_q2 = symmetric_difference_rows(q1, q2, instance, params, session)
     if not only_in_q1 and not only_in_q2:
         raise CounterexampleError("the two queries return identical results on this instance")
 
@@ -95,7 +102,9 @@ def smallest_counterexample_basic(
         key = id(winning)
         if key not in annotations:
             with stopwatch.measure("provenance"):
-                annotations[key] = annotate(Difference(winning, losing), instance, params)
+                annotations[key] = annotate_cached(
+                    Difference(winning, losing), instance, params, session
+                )
         annotated = annotations[key]
         expression = annotated.expression_for(row)
         with stopwatch.measure("solver"):

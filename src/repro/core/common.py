@@ -7,11 +7,50 @@ from typing import Any, Iterable, Mapping
 
 from repro.catalog.instance import DatabaseInstance, Values
 from repro.core.results import CounterexampleResult
+from repro.engine.session import EngineSession
 from repro.errors import CounterexampleError
 from repro.ra.ast import Difference, RAExpression
 from repro.ra.evaluator import evaluate
 
 ParamValues = Mapping[str, Any]
+
+
+def evaluate_cached(
+    expression: RAExpression,
+    instance: DatabaseInstance,
+    params: ParamValues | None = None,
+    session: EngineSession | None = None,
+):
+    """Evaluate through ``session`` when it is bound to this very instance.
+
+    The counterexample algorithms re-evaluate the same queries several times
+    (agreement check, symmetric difference, witness verification); threading
+    an :class:`EngineSession` through them turns the repeats into cache hits.
+    A session bound to a *different* instance (e.g. when verifying on a
+    counterexample subinstance) is ignored.
+    """
+    if session is not None and session.instance is instance:
+        return session.evaluate(expression, params)
+    return evaluate(expression, instance, params)
+
+
+def annotate_cached(
+    expression: RAExpression,
+    instance: DatabaseInstance,
+    params: ParamValues | None = None,
+    session: EngineSession | None = None,
+):
+    """Provenance annotation through ``session`` when bound to ``instance``.
+
+    Sharing the session lets provenance construction reuse the scans and
+    subplans already cached by the set-semantics agreement checks.
+    """
+    from repro.provenance.annotate import AnnotatedRelation, annotate
+
+    if session is not None and session.instance is instance:
+        schema, rows = session.annotated_rows(expression, params)
+        return AnnotatedRelation(schema, rows)
+    return annotate(expression, instance, params)
 
 
 class Stopwatch:
@@ -50,10 +89,11 @@ def symmetric_difference_rows(
     q2: RAExpression,
     instance: DatabaseInstance,
     params: ParamValues | None = None,
+    session: EngineSession | None = None,
 ) -> tuple[list[Values], list[Values]]:
     """Rows in ``Q1(D) \\ Q2(D)`` and ``Q2(D) \\ Q1(D)`` (each sorted deterministically)."""
-    result1 = evaluate(q1, instance, params)
-    result2 = evaluate(q2, instance, params)
+    result1 = evaluate_cached(q1, instance, params, session)
+    result2 = evaluate_cached(q2, instance, params, session)
     only_in_q1 = sorted(result1.rows - result2.rows, key=_row_key)
     only_in_q2 = sorted(result2.rows - result1.rows, key=_row_key)
     return only_in_q1, only_in_q2
@@ -64,6 +104,7 @@ def pick_witness_target(
     q2: RAExpression,
     instance: DatabaseInstance,
     params: ParamValues | None = None,
+    session: EngineSession | None = None,
 ) -> tuple[Values, RAExpression, RAExpression]:
     """Choose the output tuple ``t`` to witness and orient the difference.
 
@@ -71,7 +112,7 @@ def pick_witness_target(
     the witness is then computed w.r.t. ``winning − losing``.  Raises
     :class:`CounterexampleError` when the two queries agree on the instance.
     """
-    only_in_q1, only_in_q2 = symmetric_difference_rows(q1, q2, instance, params)
+    only_in_q1, only_in_q2 = symmetric_difference_rows(q1, q2, instance, params, session)
     if only_in_q1:
         return only_in_q1[0], q1, q2
     if only_in_q2:

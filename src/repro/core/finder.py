@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from repro.catalog.instance import DatabaseInstance
+from repro.engine.session import EngineSession
 from repro.core.aggregates import (
     is_aggregate_pair,
     smallest_counterexample_agg_basic,
@@ -45,10 +46,11 @@ def find_smallest_witness(
     instance: DatabaseInstance,
     *,
     params: ParamValues | None = None,
+    session: EngineSession | None = None,
     **options: Any,
 ) -> CounterexampleResult:
     """Solve the smallest-witness problem (SWP) with Optσ — the recommended path."""
-    return smallest_witness_optsigma(q1, q2, instance, params=params, **options)
+    return smallest_witness_optsigma(q1, q2, instance, params=params, session=session, **options)
 
 
 def find_smallest_counterexample(
@@ -58,6 +60,7 @@ def find_smallest_counterexample(
     *,
     algorithm: str = "auto",
     params: ParamValues | None = None,
+    session: EngineSession | None = None,
     **options: Any,
 ) -> CounterexampleResult:
     """Find a smallest counterexample, dispatching on the query classes.
@@ -65,28 +68,38 @@ def find_smallest_counterexample(
     ``algorithm`` may be ``"auto"`` or any key of :data:`ALGORITHMS`; extra
     keyword options are forwarded to the chosen algorithm (e.g.
     ``parameterize=True`` for ``agg-basic``, ``mode="enumerate"`` for
-    ``basic``).
+    ``basic``).  ``session`` shares an engine session's plan/result caches
+    across the algorithm's evaluations (all algorithms accept it).
     """
     if algorithm != "auto":
         if algorithm not in ALGORITHMS:
             raise ReproError(
                 f"unknown algorithm {algorithm!r}; choose one of {sorted(ALGORITHMS)} or 'auto'"
             )
-        return ALGORITHMS[algorithm](q1, q2, instance, params=params, **options)
+        return ALGORITHMS[algorithm](q1, q2, instance, params=params, session=session, **options)
 
     if is_aggregate_pair(q1, q2):
         try:
-            return smallest_counterexample_agg_opt(q1, q2, instance, params=params, **options)
+            return smallest_counterexample_agg_opt(
+                q1, q2, instance, params=params, session=session, **options
+            )
         except NotApplicableError:
-            return smallest_counterexample_agg_basic(q1, q2, instance, params=params, **options)
-    return smallest_witness_optsigma(q1, q2, instance, params=params, **options)
+            return smallest_counterexample_agg_basic(
+                q1, q2, instance, params=params, session=session, **options
+            )
+    return smallest_witness_optsigma(q1, q2, instance, params=params, session=session, **options)
 
 
 class SmallestCounterexampleFinder:
-    """Object-oriented facade binding an instance once and answering many queries."""
+    """Object-oriented facade binding an instance once and answering many queries.
+
+    Holds one :class:`EngineSession`, so plan compilation and subquery results
+    are shared across every ``find`` call on the same instance.
+    """
 
     def __init__(self, instance: DatabaseInstance) -> None:
         self.instance = instance
+        self.session = EngineSession(instance)
 
     def find(
         self,
@@ -98,5 +111,11 @@ class SmallestCounterexampleFinder:
         **options: Any,
     ) -> CounterexampleResult:
         return find_smallest_counterexample(
-            q1, q2, self.instance, algorithm=algorithm, params=params, **options
+            q1,
+            q2,
+            self.instance,
+            algorithm=algorithm,
+            params=params,
+            session=self.session,
+            **options,
         )

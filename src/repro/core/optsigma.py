@@ -14,11 +14,16 @@ from __future__ import annotations
 from typing import Any, Mapping
 
 from repro.catalog.instance import DatabaseInstance, Values
-from repro.core.common import Stopwatch, finalize_result, pick_witness_target
+from repro.core.common import (
+    Stopwatch,
+    annotate_cached,
+    finalize_result,
+    pick_witness_target,
+)
 from repro.core.fk import foreign_key_clauses
 from repro.core.results import CounterexampleResult
+from repro.engine.session import EngineSession
 from repro.errors import CounterexampleError
-from repro.provenance.annotate import annotate
 from repro.ra.ast import Difference, RAExpression
 from repro.ra.rewrite import add_tuple_selection, push_selections_down
 from repro.solver.minones import MinOnesProblem, MinOnesSolver
@@ -36,6 +41,7 @@ def smallest_witness_optsigma(
     pushdown: bool = True,
     strategy: str = "descend",
     solver_time_budget: float | None = None,
+    session: EngineSession | None = None,
 ) -> CounterexampleResult:
     """Algorithm 2: smallest witness of one differing output tuple.
 
@@ -46,7 +52,7 @@ def smallest_witness_optsigma(
     """
     stopwatch = Stopwatch()
     with stopwatch.measure("raw_eval"):
-        row, winning, losing = pick_witness_target(q1, q2, instance, params)
+        row, winning, losing = pick_witness_target(q1, q2, instance, params, session)
     if target_row is not None:
         row = tuple(target_row)
 
@@ -56,7 +62,7 @@ def smallest_witness_optsigma(
         selected = push_selections_down(selected, instance.schema)
 
     with stopwatch.measure("provenance"):
-        annotated = annotate(selected, instance, params)
+        annotated = annotate_cached(selected, instance, params, session)
         expression = annotated.expression_for(row)
     if expression.variables() == frozenset() and not expression.evaluate({}):
         raise CounterexampleError(

@@ -23,10 +23,16 @@ from typing import Any, Mapping
 
 from repro.catalog.constraints import close_under_foreign_keys
 from repro.catalog.instance import DatabaseInstance, Values
-from repro.core.common import Stopwatch, finalize_result, pick_witness_target
+from repro.core.common import (
+    Stopwatch,
+    annotate_cached,
+    evaluate_cached,
+    finalize_result,
+    pick_witness_target,
+)
+from repro.engine.session import EngineSession
 from repro.core.results import CounterexampleResult
 from repro.errors import NotApplicableError
-from repro.provenance.annotate import annotate
 from repro.provenance.boolexpr import to_dnf
 from repro.ra.analysis import QueryClass, profile, spju_terminals
 from repro.ra.ast import Difference, RAExpression
@@ -42,6 +48,7 @@ def smallest_witness_monotone_dnf(
     *,
     params: ParamValues | None = None,
     max_terms: int = 100_000,
+    session: EngineSession | None = None,
 ) -> CounterexampleResult:
     """Theorem 6: smallest witness for monotone (SPJU) query pairs via DNF."""
     profile1, profile2 = profile(q1), profile(q2)
@@ -51,9 +58,9 @@ def smallest_witness_monotone_dnf(
         )
     stopwatch = Stopwatch()
     with stopwatch.measure("raw_eval"):
-        row, winning, _losing = pick_witness_target(q1, q2, instance, params)
+        row, winning, _losing = pick_witness_target(q1, q2, instance, params, session)
     with stopwatch.measure("provenance"):
-        annotated = annotate(winning, instance, params)
+        annotated = annotate_cached(winning, instance, params, session)
         expression = annotated.expression_for(row)
     with stopwatch.measure("solver"):
         minterms = to_dnf(expression, max_terms=max_terms)
@@ -80,6 +87,7 @@ def smallest_witness_spjud_star(
     params: ParamValues | None = None,
     max_witnesses_per_terminal: int = 64,
     max_combinations: int = 50_000,
+    session: EngineSession | None = None,
 ) -> CounterexampleResult:
     """Theorem 7: smallest witness for SPJUD* query pairs by terminal enumeration."""
     for query in (q1, q2):
@@ -98,7 +106,7 @@ def smallest_witness_spjud_star(
             )
     stopwatch = Stopwatch()
     with stopwatch.measure("raw_eval"):
-        row, winning, losing = pick_witness_target(q1, q2, instance, params)
+        row, winning, losing = pick_witness_target(q1, q2, instance, params, session)
     combined = Difference(winning, losing)
     terminals = spju_terminals(combined)
 
@@ -106,7 +114,7 @@ def smallest_witness_spjud_star(
     with stopwatch.measure("provenance"):
         options: list[list[frozenset[str]]] = []
         for terminal in terminals:
-            annotated = annotate(terminal, instance, params)
+            annotated = annotate_cached(terminal, instance, params, session)
             if row not in annotated.provenance:
                 continue
             minterms = to_dnf(annotated.expression_for(row))

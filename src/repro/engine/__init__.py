@@ -1,0 +1,76 @@
+"""The annotation-generic execution engine.
+
+Queries are compiled from the RA AST into a logical plan
+(:mod:`repro.engine.logical`), optimized (:mod:`repro.engine.optimizer` —
+selection pushdown via :mod:`repro.ra.rewrite`, hash-join build-side choice
+by estimated cardinality), and executed by physical operators
+(:mod:`repro.engine.physical`) that are generic over an annotation domain
+(:mod:`repro.engine.domains`): :class:`SetDomain` yields plain set-semantics
+results, :class:`ProvenanceDomain` yields Boolean how-provenance.  The
+``evaluate()`` and ``annotate()`` facades in :mod:`repro.ra.evaluator` and
+:mod:`repro.provenance.annotate` are thin wrappers over this package.
+
+:class:`EngineSession` (:mod:`repro.engine.session`) adds structural plan and
+result caching across repeated evaluations — the unit of reuse for a grading
+session that checks many submissions against one instance.
+"""
+
+from repro.engine.domains import (
+    PROVENANCE_DOMAIN,
+    SET_DOMAIN,
+    AnnotationDomain,
+    ProvenanceDomain,
+    SetDomain,
+)
+from repro.engine.logical import (
+    AggregateOp,
+    CrossOp,
+    DifferenceOp,
+    FilterOp,
+    IntersectOp,
+    JoinOp,
+    PlanNode,
+    ProjectOp,
+    ScanOp,
+    UnionOp,
+    compile_plan,
+    plan_operators,
+    split_equijoin_conjuncts,
+)
+from repro.engine.optimizer import choose_build_sides, estimate_rows, optimize_expression
+from repro.engine.physical import PlanExecutor, apply_aggregate, compile_predicate
+from repro.engine.session import EngineSession, evaluate_with_engine, rows_with_engine
+from repro.engine.structural import KeyCache, StructuralKey, structural_hash
+
+__all__ = [
+    "AggregateOp",
+    "AnnotationDomain",
+    "CrossOp",
+    "DifferenceOp",
+    "EngineSession",
+    "FilterOp",
+    "IntersectOp",
+    "JoinOp",
+    "KeyCache",
+    "PROVENANCE_DOMAIN",
+    "PlanExecutor",
+    "PlanNode",
+    "ProjectOp",
+    "ProvenanceDomain",
+    "SET_DOMAIN",
+    "ScanOp",
+    "SetDomain",
+    "StructuralKey",
+    "UnionOp",
+    "apply_aggregate",
+    "choose_build_sides",
+    "compile_plan",
+    "compile_predicate",
+    "estimate_rows",
+    "evaluate_with_engine",
+    "optimize_expression",
+    "plan_operators",
+    "rows_with_engine",
+    "split_equijoin_conjuncts",
+    "structural_hash",
+]

@@ -1,0 +1,102 @@
+"""Annotation domains: the algebra the execution engine is generic over.
+
+Following the provenance-semiring view, every physical operator manipulates
+``(row, annotation)`` pairs and only ever combines annotations through the
+domain operations below.  Instantiating the same plan with
+
+* :class:`SetDomain` reproduces plain set-semantics evaluation — an
+  annotation is just "the row is present", and
+* :class:`ProvenanceDomain` reproduces Boolean how-provenance — an annotation
+  is a :class:`~repro.provenance.boolexpr.BoolExpr` over input-tuple
+  variables,
+
+so any join/dedup/pushdown optimisation bought once speeds up both grading
+and counterexample construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.provenance.boolexpr import FALSE, BoolExpr, FalseExpr, Var, band, bnot, bor
+
+
+class AnnotationDomain:
+    """Operations an annotation domain must provide.
+
+    ``minus`` may return an *absent* annotation (checked via
+    :meth:`is_absent`) to signal that the row must be dropped.
+    """
+
+    #: Short name used in cache keys and diagnostics.
+    name: str = "abstract"
+    #: Whether GroupBy/aggregation is defined for this domain.
+    supports_aggregation: bool = False
+
+    def of_tuple(self, tid: str) -> Any:
+        """Annotation of one base tuple identified by ``tid``."""
+        raise NotImplementedError
+
+    def plus(self, a: Any, b: Any) -> Any:
+        """Alternative derivations (dedup, projection, union)."""
+        raise NotImplementedError
+
+    def times(self, a: Any, b: Any) -> Any:
+        """Joint derivation (join, intersection)."""
+        raise NotImplementedError
+
+    def minus(self, a: Any, b: Any) -> Any:
+        """Derivation of ``a`` in the absence of ``b`` (difference)."""
+        raise NotImplementedError
+
+    def is_absent(self, a: Any) -> bool:
+        """True when the annotation denotes a row that cannot appear."""
+        raise NotImplementedError
+
+
+class SetDomain(AnnotationDomain):
+    """Presence booleans: the Boolean instance that yields set semantics."""
+
+    name = "set"
+    supports_aggregation = True
+
+    def of_tuple(self, tid: str) -> bool:
+        return True
+
+    def plus(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def times(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def minus(self, a: bool, b: bool) -> bool:
+        return a and not b
+
+    def is_absent(self, a: bool) -> bool:
+        return not a
+
+
+class ProvenanceDomain(AnnotationDomain):
+    """Boolean how-provenance expressions over tuple variables (§2.3)."""
+
+    name = "provenance"
+    supports_aggregation = False
+
+    def of_tuple(self, tid: str) -> BoolExpr:
+        return Var(tid)
+
+    def plus(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return bor(a, b)
+
+    def times(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return band(a, b)
+
+    def minus(self, a: BoolExpr, b: BoolExpr) -> BoolExpr:
+        return band(a, bnot(b))
+
+    def is_absent(self, a: BoolExpr) -> bool:
+        return isinstance(a, FalseExpr) or a is FALSE
+
+
+SET_DOMAIN = SetDomain()
+PROVENANCE_DOMAIN = ProvenanceDomain()

@@ -1,0 +1,184 @@
+"""Plan optimization: selection pushdown and join-input ordering.
+
+The optimizer has two stages:
+
+1. **AST rewrites** reuse :mod:`repro.ra.rewrite` — the selection-pushdown
+   pass built for Optσ is exactly the rewrite a general engine wants, so
+   :func:`optimize_expression` simply applies it to the whole query before
+   compilation.
+2. **Plan rewrites** work on the compiled plan: each hash join builds its
+   table on the input with the *smaller* estimated cardinality
+   (:func:`choose_build_sides`), using base-relation sizes from the bound
+   instance and textbook selectivity guesses for the operators above them.
+
+Both stages are semantics-preserving for every annotation domain; exact-mode
+sessions (used to reproduce the historical provenance output bit-for-bit)
+skip them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.catalog.instance import DatabaseInstance
+from repro.catalog.schema import DatabaseSchema
+from repro.engine.logical import (
+    AggregateOp,
+    CrossOp,
+    DifferenceOp,
+    FilterOp,
+    IntersectOp,
+    JoinOp,
+    PlanNode,
+    ProjectOp,
+    ScanOp,
+    UnionOp,
+)
+from repro.catalog.types import DataType, comparable, is_numeric
+from repro.ra.ast import RAExpression, Selection
+from repro.ra.predicates import Arithmetic, ColumnRef, Comparison, Literal, Param, Predicate
+from repro.ra.rewrite import push_selections_down
+
+#: Selectivity guesses for filter predicates (System-R style constants).
+_EQUALITY_SELECTIVITY = 0.15
+_DEFAULT_SELECTIVITY = 0.4
+
+_ORDERED_OPS = frozenset({"<", "<=", ">", ">="})
+
+
+def _scalar_dtype(scalar, schema) -> DataType | None:
+    """Static type of a scalar against ``schema``; ``None`` when unknown."""
+    if isinstance(scalar, ColumnRef):
+        if schema.has_attribute(scalar.name):
+            return schema.attribute(scalar.name).dtype
+        return None
+    if isinstance(scalar, Literal):
+        value = scalar.value
+        if isinstance(value, bool):
+            return DataType.BOOL
+        if isinstance(value, (int, float)):
+            return DataType.FLOAT
+        if isinstance(value, str):
+            return DataType.STRING
+        return None
+    if isinstance(scalar, Arithmetic):
+        left = _scalar_dtype(scalar.left, schema)
+        right = _scalar_dtype(scalar.right, schema)
+        if left is not None and right is not None and is_numeric(left) and is_numeric(right):
+            return DataType.FLOAT
+        return None
+    return None  # parameters and unknown scalar types
+
+
+def _scalar_can_raise(scalar, schema) -> bool:
+    if isinstance(scalar, Param):
+        # An unbound parameter raises only when the predicate is evaluated,
+        # so its selection must keep seeing exactly the original rows.
+        return True
+    if isinstance(scalar, Arithmetic):
+        if scalar.op == "/":
+            return True  # division by zero
+        if _scalar_can_raise(scalar.left, schema) or _scalar_can_raise(scalar.right, schema):
+            return True
+        # Non-numeric operands make +,-,* raise TypeError when evaluated.
+        return _scalar_dtype(scalar, schema) is None
+    return False
+
+
+def _predicate_can_raise(predicate: Predicate, schema) -> bool:
+    """True when evaluating the predicate may abort on some rows.
+
+    Division and ill-typed expressions (a string column ordered against a
+    number — typical of malformed student queries) raise only on the rows
+    they are evaluated over; pushing such a predicate below a join would
+    evaluate it on rows the join eliminates, turning a query the historical
+    interpreter answered into an error.
+    """
+    if isinstance(predicate, Comparison):
+        if _scalar_can_raise(predicate.left, schema) or _scalar_can_raise(predicate.right, schema):
+            return True
+        if predicate.op in _ORDERED_OPS:
+            left = _scalar_dtype(predicate.left, schema)
+            right = _scalar_dtype(predicate.right, schema)
+            return left is None or right is None or not comparable(left, right)
+        return False  # = and != never raise between mismatched Python types
+    operands = getattr(predicate, "operands", None)
+    if operands is not None:
+        return any(_predicate_can_raise(p, schema) for p in operands)
+    operand = getattr(predicate, "operand", None)
+    if operand is not None:
+        return _predicate_can_raise(operand, schema)
+    return False
+
+
+def optimize_expression(expression: RAExpression, db: DatabaseSchema) -> RAExpression:
+    """AST-level rewrites: push every selection as far down as possible.
+
+    Skipped entirely when any selection predicate can raise on evaluation:
+    moving such a predicate changes which rows it sees, and therefore
+    whether it raises at all.
+    """
+    for node in expression.walk():
+        if isinstance(node, Selection) and _predicate_can_raise(
+            node.predicate, node.child.output_schema(db)
+        ):
+            return expression
+    return push_selections_down(expression, db)
+
+
+def _predicate_selectivity(predicate: Predicate) -> float:
+    selectivity = 1.0
+    for conjunct in predicate.conjuncts():
+        if isinstance(conjunct, Comparison) and conjunct.op == "=":
+            selectivity *= _EQUALITY_SELECTIVITY
+        else:
+            selectivity *= _DEFAULT_SELECTIVITY
+    return max(selectivity, 0.001)
+
+
+def estimate_rows(plan: PlanNode, instance: DatabaseInstance) -> float:
+    """Estimated output cardinality of a plan over ``instance``."""
+    if isinstance(plan, ScanOp):
+        return float(len(instance.relation(plan.relation)))
+    if isinstance(plan, FilterOp):
+        return estimate_rows(plan.child, instance) * _predicate_selectivity(plan.predicate)
+    if isinstance(plan, ProjectOp):
+        return estimate_rows(plan.child, instance)
+    if isinstance(plan, JoinOp):
+        # FK-style equi-joins return about as many rows as the larger input.
+        return max(estimate_rows(plan.left, instance), estimate_rows(plan.right, instance))
+    if isinstance(plan, CrossOp):
+        left = estimate_rows(plan.left, instance)
+        right = estimate_rows(plan.right, instance)
+        product = left * right
+        if plan.residual:
+            for predicate in plan.residual:
+                product *= _predicate_selectivity(predicate)
+        return product
+    if isinstance(plan, UnionOp):
+        return estimate_rows(plan.left, instance) + estimate_rows(plan.right, instance)
+    if isinstance(plan, DifferenceOp):
+        return estimate_rows(plan.left, instance)
+    if isinstance(plan, IntersectOp):
+        return min(estimate_rows(plan.left, instance), estimate_rows(plan.right, instance))
+    if isinstance(plan, AggregateOp):
+        return max(estimate_rows(plan.child, instance) * 0.25, 1.0)
+    return 1.0
+
+
+def choose_build_sides(plan: PlanNode, instance: DatabaseInstance) -> PlanNode:
+    """Rebuild the plan with each hash join building on its smaller input."""
+    if isinstance(plan, JoinOp):
+        left = choose_build_sides(plan.left, instance)
+        right = choose_build_sides(plan.right, instance)
+        build_left = estimate_rows(left, instance) < estimate_rows(right, instance)
+        return replace(plan, left=left, right=right, build_left=build_left)
+    if isinstance(plan, (FilterOp, ProjectOp, AggregateOp)):
+        return replace(plan, child=choose_build_sides(plan.child, instance))
+    if isinstance(plan, (CrossOp, UnionOp, DifferenceOp, IntersectOp)):
+        return replace(
+            plan,
+            left=choose_build_sides(plan.left, instance),
+            right=choose_build_sides(plan.right, instance),
+        )
+    return plan

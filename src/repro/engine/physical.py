@@ -1,0 +1,452 @@
+"""Physical operators: domain-generic execution of compiled plans.
+
+Every operator consumes and produces an *annotated row set* — an
+insertion-ordered ``dict[Values, annotation]`` whose keys are the distinct
+rows (set semantics) and whose values live in the executing
+:class:`~repro.engine.domains.AnnotationDomain`.  Running a plan under
+:data:`~repro.engine.domains.SET_DOMAIN` yields exactly the rows of the
+classic evaluator; under :data:`~repro.engine.domains.PROVENANCE_DOMAIN` the
+same code yields Boolean how-provenance.
+
+Two row-level optimisations live here: predicates are compiled into closures
+with attribute positions resolved once (instead of a name lookup per row),
+and hash joins build their table from the base relation's cached
+:meth:`~repro.catalog.instance.Relation.hash_index` when the build side is a
+bare scan.
+"""
+
+from __future__ import annotations
+
+from operator import itemgetter
+from typing import Any, Callable, Mapping, MutableMapping, Sequence
+
+from repro.catalog.instance import DatabaseInstance, Values
+from repro.catalog.schema import RelationSchema
+from repro.errors import NotApplicableError, QueryEvaluationError, UnknownAttributeError
+from repro.engine.domains import AnnotationDomain
+from repro.engine.logical import (
+    AggregateOp,
+    CrossOp,
+    DifferenceOp,
+    FilterOp,
+    IntersectOp,
+    JoinOp,
+    PlanNode,
+    ProjectOp,
+    ScanOp,
+    UnionOp,
+)
+from repro.ra.ast import AggregateFunction
+from repro.ra.predicates import (
+    COMPARISON_OPS,
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    Scalar,
+    TruePredicate,
+)
+
+ParamValues = Mapping[str, Any]
+AnnotatedRows = "dict[Values, Any]"
+
+#: Error message kept byte-identical with the historical provenance evaluator.
+AGGREGATION_NOT_SUPPORTED = (
+    "Boolean how-provenance does not cover aggregation; "
+    "use repro.provenance.aggregate for GroupBy queries"
+)
+
+
+# ---------------------------------------------------------------------------
+# Predicate compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_scalar(scalar: Scalar, schema: RelationSchema) -> Callable[[Values, ParamValues], Any]:
+    """Compile a scalar into a closure with attribute positions resolved."""
+    if isinstance(scalar, Literal):
+        value = scalar.value
+        return lambda row, params: value
+    if isinstance(scalar, ColumnRef):
+        try:
+            index = schema.index_of(scalar.name)
+        except UnknownAttributeError as exc:
+            raise QueryEvaluationError(str(exc)) from exc
+        return lambda row, params: row[index]
+    if isinstance(scalar, Param):
+        name = scalar.name
+
+        def read_param(row: Values, params: ParamValues) -> Any:
+            if name not in params:
+                raise QueryEvaluationError(f"unbound query parameter @{name}")
+            return params[name]
+
+        return read_param
+    if isinstance(scalar, Arithmetic):
+        left = compile_scalar(scalar.left, schema)
+        right = compile_scalar(scalar.right, schema)
+        op = scalar.op
+
+        def arith(row: Values, params: ParamValues) -> Any:
+            a = left(row, params)
+            b = right(row, params)
+            if a is None or b is None:
+                return None
+            try:
+                if op == "+":
+                    return a + b
+                if op == "-":
+                    return a - b
+                if op == "*":
+                    return a * b
+                return a / b
+            except ZeroDivisionError as exc:
+                raise QueryEvaluationError("division by zero in scalar expression") from exc
+
+        return arith
+    # Unknown scalar subclass: fall back to its own evaluate().
+    return lambda row, params: scalar.evaluate(schema, row, params)
+
+
+def compile_predicate(
+    predicate: Predicate, schema: RelationSchema
+) -> Callable[[Values, ParamValues], bool]:
+    """Compile a predicate into a closure (SQL NULL comparison semantics)."""
+    if isinstance(predicate, TruePredicate):
+        return lambda row, params: True
+    if isinstance(predicate, Comparison):
+        left = compile_scalar(predicate.left, schema)
+        right = compile_scalar(predicate.right, schema)
+        op = COMPARISON_OPS[predicate.op]
+
+        def compare(row: Values, params: ParamValues) -> bool:
+            a = left(row, params)
+            b = right(row, params)
+            if a is None or b is None:
+                return False
+            return op(a, b)
+
+        return compare
+    if isinstance(predicate, And):
+        parts = [compile_predicate(p, schema) for p in predicate.operands]
+        return lambda row, params: all(p(row, params) for p in parts)
+    if isinstance(predicate, Or):
+        parts = [compile_predicate(p, schema) for p in predicate.operands]
+        return lambda row, params: any(p(row, params) for p in parts)
+    if isinstance(predicate, Not):
+        inner = compile_predicate(predicate.operand, schema)
+        return lambda row, params: not inner(row, params)
+    # Unknown predicate subclass: fall back to its own evaluate().
+    return lambda row, params: predicate.evaluate(schema, row, params)
+
+
+def key_function(indexes: tuple[int, ...]) -> Callable[[Values], tuple]:
+    """Fast extractor of the value tuple at ``indexes``."""
+    if not indexes:
+        return lambda row: ()
+    if len(indexes) == 1:
+        index = indexes[0]
+        return lambda row: (row[index],)
+    getter = itemgetter(*indexes)
+    return lambda row: getter(row)
+
+
+# ---------------------------------------------------------------------------
+# Aggregate computation
+# ---------------------------------------------------------------------------
+
+
+def apply_aggregate(func: AggregateFunction, values: Sequence[Any]) -> Any:
+    """One aggregate over the non-NULL input values of a group."""
+    if func is AggregateFunction.COUNT:
+        return len(values)
+    if not values:
+        return None
+    if func is AggregateFunction.SUM:
+        return sum(values)
+    if func is AggregateFunction.AVG:
+        return sum(values) / len(values)
+    if func is AggregateFunction.MIN:
+        return min(values)
+    if func is AggregateFunction.MAX:
+        return max(values)
+    raise QueryEvaluationError(f"unsupported aggregate function {func}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+class PlanExecutor:
+    """Executes a plan over one instance under one annotation domain.
+
+    ``memo`` maps ``(plan, relevant params)`` to finished annotated row sets;
+    because plan nodes compare structurally, equal subplans — within one
+    query or across queries in a session — are computed once.  The params
+    part of the key is the restriction of the parameter binding to the
+    parameters the subplan actually references, so param-independent subplans
+    (all scans, most joins) are shared across bindings.  Returned dicts are
+    shared with the memo, so operators never mutate their inputs.
+    """
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        params: ParamValues,
+        domain: AnnotationDomain,
+        memo: MutableMapping[tuple, "dict[Values, Any]"],
+        param_refs: MutableMapping[PlanNode, frozenset] | None = None,
+        *,
+        use_index: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.params = params
+        self.domain = domain
+        self.memo = memo
+        self.param_refs = {} if param_refs is None else param_refs
+        self.use_index = use_index
+
+    def _referenced_params(self, plan: PlanNode) -> frozenset:
+        """Names of the query parameters the subplan's predicates read."""
+        cached = self.param_refs.get(plan)
+        if cached is None:
+            refs: set[str] = set()
+            if isinstance(plan, FilterOp):
+                refs |= plan.predicate.referenced_params()
+            elif isinstance(plan, (JoinOp, CrossOp)):
+                for predicate in plan.residual:
+                    refs |= predicate.referenced_params()
+            for child in plan.children():
+                refs |= self._referenced_params(child)
+            cached = frozenset(refs)
+            self.param_refs[plan] = cached
+        return cached
+
+    def run(self, plan: PlanNode) -> "dict[Values, Any]":
+        try:
+            refs = self._referenced_params(plan)
+            if refs:
+                binding = tuple(
+                    (name, self.params[name]) for name in sorted(refs) if name in self.params
+                )
+                key = (plan, binding)
+            else:
+                key = (plan, ())
+            hash(key)
+        except TypeError:  # unhashable literal/parameter value: skip caching
+            return self._execute(plan)
+        cached = self.memo.get(key)
+        if cached is None:
+            cached = self._execute(plan)
+            self.memo[key] = cached
+        return cached
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _execute(self, plan: PlanNode) -> "dict[Values, Any]":
+        if isinstance(plan, ScanOp):
+            return self._scan(plan)
+        if isinstance(plan, FilterOp):
+            return self._filter(plan)
+        if isinstance(plan, ProjectOp):
+            return self._project(plan)
+        if isinstance(plan, JoinOp):
+            return self._hash_join(plan)
+        if isinstance(plan, CrossOp):
+            return self._cross(plan)
+        if isinstance(plan, UnionOp):
+            return self._union(plan)
+        if isinstance(plan, DifferenceOp):
+            return self._difference(plan)
+        if isinstance(plan, IntersectOp):
+            return self._intersect(plan)
+        if isinstance(plan, AggregateOp):
+            return self._aggregate(plan)
+        raise QueryEvaluationError(f"unsupported plan node {type(plan).__name__}")
+
+    # -- operators -----------------------------------------------------------
+
+    def _scan(self, plan: ScanOp) -> "dict[Values, Any]":
+        domain = self.domain
+        out: dict[Values, Any] = {}
+        for tid, values in self.instance.relation(plan.relation).tuples():
+            annotation = domain.of_tuple(tid)
+            existing = out.get(values)
+            out[values] = annotation if existing is None else domain.plus(existing, annotation)
+        return out
+
+    def _filter(self, plan: FilterOp) -> "dict[Values, Any]":
+        keep = compile_predicate(plan.predicate, plan.schema)
+        params = self.params
+        return {row: a for row, a in self.run(plan.child).items() if keep(row, params)}
+
+    def _project(self, plan: ProjectOp) -> "dict[Values, Any]":
+        domain = self.domain
+        extract = key_function(plan.indexes)
+        out: dict[Values, Any] = {}
+        for row, annotation in self.run(plan.child).items():
+            projected = extract(row)
+            existing = out.get(projected)
+            out[projected] = (
+                annotation if existing is None else domain.plus(existing, annotation)
+            )
+        return out
+
+    def _build_table(
+        self, plan: PlanNode, key: tuple[int, ...]
+    ) -> "dict[tuple, list[tuple[Values, Any]]]":
+        """Group the build input by join key, folding duplicate rows.
+
+        A bare base-relation scan uses the instance's cached hash index, so
+        repeated joins on the same key skip the grouping pass entirely.
+        """
+        domain = self.domain
+        table: dict[tuple, list[tuple[Values, Any]]] = {}
+        if self.use_index and isinstance(plan, ScanOp):
+            index = self.instance.relation(plan.relation).hash_index(key)
+            for key_values, entries in index.items():
+                folded: dict[Values, Any] = {}
+                for tid, values in entries:
+                    annotation = domain.of_tuple(tid)
+                    existing = folded.get(values)
+                    folded[values] = (
+                        annotation if existing is None else domain.plus(existing, annotation)
+                    )
+                table[key_values] = list(folded.items())
+            return table
+        extract = key_function(key)
+        for row, annotation in self.run(plan).items():
+            table.setdefault(extract(row), []).append((row, annotation))
+        return table
+
+    def _hash_join(self, plan: JoinOp) -> "dict[Values, Any]":
+        domain = self.domain
+        params = self.params
+        build_left = plan.build_left
+        if build_left:
+            table = self._build_table(plan.left, plan.left_key)
+            probe_rows = self.run(plan.right)
+            probe_key = key_function(plan.right_key)
+        else:
+            table = self._build_table(plan.right, plan.right_key)
+            probe_rows = self.run(plan.left)
+            probe_key = key_function(plan.left_key)
+        residual = [compile_predicate(p, plan.schema) for p in plan.residual]
+        keep_right = plan.keep_right
+        out: dict[Values, Any] = {}
+        for probe_row, probe_annotation in probe_rows.items():
+            matches = table.get(probe_key(probe_row))
+            if not matches:
+                continue
+            for build_row, build_annotation in matches:
+                if build_left:
+                    left_row, left_a = build_row, build_annotation
+                    right_row, right_a = probe_row, probe_annotation
+                else:
+                    left_row, left_a = probe_row, probe_annotation
+                    right_row, right_a = build_row, build_annotation
+                if keep_right is None:
+                    combined = left_row + right_row
+                else:
+                    combined = left_row + tuple(right_row[i] for i in keep_right)
+                if residual and not all(p(combined, params) for p in residual):
+                    continue
+                annotation = domain.times(left_a, right_a)
+                existing = out.get(combined)
+                out[combined] = (
+                    annotation if existing is None else domain.plus(existing, annotation)
+                )
+        return out
+
+    def _cross(self, plan: CrossOp) -> "dict[Values, Any]":
+        domain = self.domain
+        params = self.params
+        residual = [compile_predicate(p, plan.schema) for p in plan.residual]
+        right_rows = self.run(plan.right)
+        out: dict[Values, Any] = {}
+        for left_row, left_a in self.run(plan.left).items():
+            for right_row, right_a in right_rows.items():
+                combined = left_row + right_row
+                if residual and not all(p(combined, params) for p in residual):
+                    continue
+                annotation = domain.times(left_a, right_a)
+                existing = out.get(combined)
+                out[combined] = (
+                    annotation if existing is None else domain.plus(existing, annotation)
+                )
+        return out
+
+    def _union(self, plan: UnionOp) -> "dict[Values, Any]":
+        domain = self.domain
+        out = dict(self.run(plan.left))
+        for row, annotation in self.run(plan.right).items():
+            existing = out.get(row)
+            out[row] = annotation if existing is None else domain.plus(existing, annotation)
+        return out
+
+    def _difference(self, plan: DifferenceOp) -> "dict[Values, Any]":
+        domain = self.domain
+        right = self.run(plan.right)
+        out: dict[Values, Any] = {}
+        for row, annotation in self.run(plan.left).items():
+            counter = right.get(row)
+            if counter is None:
+                out[row] = annotation
+                continue
+            combined = domain.minus(annotation, counter)
+            if not domain.is_absent(combined):
+                out[row] = combined
+        return out
+
+    def _intersect(self, plan: IntersectOp) -> "dict[Values, Any]":
+        domain = self.domain
+        right = self.run(plan.right)
+        out: dict[Values, Any] = {}
+        for row, annotation in self.run(plan.left).items():
+            counter = right.get(row)
+            if counter is not None:
+                out[row] = domain.times(annotation, counter)
+        return out
+
+    def _aggregate(self, plan: AggregateOp) -> "dict[Values, Any]":
+        domain = self.domain
+        if not domain.supports_aggregation:
+            raise NotApplicableError(AGGREGATION_NOT_SUPPORTED)
+        extract = key_function(plan.group_indexes)
+        groups: dict[tuple, list[Values]] = {}
+        annotations: dict[tuple, Any] = {}
+        for row, annotation in self.run(plan.child).items():
+            key = extract(row)
+            members = groups.get(key)
+            if members is None:
+                groups[key] = [row]
+                annotations[key] = annotation
+            else:
+                members.append(row)
+                annotations[key] = domain.plus(annotations[key], annotation)
+        out: dict[Values, Any] = {}
+        for key, members in groups.items():
+            computed = []
+            for spec, index in plan.aggregates:
+                if index < 0:
+                    computed.append(len(members))
+                else:
+                    computed.append(
+                        apply_aggregate(
+                            spec.func,
+                            [row[index] for row in members if row[index] is not None],
+                        )
+                    )
+            output_row = key + tuple(computed)
+            existing = out.get(output_row)
+            annotation = annotations[key]
+            out[output_row] = (
+                annotation if existing is None else domain.plus(existing, annotation)
+            )
+        return out

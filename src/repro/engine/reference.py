@@ -1,0 +1,310 @@
+"""Reference interpreters: the pre-engine tuple-at-a-time evaluators.
+
+These are the original operator-at-a-time interpreters that
+``repro.ra.evaluator`` and ``repro.provenance.annotate`` shipped before the
+plan-based engine replaced them.  They are kept *only* as
+
+* the independent oracle for the engine's differential tests
+  (``tests/test_engine_differential.py``), and
+* the "old interpreter" baseline of
+  ``benchmarks/bench_engine_speedup.py``.
+
+Production code paths must use :class:`~repro.engine.session.EngineSession`
+(or the ``evaluate``/``annotate`` facades built on it); nothing outside tests
+and benchmarks should import this module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.catalog.instance import DatabaseInstance, Values
+from repro.engine.logical import resolve_aggregate_input, split_equijoin_conjuncts
+from repro.engine.physical import apply_aggregate
+from repro.errors import NotApplicableError, QueryEvaluationError
+from repro.provenance.boolexpr import FALSE, BoolExpr, Var, band, bnot, bor
+from repro.ra.ast import (
+    Difference,
+    GroupBy,
+    Intersection,
+    Join,
+    NaturalJoin,
+    Projection,
+    RAExpression,
+    RelationRef,
+    Rename,
+    Selection,
+    Union,
+)
+
+ParamValues = Mapping[str, Any]
+
+
+class ReferenceEvaluator:
+    """Set-semantics interpreter, memoised by node identity (the old code)."""
+
+    def __init__(self, instance: DatabaseInstance, params: ParamValues) -> None:
+        self.instance = instance
+        self.params = params
+        self._cache: dict[int, list[Values]] = {}
+
+    def rows(self, node: RAExpression) -> list[Values]:
+        key = id(node)
+        if key not in self._cache:
+            self._cache[key] = self._evaluate(node)
+        return self._cache[key]
+
+    def _evaluate(self, node: RAExpression) -> list[Values]:
+        if isinstance(node, RelationRef):
+            relation = self.instance.relation(node.name)
+            return _dedup(values for _, values in relation.tuples())
+        if isinstance(node, Selection):
+            schema = node.child.output_schema(self.instance.schema)
+            predicate = node.predicate
+            return [
+                row
+                for row in self.rows(node.child)
+                if predicate.evaluate(schema, row, self.params)
+            ]
+        if isinstance(node, Projection):
+            schema = node.child.output_schema(self.instance.schema)
+            indexes = [schema.index_of(c) for c in node.columns]
+            return _dedup(tuple(row[i] for i in indexes) for row in self.rows(node.child))
+        if isinstance(node, Rename):
+            return self.rows(node.child)
+        if isinstance(node, Join):
+            return self._theta_join(node)
+        if isinstance(node, NaturalJoin):
+            return self._natural_join(node)
+        if isinstance(node, Union):
+            return _dedup(self.rows(node.left) + self.rows(node.right))
+        if isinstance(node, Difference):
+            right = set(self.rows(node.right))
+            return [row for row in self.rows(node.left) if row not in right]
+        if isinstance(node, Intersection):
+            right = set(self.rows(node.right))
+            return [row for row in self.rows(node.left) if row in right]
+        if isinstance(node, GroupBy):
+            return self._group_by(node)
+        raise QueryEvaluationError(f"unsupported RA node type {type(node).__name__}")
+
+    def _theta_join(self, node: Join) -> list[Values]:
+        left_schema = node.left.output_schema(self.instance.schema)
+        right_schema = node.right.output_schema(self.instance.schema)
+        combined = node.output_schema(self.instance.schema)
+        pairs, residual = split_equijoin_conjuncts(
+            node.effective_predicate(), left_schema, right_schema
+        )
+        left_rows = self.rows(node.left)
+        right_rows = self.rows(node.right)
+        output: list[Values] = []
+        if pairs:
+            left_idx = [left_schema.index_of(a) for a, _ in pairs]
+            right_idx = [right_schema.index_of(b) for _, b in pairs]
+            table: dict[tuple, list[Values]] = {}
+            for row in right_rows:
+                table.setdefault(tuple(row[i] for i in right_idx), []).append(row)
+            for left_row in left_rows:
+                key = tuple(left_row[i] for i in left_idx)
+                for right_row in table.get(key, ()):
+                    output.append(left_row + right_row)
+        else:
+            for left_row in left_rows:
+                for right_row in right_rows:
+                    output.append(left_row + right_row)
+        if residual:
+            output = [
+                row
+                for row in output
+                if all(p.evaluate(combined, row, self.params) for p in residual)
+            ]
+        return _dedup(output)
+
+    def _natural_join(self, node: NaturalJoin) -> list[Values]:
+        left_schema = node.left.output_schema(self.instance.schema)
+        right_schema = node.right.output_schema(self.instance.schema)
+        shared = node.shared_attributes(self.instance.schema)
+        left_rows = self.rows(node.left)
+        right_rows = self.rows(node.right)
+        if not shared:
+            return _dedup(l + r for l in left_rows for r in right_rows)
+        left_idx = [left_schema.index_of(name) for name in shared]
+        right_idx = [right_schema.index_of(name) for name in shared]
+        keep_right = [
+            i for i, attr in enumerate(right_schema.attributes) if attr.name not in set(shared)
+        ]
+        table: dict[tuple, list[Values]] = {}
+        for row in right_rows:
+            table.setdefault(tuple(row[i] for i in right_idx), []).append(row)
+        output = []
+        for left_row in left_rows:
+            key = tuple(left_row[i] for i in left_idx)
+            for right_row in table.get(key, ()):
+                output.append(left_row + tuple(right_row[i] for i in keep_right))
+        return _dedup(output)
+
+    def _group_by(self, node: GroupBy) -> list[Values]:
+        schema = node.child.output_schema(self.instance.schema)
+        group_idx = [schema.index_of(name) for name in node.group_by]
+        resolved = [(spec, resolve_aggregate_input(spec, schema)) for spec in node.aggregates]
+        groups: dict[tuple, list[Values]] = {}
+        for row in self.rows(node.child):
+            groups.setdefault(tuple(row[i] for i in group_idx), []).append(row)
+        output = []
+        for key, rows in groups.items():
+            aggregates = tuple(
+                len(rows)
+                if index < 0
+                else apply_aggregate(
+                    spec.func, [row[index] for row in rows if row[index] is not None]
+                )
+                for spec, index in resolved
+            )
+            output.append(key + aggregates)
+        return _dedup(output)
+
+
+class ReferenceProvenanceEvaluator:
+    """Bottom-up provenance interpreter mirroring :class:`ReferenceEvaluator`."""
+
+    def __init__(self, instance: DatabaseInstance, params: ParamValues) -> None:
+        self.instance = instance
+        self.params = params
+        self._cache: dict[int, dict[Values, BoolExpr]] = {}
+
+    def annotated(self, node: RAExpression) -> dict[Values, BoolExpr]:
+        key = id(node)
+        if key not in self._cache:
+            self._cache[key] = self._evaluate(node)
+        return self._cache[key]
+
+    def _evaluate(self, node: RAExpression) -> dict[Values, BoolExpr]:
+        if isinstance(node, RelationRef):
+            provenance: dict[Values, BoolExpr] = {}
+            for tid, values in self.instance.relation(node.name).tuples():
+                existing = provenance.get(values)
+                annotation = Var(tid)
+                provenance[values] = (
+                    annotation if existing is None else bor(existing, annotation)
+                )
+            return provenance
+        if isinstance(node, Selection):
+            schema = node.child.output_schema(self.instance.schema)
+            return {
+                row: expr
+                for row, expr in self.annotated(node.child).items()
+                if node.predicate.evaluate(schema, row, self.params)
+            }
+        if isinstance(node, Projection):
+            schema = node.child.output_schema(self.instance.schema)
+            indexes = [schema.index_of(c) for c in node.columns]
+            provenance = {}
+            for row, expr in self.annotated(node.child).items():
+                projected = tuple(row[i] for i in indexes)
+                existing = provenance.get(projected)
+                provenance[projected] = expr if existing is None else bor(existing, expr)
+            return provenance
+        if isinstance(node, Rename):
+            return dict(self.annotated(node.child))
+        if isinstance(node, Join):
+            return self._theta_join(node)
+        if isinstance(node, NaturalJoin):
+            return self._natural_join(node)
+        if isinstance(node, Union):
+            provenance = dict(self.annotated(node.left))
+            for row, expr in self.annotated(node.right).items():
+                existing = provenance.get(row)
+                provenance[row] = expr if existing is None else bor(existing, expr)
+            return provenance
+        if isinstance(node, Difference):
+            right = self.annotated(node.right)
+            provenance = {}
+            for row, expr in self.annotated(node.left).items():
+                combined = band(expr, bnot(right[row])) if row in right else expr
+                if not isinstance(combined, type(FALSE)):
+                    provenance[row] = combined
+            return provenance
+        if isinstance(node, Intersection):
+            right = self.annotated(node.right)
+            provenance = {}
+            for row, expr in self.annotated(node.left).items():
+                if row in right:
+                    provenance[row] = band(expr, right[row])
+            return provenance
+        if isinstance(node, GroupBy):
+            raise NotApplicableError(
+                "Boolean how-provenance does not cover aggregation; "
+                "use repro.provenance.aggregate for GroupBy queries"
+            )
+        raise QueryEvaluationError(f"unsupported RA node type {type(node).__name__}")
+
+    def _theta_join(self, node: Join) -> dict[Values, BoolExpr]:
+        left_schema = node.left.output_schema(self.instance.schema)
+        right_schema = node.right.output_schema(self.instance.schema)
+        combined_schema = node.output_schema(self.instance.schema)
+        pairs, residual = split_equijoin_conjuncts(
+            node.effective_predicate(), left_schema, right_schema
+        )
+        left = self.annotated(node.left)
+        right = self.annotated(node.right)
+        provenance: dict[Values, BoolExpr] = {}
+
+        def emit(left_row: Values, left_expr: BoolExpr, right_row: Values, right_expr: BoolExpr) -> None:
+            combined = left_row + right_row
+            if residual and not all(
+                p.evaluate(combined_schema, combined, self.params) for p in residual
+            ):
+                return
+            expr = band(left_expr, right_expr)
+            existing = provenance.get(combined)
+            provenance[combined] = expr if existing is None else bor(existing, expr)
+
+        if pairs:
+            left_idx = [left_schema.index_of(a) for a, _ in pairs]
+            right_idx = [right_schema.index_of(b) for _, b in pairs]
+            table: dict[tuple, list[tuple[Values, BoolExpr]]] = {}
+            for row, expr in right.items():
+                table.setdefault(tuple(row[i] for i in right_idx), []).append((row, expr))
+            for left_row, left_expr in left.items():
+                key = tuple(left_row[i] for i in left_idx)
+                for right_row, right_expr in table.get(key, ()):
+                    emit(left_row, left_expr, right_row, right_expr)
+        else:
+            for left_row, left_expr in left.items():
+                for right_row, right_expr in right.items():
+                    emit(left_row, left_expr, right_row, right_expr)
+        return provenance
+
+    def _natural_join(self, node: NaturalJoin) -> dict[Values, BoolExpr]:
+        left_schema = node.left.output_schema(self.instance.schema)
+        right_schema = node.right.output_schema(self.instance.schema)
+        shared = node.shared_attributes(self.instance.schema)
+        left = self.annotated(node.left)
+        right = self.annotated(node.right)
+        provenance: dict[Values, BoolExpr] = {}
+        left_idx = [left_schema.index_of(name) for name in shared]
+        right_idx = [right_schema.index_of(name) for name in shared]
+        keep_right = [
+            i for i, attr in enumerate(right_schema.attributes) if attr.name not in set(shared)
+        ]
+        table: dict[tuple, list[tuple[Values, BoolExpr]]] = {}
+        for row, expr in right.items():
+            table.setdefault(tuple(row[i] for i in right_idx), []).append((row, expr))
+        for left_row, left_expr in left.items():
+            key = tuple(left_row[i] for i in left_idx)
+            for right_row, right_expr in table.get(key, ()):
+                combined = left_row + tuple(right_row[i] for i in keep_right)
+                expr = band(left_expr, right_expr)
+                existing = provenance.get(combined)
+                provenance[combined] = expr if existing is None else bor(existing, expr)
+        return provenance
+
+
+def _dedup(rows) -> list[Values]:
+    seen: set[Values] = set()
+    output: list[Values] = []
+    for row in rows:
+        if row not in seen:
+            seen.add(row)
+            output.append(row)
+    return output

@@ -1,0 +1,189 @@
+"""Engine sessions: plan + result caching across repeated evaluations.
+
+An :class:`EngineSession` binds one :class:`~repro.catalog.instance.DatabaseInstance`
+and memoises two levels of work:
+
+* **Plans** — each RA expression is compiled (and optionally optimized) once,
+  keyed structurally, so re-checking the same reference query against many
+  submissions never re-plans it.
+* **Results** — every executed subplan's annotated row set is cached per
+  domain, keyed by the subplan plus the restriction of the parameter binding
+  to the parameters that subplan references — so scans and other
+  param-independent subplans are shared across bindings.  Structural keys
+  mean the cache is shared between distinct-but-equal subtrees (the two
+  sides of a ``Difference``, a reference query re-evaluated per submission,
+  scans shared by all queries over the instance).
+
+Caches are invalidated automatically when the bound instance's
+``data_version`` changes.  ``exact=True`` runs the unoptimized plan with the
+historical operator order (build on the right join input, no pushdown), which
+reproduces the legacy set evaluator *and* the legacy provenance annotations
+bit for bit — that mode backs the ``annotate()`` facade.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.catalog.instance import DatabaseInstance, ResultSet, Values
+from repro.catalog.schema import RelationSchema
+from repro.engine.domains import (
+    PROVENANCE_DOMAIN,
+    SET_DOMAIN,
+    AnnotationDomain,
+)
+from repro.engine.logical import PlanNode, compile_plan
+from repro.engine.optimizer import choose_build_sides, optimize_expression
+from repro.engine.physical import PlanExecutor
+from repro.engine.structural import KeyCache, StructuralKey
+from repro.ra.ast import RAExpression
+
+ParamValues = Mapping[str, Any]
+
+
+class EngineSession:
+    """Compile-and-execute service bound to one database instance."""
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        *,
+        optimize: bool = True,
+        use_index: bool = True,
+    ) -> None:
+        self.instance = instance
+        self.optimize = optimize
+        self.use_index = use_index
+        self._keys = KeyCache()
+        self._plans: dict[tuple[bool, StructuralKey], PlanNode] = {}
+        self._results: dict[str, dict[tuple, dict[Values, Any]]] = {}
+        self._param_refs: dict[PlanNode, frozenset] = {}
+        self._data_version = instance.data_version
+        self.stats = {"plan_hits": 0, "plan_misses": 0, "invalidations": 0}
+
+    # -- cache management ----------------------------------------------------
+
+    #: Soft bounds on cache sizes; exceeding one clears that cache wholesale
+    #: (a grading service survives unbounded submissions at the price of
+    #: occasional cold re-evaluation).  The result bound counts materialised
+    #: *rows* across all cached result sets, not cache entries, so memory is
+    #: actually bounded.
+    max_cached_rows = 2_000_000
+    max_cached_plans = 10_000
+
+    def _check_version(self) -> None:
+        version = self.instance.data_version
+        if version != self._data_version:
+            self._plans.clear()
+            self._results.clear()
+            self._param_refs.clear()
+            self._keys.clear()
+            self._data_version = version
+            self.stats["invalidations"] += 1
+            return
+        cached_rows = sum(
+            len(rows) for memo in self._results.values() for rows in memo.values()
+        )
+        if cached_rows > self.max_cached_rows:
+            self._results.clear()
+        if len(self._plans) > self.max_cached_plans:
+            self._plans.clear()
+            self._param_refs.clear()
+            self._keys.clear()
+
+    def _memo(self, domain: AnnotationDomain) -> dict:
+        memo = self._results.get(domain.name)
+        if memo is None:
+            memo = self._results[domain.name] = {}
+        return memo
+
+    def _plan(self, expression: RAExpression, *, exact: bool) -> PlanNode:
+        key = (exact, self._keys.key(expression))
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.stats["plan_hits"] += 1
+            return plan
+        self.stats["plan_misses"] += 1
+        db = self.instance.schema
+        if exact or not self.optimize:
+            plan = compile_plan(expression, db)
+        else:
+            plan = compile_plan(optimize_expression(expression, db), db)
+            plan = choose_build_sides(plan, self.instance)
+        self._plans[key] = plan
+        return plan
+
+    def cache_info(self) -> dict[str, int]:
+        """Plan/result cache statistics (used by tests and benchmarks)."""
+        return {
+            **self.stats,
+            "cached_plans": len(self._plans),
+            "cached_results": sum(len(memo) for memo in self._results.values()),
+        }
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(
+        self,
+        expression: RAExpression,
+        domain: AnnotationDomain,
+        params: ParamValues | None = None,
+        *,
+        exact: bool = False,
+    ) -> tuple[RelationSchema, "dict[Values, Any]"]:
+        """Run ``expression`` under ``domain``; returns (schema, annotated rows).
+
+        The returned dict is owned by the session cache — treat it as
+        read-only (the public helpers below copy).
+        """
+        self._check_version()
+        schema = expression.output_schema(self.instance.schema)
+        plan = self._plan(expression, exact=exact)
+        executor = PlanExecutor(
+            self.instance,
+            params or {},
+            domain,
+            self._memo(domain),
+            self._param_refs,
+            use_index=self.use_index,
+        )
+        return schema, executor.run(plan)
+
+    def evaluate(self, expression: RAExpression, params: ParamValues | None = None) -> ResultSet:
+        """Set-semantics evaluation (same contract as ``repro.ra.evaluate``)."""
+        schema, rows = self.execute(expression, SET_DOMAIN, params)
+        return ResultSet(schema, frozenset(rows))
+
+    def rows(self, expression: RAExpression, params: ParamValues | None = None) -> list[Values]:
+        """Deduplicated rows of ``expression`` in first-seen order."""
+        _, rows = self.execute(expression, SET_DOMAIN, params)
+        return list(rows)
+
+    def annotated_rows(
+        self, expression: RAExpression, params: ParamValues | None = None
+    ) -> tuple[RelationSchema, "dict[Values, Any]"]:
+        """Boolean how-provenance of every candidate row (a fresh dict).
+
+        Runs in exact mode so the annotations are identical — expression by
+        expression — to the historical ``ProvenanceEvaluator``.
+        """
+        schema, rows = self.execute(expression, PROVENANCE_DOMAIN, params, exact=True)
+        return schema, dict(rows)
+
+
+def evaluate_with_engine(
+    expression: RAExpression,
+    instance: DatabaseInstance,
+    params: ParamValues | None = None,
+) -> ResultSet:
+    """One-shot engine evaluation (the body of the ``evaluate()`` facade)."""
+    return EngineSession(instance).evaluate(expression, params)
+
+
+def rows_with_engine(
+    expression: RAExpression,
+    instance: DatabaseInstance,
+    params: ParamValues | None = None,
+) -> list[Values]:
+    """One-shot engine evaluation returning ordered rows."""
+    return EngineSession(instance).rows(expression, params)

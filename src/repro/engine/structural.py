@@ -1,0 +1,89 @@
+"""Structural identity for expression and plan caching.
+
+RA expression nodes and engine plan nodes are frozen dataclasses, so Python's
+``==``/``hash`` already compare them *structurally*: two independently built
+copies of the same subtree are equal.  Caching by structural key (instead of
+``id(node)``) lets shared sub-expressions hit the cache even when they are
+distinct objects — the common case for student queries where the same
+subquery appears on both sides of a :class:`~repro.ra.ast.Difference`.
+
+Hashing a tree is O(size), so :class:`KeyCache` interns a
+:class:`StructuralKey` per *object*: repeat lookups of the same node are O(1),
+while structurally equal distinct objects still collide (by design) through
+the precomputed hash and deep equality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+
+def structural_hash(node: Any) -> int:
+    """Hash of a frozen expression/plan node; identity fallback if unhashable.
+
+    The fallback only triggers for exotic trees (e.g. a ``Literal`` holding a
+    mutable value); such nodes simply lose cross-object cache sharing.
+    """
+    try:
+        return hash(node)
+    except TypeError:
+        return id(node)
+
+
+class StructuralKey:
+    """A node wrapped with its precomputed structural hash."""
+
+    __slots__ = ("node", "_hash")
+
+    def __init__(self, node: Any) -> None:
+        self.node = node
+        self._hash = structural_hash(node)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StructuralKey):
+            return NotImplemented
+        if self.node is other.node:
+            return True
+        if self._hash != other._hash:
+            return False
+        try:
+            return bool(self.node == other.node)
+        except Exception:  # pragma: no cover - defensive: odd __eq__ on literals
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StructuralKey({self.node!r})"
+
+
+class KeyCache:
+    """Interns one :class:`StructuralKey` per live node object.
+
+    Entries hold a strong reference to their node, so ``id`` reuse cannot
+    alias a dead node: the guard ``entry.node is node`` stays sound.  Because
+    long-lived grading sessions parse a fresh tree per submission (so old
+    entries are never looked up again), the cache self-clears when it exceeds
+    ``max_entries`` — the cost is one re-hash per retained node, not
+    correctness.
+    """
+
+    def __init__(self, max_entries: int = 8192) -> None:
+        self._by_id: dict[int, StructuralKey] = {}
+        self._max_entries = max_entries
+
+    def key(self, node: Hashable) -> StructuralKey:
+        entry = self._by_id.get(id(node))
+        if entry is None or entry.node is not node:
+            if len(self._by_id) >= self._max_entries:
+                self._by_id.clear()
+            entry = StructuralKey(node)
+            self._by_id[id(node)] = entry
+        return entry
+
+    def clear(self) -> None:
+        self._by_id.clear()
+
+    def __len__(self) -> int:
+        return len(self._by_id)

@@ -21,12 +21,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.catalog.instance import DatabaseInstance, Values
 from repro.catalog.schema import RelationSchema
 from repro.errors import NotApplicableError
-from repro.provenance.annotate import ProvenanceEvaluator
+from repro.provenance.annotate import AnnotatedRelation, ProvenanceEvaluator
 from repro.provenance.boolexpr import Assignment, BoolExpr, bor_all
 from repro.ra.ast import (
     AggregateFunction,
@@ -48,6 +48,9 @@ from repro.ra.predicates import (
     Predicate,
     TruePredicate,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import EngineSession
 
 ParamValues = Mapping[str, Any]
 
@@ -446,11 +449,21 @@ def annotate_aggregate_query(
     expression: RAExpression,
     instance: DatabaseInstance,
     params: ParamValues | None = None,
+    session: "EngineSession | None" = None,
 ) -> AggregateAnnotation:
-    """Compute aggregate provenance for an aggregate-at-top query."""
+    """Compute aggregate provenance for an aggregate-at-top query.
+
+    ``session`` (when bound to this very instance) shares the caller's engine
+    caches, so the SPJUD core's scans and subplans are not recomputed per
+    grading call.
+    """
     params = params or {}
     form = decompose_aggregate_query(expression, instance.schema)
-    core_annotated = ProvenanceEvaluator(instance, params).annotated(form.core)
+    if session is not None and session.instance is instance:
+        core_schema_, core_rows = session.annotated_rows(form.core, params)
+        core_annotated = AnnotatedRelation(core_schema_, core_rows)
+    else:
+        core_annotated = ProvenanceEvaluator(instance, params).annotated(form.core)
     core_schema = core_annotated.schema
 
     group_idx = [core_schema.index_of(name) for name in form.group_by.group_by]

@@ -2,13 +2,20 @@
 
 For every candidate output tuple of an expression, the annotated evaluator
 produces a Boolean how-provenance expression over input-tuple variables.  The
-central invariant (tested property-based in ``tests/test_provenance_semantics``)
+central invariant (tested property-based in ``tests/test_provenance_annotate``)
 is::
 
     for every subinstance D' ⊆ D and candidate row v:
         v ∈ Q(D')  ⇔  Prv_Q(v) evaluates to true under "tid ∈ D'"
 
 and no row outside the candidate set ever appears in ``Q(D')``.
+
+Evaluation is delegated to the annotation-generic engine
+(:mod:`repro.engine`): the same physical plans that produce set-semantics
+results under :class:`~repro.engine.domains.SetDomain` produce how-provenance
+under :class:`~repro.engine.domains.ProvenanceDomain`.  The engine runs in
+exact mode here, so annotations match the historical bottom-up evaluator
+expression for expression.
 
 Aggregate (GroupBy) nodes are handled by :mod:`repro.provenance.aggregate`;
 this module raises :class:`NotApplicableError` for them.
@@ -21,22 +28,17 @@ from typing import Any, Iterator, Mapping
 
 from repro.catalog.instance import DatabaseInstance, Values
 from repro.catalog.schema import RelationSchema
-from repro.errors import NotApplicableError, QueryEvaluationError
-from repro.provenance.boolexpr import FALSE, BoolExpr, Var, band, bnot, bor
-from repro.ra.ast import (
-    Difference,
-    GroupBy,
-    Intersection,
-    Join,
-    NaturalJoin,
-    Projection,
-    RAExpression,
-    RelationRef,
-    Rename,
-    Selection,
-    Union,
-)
-from repro.ra.evaluator import split_equijoin_conjuncts
+from repro.provenance.boolexpr import FALSE, BoolExpr
+from repro.ra.ast import RAExpression
+
+
+def _engine_session(instance: DatabaseInstance):
+    # Imported lazily: repro.engine.domains pulls in repro.provenance.boolexpr,
+    # so a module-level import here would close an import cycle through the
+    # provenance package __init__.
+    from repro.engine.session import EngineSession
+
+    return EngineSession(instance)
 
 ParamValues = Mapping[str, Any]
 
@@ -71,8 +73,8 @@ def annotate(
     params: ParamValues | None = None,
 ) -> AnnotatedRelation:
     """Compute provenance-annotated results of an SPJUD expression."""
-    evaluator = ProvenanceEvaluator(instance, params or {})
-    return evaluator.annotated(expression)
+    schema, rows = _engine_session(instance).annotated_rows(expression, params)
+    return AnnotatedRelation(schema, rows)
 
 
 def provenance_of(
@@ -86,164 +88,18 @@ def provenance_of(
 
 
 class ProvenanceEvaluator:
-    """Bottom-up provenance computation mirroring the plain evaluator."""
+    """Provenance computation bound to one instance, with engine caching.
+
+    Kept as the public handle the aggregate-provenance layer builds on;
+    repeated calls share the underlying session's structural plan and result
+    caches.
+    """
 
     def __init__(self, instance: DatabaseInstance, params: ParamValues) -> None:
         self.instance = instance
         self.params = params
-        self._cache: dict[int, AnnotatedRelation] = {}
+        self.session = _engine_session(instance)
 
     def annotated(self, node: RAExpression) -> AnnotatedRelation:
-        key = id(node)
-        if key not in self._cache:
-            self._cache[key] = self._evaluate(node)
-        return self._cache[key]
-
-    # -- dispatch ------------------------------------------------------------
-
-    def _evaluate(self, node: RAExpression) -> AnnotatedRelation:
-        if isinstance(node, RelationRef):
-            return self._relation(node)
-        if isinstance(node, Selection):
-            return self._selection(node)
-        if isinstance(node, Projection):
-            return self._projection(node)
-        if isinstance(node, Rename):
-            child = self.annotated(node.child)
-            return AnnotatedRelation(node.output_schema(self.instance.schema), dict(child.provenance))
-        if isinstance(node, Join):
-            return self._theta_join(node)
-        if isinstance(node, NaturalJoin):
-            return self._natural_join(node)
-        if isinstance(node, Union):
-            return self._union(node)
-        if isinstance(node, Difference):
-            return self._difference(node)
-        if isinstance(node, Intersection):
-            return self._intersection(node)
-        if isinstance(node, GroupBy):
-            raise NotApplicableError(
-                "Boolean how-provenance does not cover aggregation; "
-                "use repro.provenance.aggregate for GroupBy queries"
-            )
-        raise QueryEvaluationError(f"unsupported RA node type {type(node).__name__}")
-
-    # -- operators -----------------------------------------------------------
-
-    def _relation(self, node: RelationRef) -> AnnotatedRelation:
-        relation = self.instance.relation(node.name)
-        provenance: dict[Values, BoolExpr] = {}
-        for tid, values in relation.tuples():
-            existing = provenance.get(values)
-            annotation = Var(tid)
-            provenance[values] = annotation if existing is None else bor(existing, annotation)
-        return AnnotatedRelation(relation.schema, provenance)
-
-    def _selection(self, node: Selection) -> AnnotatedRelation:
-        child = self.annotated(node.child)
-        schema = child.schema
-        kept = {
-            row: expr
-            for row, expr in child.items()
-            if node.predicate.evaluate(schema, row, self.params)
-        }
-        return AnnotatedRelation(node.output_schema(self.instance.schema), kept)
-
-    def _projection(self, node: Projection) -> AnnotatedRelation:
-        child = self.annotated(node.child)
-        indexes = [child.schema.index_of(c) for c in node.columns]
-        provenance: dict[Values, BoolExpr] = {}
-        for row, expr in child.items():
-            projected = tuple(row[i] for i in indexes)
-            existing = provenance.get(projected)
-            provenance[projected] = expr if existing is None else bor(existing, expr)
-        return AnnotatedRelation(node.output_schema(self.instance.schema), provenance)
-
-    def _theta_join(self, node: Join) -> AnnotatedRelation:
-        left = self.annotated(node.left)
-        right = self.annotated(node.right)
-        combined_schema = node.output_schema(self.instance.schema)
-        pairs, residual = split_equijoin_conjuncts(
-            node.effective_predicate(), left.schema, right.schema
-        )
-        provenance: dict[Values, BoolExpr] = {}
-
-        def emit(left_row: Values, left_expr: BoolExpr, right_row: Values, right_expr: BoolExpr) -> None:
-            combined = left_row + right_row
-            if residual and not all(
-                p.evaluate(combined_schema, combined, self.params) for p in residual
-            ):
-                return
-            expr = band(left_expr, right_expr)
-            existing = provenance.get(combined)
-            provenance[combined] = expr if existing is None else bor(existing, expr)
-
-        if pairs:
-            left_idx = [left.schema.index_of(a) for a, _ in pairs]
-            right_idx = [right.schema.index_of(b) for _, b in pairs]
-            table: dict[tuple, list[tuple[Values, BoolExpr]]] = {}
-            for row, expr in right.items():
-                table.setdefault(tuple(row[i] for i in right_idx), []).append((row, expr))
-            for left_row, left_expr in left.items():
-                key = tuple(left_row[i] for i in left_idx)
-                for right_row, right_expr in table.get(key, ()):  # hash-join probe
-                    emit(left_row, left_expr, right_row, right_expr)
-        else:
-            for left_row, left_expr in left.items():
-                for right_row, right_expr in right.items():
-                    emit(left_row, left_expr, right_row, right_expr)
-        return AnnotatedRelation(combined_schema, provenance)
-
-    def _natural_join(self, node: NaturalJoin) -> AnnotatedRelation:
-        left = self.annotated(node.left)
-        right = self.annotated(node.right)
-        shared = node.shared_attributes(self.instance.schema)
-        output_schema = node.output_schema(self.instance.schema)
-        provenance: dict[Values, BoolExpr] = {}
-        left_idx = [left.schema.index_of(name) for name in shared]
-        right_idx = [right.schema.index_of(name) for name in shared]
-        keep_right = [
-            i for i, attr in enumerate(right.schema.attributes) if attr.name not in set(shared)
-        ]
-        table: dict[tuple, list[tuple[Values, BoolExpr]]] = {}
-        for row, expr in right.items():
-            table.setdefault(tuple(row[i] for i in right_idx), []).append((row, expr))
-        for left_row, left_expr in left.items():
-            key = tuple(left_row[i] for i in left_idx)
-            for right_row, right_expr in table.get(key, ()):
-                combined = left_row + tuple(right_row[i] for i in keep_right)
-                expr = band(left_expr, right_expr)
-                existing = provenance.get(combined)
-                provenance[combined] = expr if existing is None else bor(existing, expr)
-        return AnnotatedRelation(output_schema, provenance)
-
-    def _union(self, node: Union) -> AnnotatedRelation:
-        left = self.annotated(node.left)
-        right = self.annotated(node.right)
-        provenance = dict(left.provenance)
-        for row, expr in right.items():
-            existing = provenance.get(row)
-            provenance[row] = expr if existing is None else bor(existing, expr)
-        return AnnotatedRelation(node.output_schema(self.instance.schema), provenance)
-
-    def _difference(self, node: Difference) -> AnnotatedRelation:
-        left = self.annotated(node.left)
-        right = self.annotated(node.right)
-        provenance: dict[Values, BoolExpr] = {}
-        for row, expr in left.items():
-            if row in right.provenance:
-                combined = band(expr, bnot(right.provenance[row]))
-            else:
-                combined = expr
-            if not isinstance(combined, type(FALSE)):
-                provenance[row] = combined
-        return AnnotatedRelation(node.output_schema(self.instance.schema), provenance)
-
-    def _intersection(self, node: Intersection) -> AnnotatedRelation:
-        left = self.annotated(node.left)
-        right = self.annotated(node.right)
-        provenance: dict[Values, BoolExpr] = {}
-        for row, expr in left.items():
-            if row in right.provenance:
-                provenance[row] = band(expr, right.provenance[row])
-        return AnnotatedRelation(node.output_schema(self.instance.schema), provenance)
+        schema, rows = self.session.annotated_rows(node, self.params)
+        return AnnotatedRelation(schema, rows)

@@ -1,37 +1,46 @@
 """Set-semantics evaluation of relational algebra expressions.
 
-The evaluator is a straightforward operator-at-a-time interpreter with one
-performance-critical refinement: theta joins and natural joins are executed
-as hash joins on their equality conjuncts (with any residual predicate applied
-afterwards), so that the 1K–100K-tuple experiments of the paper are feasible
-without a full query optimizer.
+This module is a thin facade over the annotation-generic execution engine
+(:mod:`repro.engine`): queries are compiled to a plan, optimized (selection
+pushdown, hash-join build-side choice) and executed under the Boolean
+:class:`~repro.engine.domains.SetDomain`, which reproduces classic set
+semantics exactly.  Provenance-annotated evaluation
+(:mod:`repro.provenance.annotate`) runs the *same* plans under a different
+annotation domain, so there is a single implementation of scans, joins,
+dedup and aggregation for both.
+
+Engine imports are deferred to call time: the engine's plan layer imports
+``repro.ra.ast``, whose package ``__init__`` imports this module, so a
+module-level engine import would close an import cycle.
 """
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
 
 from repro.catalog.instance import DatabaseInstance, ResultSet, Values
 from repro.catalog.schema import RelationSchema
-from repro.errors import QueryEvaluationError
-from repro.ra.ast import (
-    AggregateFunction,
-    AggregateSpec,
-    Difference,
-    GroupBy,
-    Intersection,
-    Join,
-    NaturalJoin,
-    Projection,
-    RAExpression,
-    RelationRef,
-    Rename,
-    Selection,
-    Union,
-)
-from repro.ra.predicates import ColumnRef, Comparison, Predicate
+from repro.ra.ast import AggregateSpec, RAExpression
+from repro.ra.predicates import Predicate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import EngineSession
+
+__all__ = [
+    "Evaluator",
+    "compute_aggregate",
+    "evaluate",
+    "results_differ",
+    "split_equijoin_conjuncts",
+]
 
 ParamValues = Mapping[str, Any]
+
+
+def _new_session(instance: DatabaseInstance) -> "EngineSession":
+    from repro.engine.session import EngineSession
+
+    return EngineSession(instance)
 
 
 def evaluate(
@@ -40,10 +49,7 @@ def evaluate(
     params: ParamValues | None = None,
 ) -> ResultSet:
     """Evaluate ``expression`` over ``instance`` and return its result set."""
-    evaluator = Evaluator(instance, params or {})
-    schema = expression.output_schema(instance.schema)
-    rows = evaluator.rows(expression)
-    return ResultSet.of(schema, rows)
+    return _new_session(instance).evaluate(expression, params)
 
 
 def results_differ(
@@ -53,7 +59,8 @@ def results_differ(
     params: ParamValues | None = None,
 ) -> bool:
     """True when the two queries return different row sets on ``instance``."""
-    return not evaluate(q1, instance, params).same_rows(evaluate(q2, instance, params))
+    session = _new_session(instance)
+    return not session.evaluate(q1, params).same_rows(session.evaluate(q2, params))
 
 
 def split_equijoin_conjuncts(
@@ -63,205 +70,44 @@ def split_equijoin_conjuncts(
 ) -> tuple[list[tuple[str, str]], list[Predicate]]:
     """Split a join predicate into hashable equi-join pairs and residual conjuncts.
 
-    Returns ``(pairs, residual)`` where each pair is ``(left_column,
-    right_column)`` and the residual predicates must still be evaluated on the
-    concatenated tuple.
+    Re-exported facade over :func:`repro.engine.logical.split_equijoin_conjuncts`.
     """
-    pairs: list[tuple[str, str]] = []
-    residual: list[Predicate] = []
-    for conjunct in predicate.conjuncts():
-        if (
-            isinstance(conjunct, Comparison)
-            and conjunct.op == "="
-            and isinstance(conjunct.left, ColumnRef)
-            and isinstance(conjunct.right, ColumnRef)
-        ):
-            left_name, right_name = conjunct.left.name, conjunct.right.name
-            if left_schema.has_attribute(left_name) and right_schema.has_attribute(right_name):
-                pairs.append((left_name, right_name))
-                continue
-            if left_schema.has_attribute(right_name) and right_schema.has_attribute(left_name):
-                pairs.append((right_name, left_name))
-                continue
-        residual.append(conjunct)
-    return pairs, residual
+    from repro.engine.logical import split_equijoin_conjuncts as split
+
+    return split(predicate, left_schema, right_schema)
 
 
 class Evaluator:
     """Evaluates RA expressions over one database instance.
 
-    Results of shared sub-expressions are memoised by node identity, which
-    matters for the difference-heavy student queries where the same subquery
-    appears on both sides of a difference.
+    Results of shared sub-expressions are memoised *structurally* (not by
+    ``id``), which matters for the difference-heavy student queries where the
+    same subquery appears on both sides of a difference as two distinct but
+    equal trees.
     """
 
     def __init__(self, instance: DatabaseInstance, params: ParamValues) -> None:
         self.instance = instance
         self.params = params
-        self._cache: dict[int, list[Values]] = {}
-
-    # -- public API ---------------------------------------------------------
+        self.session = _new_session(instance)
 
     def rows(self, node: RAExpression) -> list[Values]:
         """Deduplicated rows of ``node`` (set semantics)."""
-        key = id(node)
-        if key not in self._cache:
-            self._cache[key] = self._evaluate(node)
-        return self._cache[key]
-
-    # -- dispatch ------------------------------------------------------------
-
-    def _evaluate(self, node: RAExpression) -> list[Values]:
-        if isinstance(node, RelationRef):
-            return self._relation(node)
-        if isinstance(node, Selection):
-            return self._selection(node)
-        if isinstance(node, Projection):
-            return self._projection(node)
-        if isinstance(node, Rename):
-            return self.rows(node.child)
-        if isinstance(node, Join):
-            return self._theta_join(node)
-        if isinstance(node, NaturalJoin):
-            return self._natural_join(node)
-        if isinstance(node, Union):
-            return self._union(node)
-        if isinstance(node, Difference):
-            return self._difference(node)
-        if isinstance(node, Intersection):
-            return self._intersection(node)
-        if isinstance(node, GroupBy):
-            return self._group_by(node)
-        raise QueryEvaluationError(f"unsupported RA node type {type(node).__name__}")
-
-    # -- operators -----------------------------------------------------------
-
-    def _relation(self, node: RelationRef) -> list[Values]:
-        relation = self.instance.relation(node.name)
-        return _dedup(values for _, values in relation.tuples())
-
-    def _selection(self, node: Selection) -> list[Values]:
-        schema = node.child.output_schema(self.instance.schema)
-        predicate = node.predicate
-        return [
-            row for row in self.rows(node.child) if predicate.evaluate(schema, row, self.params)
-        ]
-
-    def _projection(self, node: Projection) -> list[Values]:
-        schema = node.child.output_schema(self.instance.schema)
-        indexes = [schema.index_of(c) for c in node.columns]
-        return _dedup(tuple(row[i] for i in indexes) for row in self.rows(node.child))
-
-    def _theta_join(self, node: Join) -> list[Values]:
-        left_schema = node.left.output_schema(self.instance.schema)
-        right_schema = node.right.output_schema(self.instance.schema)
-        combined = node.output_schema(self.instance.schema)
-        pairs, residual = split_equijoin_conjuncts(
-            node.effective_predicate(), left_schema, right_schema
-        )
-        left_rows = self.rows(node.left)
-        right_rows = self.rows(node.right)
-        output: list[Values] = []
-        if pairs:
-            left_idx = [left_schema.index_of(a) for a, _ in pairs]
-            right_idx = [right_schema.index_of(b) for _, b in pairs]
-            table: dict[tuple, list[Values]] = {}
-            for row in right_rows:
-                table.setdefault(tuple(row[i] for i in right_idx), []).append(row)
-            for left_row in left_rows:
-                key = tuple(left_row[i] for i in left_idx)
-                for right_row in table.get(key, ()):  # hash-join probe
-                    output.append(left_row + right_row)
-        else:
-            for left_row in left_rows:
-                for right_row in right_rows:
-                    output.append(left_row + right_row)
-        if residual:
-            output = [
-                row
-                for row in output
-                if all(p.evaluate(combined, row, self.params) for p in residual)
-            ]
-        return _dedup(output)
-
-    def _natural_join(self, node: NaturalJoin) -> list[Values]:
-        left_schema = node.left.output_schema(self.instance.schema)
-        right_schema = node.right.output_schema(self.instance.schema)
-        shared = node.shared_attributes(self.instance.schema)
-        left_rows = self.rows(node.left)
-        right_rows = self.rows(node.right)
-        if not shared:
-            return _dedup(l + r for l in left_rows for r in right_rows)
-        left_idx = [left_schema.index_of(name) for name in shared]
-        right_idx = [right_schema.index_of(name) for name in shared]
-        keep_right = [
-            i for i, attr in enumerate(right_schema.attributes) if attr.name not in set(shared)
-        ]
-        table: dict[tuple, list[Values]] = {}
-        for row in right_rows:
-            table.setdefault(tuple(row[i] for i in right_idx), []).append(row)
-        output = []
-        for left_row in left_rows:
-            key = tuple(left_row[i] for i in left_idx)
-            for right_row in table.get(key, ()):
-                output.append(left_row + tuple(right_row[i] for i in keep_right))
-        return _dedup(output)
-
-    def _union(self, node: Union) -> list[Values]:
-        return _dedup(self.rows(node.left) + self.rows(node.right))
-
-    def _difference(self, node: Difference) -> list[Values]:
-        right = set(self.rows(node.right))
-        return [row for row in self.rows(node.left) if row not in right]
-
-    def _intersection(self, node: Intersection) -> list[Values]:
-        right = set(self.rows(node.right))
-        return [row for row in self.rows(node.left) if row in right]
-
-    def _group_by(self, node: GroupBy) -> list[Values]:
-        schema = node.child.output_schema(self.instance.schema)
-        group_idx = [schema.index_of(name) for name in node.group_by]
-        groups: dict[tuple, list[Values]] = {}
-        for row in self.rows(node.child):
-            groups.setdefault(tuple(row[i] for i in group_idx), []).append(row)
-        output = []
-        for key, rows in groups.items():
-            aggregates = tuple(
-                compute_aggregate(spec, schema, rows) for spec in node.aggregates
-            )
-            output.append(key + aggregates)
-        return _dedup(output)
+        return self.session.rows(node, self.params)
 
 
 def compute_aggregate(
     spec: AggregateSpec, schema: RelationSchema, rows: Sequence[Values]
 ) -> Any:
-    """Compute one aggregate over the rows of a group (set semantics)."""
-    if spec.func is AggregateFunction.COUNT and spec.attribute is None:
+    """Compute one aggregate over the rows of a group (set semantics).
+
+    Raises :class:`~repro.errors.QueryEvaluationError` naming the aggregate
+    and the missing attribute when the attribute cannot be resolved.
+    """
+    from repro.engine.logical import resolve_aggregate_input
+    from repro.engine.physical import apply_aggregate
+
+    index = resolve_aggregate_input(spec, schema)
+    if index < 0:  # COUNT(*)
         return len(rows)
-    index = schema.index_of(spec.attribute or "")
-    values = [row[index] for row in rows if row[index] is not None]
-    if spec.func is AggregateFunction.COUNT:
-        return len(values)
-    if not values:
-        return None
-    if spec.func is AggregateFunction.SUM:
-        return sum(values)
-    if spec.func is AggregateFunction.AVG:
-        return sum(values) / len(values)
-    if spec.func is AggregateFunction.MIN:
-        return min(values)
-    if spec.func is AggregateFunction.MAX:
-        return max(values)
-    raise QueryEvaluationError(f"unsupported aggregate function {spec.func}")  # pragma: no cover
-
-
-def _dedup(rows) -> list[Values]:
-    """Deduplicate rows while preserving first-seen order (set semantics)."""
-    seen: set[Values] = set()
-    output: list[Values] = []
-    for row in rows:
-        if row not in seen:
-            seen.add(row)
-            output.append(row)
-    return output
+    return apply_aggregate(spec.func, [row[index] for row in rows if row[index] is not None])

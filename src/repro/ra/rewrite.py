@@ -2,8 +2,9 @@
 
 The Optσ algorithm (Algorithm 2) adds a selection ``σ_{A=t}`` on top of
 ``Q1 − Q2`` so that only one output tuple's provenance is computed, and relies
-on the DBMS optimizer to push that selection down.  Our engine has no
-optimizer, so this module performs the pushdown explicitly:
+on the DBMS optimizer to push that selection down.  This module performs that
+pushdown explicitly; it doubles as the AST-level optimization pass of the
+execution engine (:func:`repro.engine.optimizer.optimize_expression`):
 
 * selections commute with selections, projections (after renaming through the
   projection's aliases), renames, unions, differences and intersections;

@@ -15,7 +15,6 @@ from typing import Mapping
 
 from repro.catalog.instance import DatabaseInstance
 from repro.ra.ast import RAExpression
-from repro.ra.evaluator import evaluate
 from repro.ratest.system import RATest
 
 
@@ -62,7 +61,7 @@ class AutoGrader:
         self.questions = dict(questions)
         self._ratest = RATest(instance)
         self._reference_results = {
-            key: evaluate(question.correct_query, instance)
+            key: self._ratest.session.evaluate(question.correct_query)
             for key, question in self.questions.items()
         }
 
@@ -76,7 +75,7 @@ class AutoGrader:
         """Grade a single submission; optionally attach a counterexample size."""
         question = self.questions[question_key]
         try:
-            submitted = evaluate(submission, self.instance)
+            submitted = self._ratest.session.evaluate(submission)
         except Exception as exc:
             return GradeEntry(question=question_key, passed=False, error=str(exc))
         if submitted.same_rows(self._reference_results[question_key]):
@@ -112,7 +111,7 @@ class AutoGrader:
             reference = self._reference_results[question_key]
             for query in queries:
                 try:
-                    if not evaluate(query, self.instance).same_rows(reference):
+                    if not self._ratest.session.evaluate(query).same_rows(reference):
                         discovered += 1
                 except Exception:
                     discovered += 1  # queries that crash are certainly wrong

@@ -14,10 +14,10 @@ from typing import Any, Mapping
 
 from repro.catalog.instance import DatabaseInstance
 from repro.core.finder import find_smallest_counterexample
+from repro.engine.session import EngineSession
 from repro.errors import CounterexampleError
 from repro.parser.ra_parser import parse_query
 from repro.ra.ast import RAExpression
-from repro.ra.evaluator import evaluate
 from repro.ratest.report import RATestReport
 
 QueryLike = RAExpression | str
@@ -40,10 +40,16 @@ class SubmissionOutcome:
 
 
 class RATest:
-    """Check test queries against a reference query over a bound instance."""
+    """Check test queries against a reference query over a bound instance.
+
+    All evaluation runs through one :class:`EngineSession`: the reference
+    query is planned and evaluated once per instance, not once per
+    submission, and the counterexample algorithms reuse the same caches.
+    """
 
     def __init__(self, instance: DatabaseInstance) -> None:
         self.instance = instance
+        self.session = EngineSession(instance)
 
     # -- parsing -------------------------------------------------------------
 
@@ -59,8 +65,8 @@ class RATest:
     ) -> bool:
         """True when the two queries return the same rows on the bound instance."""
         expr1, expr2 = self.parse(q1), self.parse(q2)
-        return evaluate(expr1, self.instance, params).same_rows(
-            evaluate(expr2, self.instance, params)
+        return self.session.evaluate(expr1, params).same_rows(
+            self.session.evaluate(expr2, params)
         )
 
     def explain(
@@ -79,7 +85,13 @@ class RATest:
         """
         expr1, expr2 = self.parse(correct_query), self.parse(test_query)
         result = find_smallest_counterexample(
-            expr1, expr2, self.instance, algorithm=algorithm, params=params, **options
+            expr1,
+            expr2,
+            self.instance,
+            algorithm=algorithm,
+            params=params,
+            session=self.session,
+            **options,
         )
         return RATestReport(
             correct_query_text=str(correct_query),
@@ -102,8 +114,8 @@ class RATest:
         except Exception as exc:  # parse/schema errors are user errors, not bugs
             return SubmissionOutcome(correct=False, error=str(exc))
         try:
-            if evaluate(expr1, self.instance, params).same_rows(
-                evaluate(expr2, self.instance, params)
+            if self.session.evaluate(expr1, params).same_rows(
+                self.session.evaluate(expr2, params)
             ):
                 return SubmissionOutcome(correct=True)
             report = self.explain(

@@ -1,0 +1,314 @@
+"""Unit tests for the annotation-generic execution engine."""
+
+import pytest
+
+from repro.catalog.instance import DatabaseInstance
+from repro.datagen import toy_university_instance, university_schema
+from repro.engine import (
+    EngineSession,
+    JoinOp,
+    ScanOp,
+    choose_build_sides,
+    compile_plan,
+    estimate_rows,
+    plan_operators,
+)
+from repro.engine.structural import KeyCache, StructuralKey
+from repro.errors import NotApplicableError, QueryEvaluationError
+from repro.provenance import annotate
+from repro.ra import (
+    AggregateFunction,
+    AggregateSpec,
+    Evaluator,
+    compute_aggregate,
+    count,
+    difference,
+    eq,
+    equals_constant,
+    evaluate,
+    group_by,
+    project,
+    relation,
+    rename_prefix,
+    select,
+    theta_join,
+)
+
+
+@pytest.fixture()
+def instance():
+    return toy_university_instance()
+
+
+def _cs_students():
+    return project(
+        theta_join(
+            rename_prefix(relation("Student"), "s"),
+            rename_prefix(relation("Registration"), "r"),
+            eq("s.name", "r.name"),
+        ),
+        ["s.name"],
+    )
+
+
+class TestStructuralKeys:
+    def test_structurally_equal_nodes_share_a_key(self):
+        cache = KeyCache()
+        a = _cs_students()
+        b = _cs_students()
+        assert a is not b
+        assert cache.key(a) == cache.key(b)
+        assert hash(cache.key(a)) == hash(cache.key(b))
+
+    def test_distinct_queries_do_not_collide(self):
+        key1 = StructuralKey(relation("Student"))
+        key2 = StructuralKey(relation("Registration"))
+        assert key1 != key2
+
+    def test_key_cache_is_o1_for_repeat_objects(self):
+        cache = KeyCache()
+        node = _cs_students()
+        assert cache.key(node) is cache.key(node)
+
+
+class TestStructuralMemoization:
+    def test_difference_sides_share_the_cache(self, instance):
+        """Structurally equal subtrees on both sides of a Difference are
+        evaluated once — the regression behind keying the memo by ``id``."""
+        query = difference(_cs_students(), _cs_students())
+        evaluator = Evaluator(instance, {})
+        assert evaluator.rows(query) == []
+        info = evaluator.session.cache_info()
+        # One plan for the difference; both sides compile to the same subplan,
+        # so the result cache holds difference + subplan + its descendants
+        # once each, not twice.
+        operators = plan_operators(
+            compile_plan(query, instance.schema)  # unoptimized shape is an upper bound
+        )
+        distinct = len(set(operators))
+        assert info["cached_results"] <= distinct
+
+    def test_repeated_rows_calls_hit_the_cache(self, instance):
+        evaluator = Evaluator(instance, {})
+        first = evaluator.rows(_cs_students())
+        second = evaluator.rows(_cs_students())  # a distinct but equal tree
+        assert first == second
+        info = evaluator.session.cache_info()
+        assert info["plan_hits"] >= 1
+
+    def test_param_independent_subplans_shared_across_bindings(self, instance):
+        from repro.ra import ge, param
+
+        session = EngineSession(instance)
+        query = select(relation("Registration"), ge("grade", param("cutoff")))
+        assert len(session.evaluate(query, {"cutoff": 95})) == 3
+        baseline = session.cache_info()["cached_results"]
+        assert len(session.evaluate(query, {"cutoff": 200})) == 0
+        # Only the filter depends on the binding: the Registration scan is
+        # reused, so exactly one new memo entry appears per extra binding.
+        assert session.cache_info()["cached_results"] == baseline + 1
+
+    def test_unhashable_param_values_still_evaluate(self, instance):
+        from repro.ra.predicates import Comparison, Literal, Param
+
+        # An exotic predicate comparing against an unhashable parameter value:
+        # caching is skipped for the dependent subplan, results stay correct.
+        query = select(
+            relation("Student"),
+            Comparison("=", Literal(["CS"]), Param("majors")),
+        )
+        session = EngineSession(instance)
+        result = session.evaluate(query, {"majors": ["CS"]})
+        assert len(result) == len(instance.relation("Student"))
+        assert len(session.evaluate(query, {"majors": ["ECON"]})) == 0
+
+
+class TestComputeAggregateErrors:
+    def test_unknown_attribute_names_the_aggregate(self):
+        schema = university_schema().relation("Registration")
+        spec = AggregateSpec(AggregateFunction.SUM, "points", "total")
+        with pytest.raises(QueryEvaluationError) as excinfo:
+            compute_aggregate(spec, schema, [("Mary", "208D", "ECON", 95)])
+        message = str(excinfo.value)
+        assert "SUM(points)" in message
+        assert "'points'" in message
+        assert "total" in message
+
+    def test_count_star_still_counts_rows(self):
+        schema = university_schema().relation("Registration")
+        spec = AggregateSpec(AggregateFunction.COUNT, None, "n")
+        assert compute_aggregate(spec, schema, [("a",), ("b",)]) == 2
+
+    def test_engine_group_by_raises_the_same_clear_error(self, instance):
+        query = group_by(relation("Registration"), ["name"], [count("missing", "n")])
+        with pytest.raises(Exception) as excinfo:
+            evaluate(query, instance)
+        assert "missing" in str(excinfo.value)
+
+
+class TestHashIndex:
+    def test_index_is_cached_until_mutation(self, instance):
+        student = instance.relation("Student")
+        index = student.hash_index((1,))
+        assert index is student.hash_index((1,))
+        assert set(index) == {("CS",), ("ECON",)}
+        assert [values for _, values in index[("CS",)]] == [
+            ("Mary", "CS"),
+            ("Jesse", "CS"),
+        ]
+        student.insert(("Alice", "CS"))
+        rebuilt = student.hash_index((1,))
+        assert rebuilt is not index
+        assert len(rebuilt[("CS",)]) == 3
+
+    def test_data_version_tracks_inserts(self, instance):
+        before = instance.data_version
+        instance.insert("Student", ("Zoe", "CS"))
+        assert instance.data_version == before + 1
+
+
+class TestSessionInvalidation:
+    def test_session_sees_inserts(self, instance):
+        session = EngineSession(instance)
+        query = select(relation("Student"), equals_constant("major", "CS"))
+        assert len(session.evaluate(query)) == 2
+        instance.insert("Student", ("Alice", "CS"))
+        assert len(session.evaluate(query)) == 3
+        assert session.cache_info()["invalidations"] == 1
+
+    def test_annotate_sees_inserts_through_facade(self, instance):
+        query = relation("Student")
+        before = annotate(query, instance)
+        tid = instance.insert("Student", ("Alice", "CS"))
+        after = annotate(query, instance)
+        assert ("Alice", "CS") not in before
+        assert after.expression_for(("Alice", "CS")).variables() == {tid}
+
+
+class TestOptimizer:
+    def test_build_side_prefers_the_smaller_input(self):
+        schema = university_schema()
+        instance = DatabaseInstance(schema)
+        for i in range(3):
+            instance.insert("Student", (f"s{i}", "CS"))
+        for i in range(50):
+            instance.insert("Registration", (f"s{i % 3}", f"c{i}", "CS", 90))
+        join = theta_join(
+            rename_prefix(relation("Registration"), "r"),
+            rename_prefix(relation("Student"), "s"),
+            eq("r.name", "s.name"),
+        )
+        plan = choose_build_sides(compile_plan(join, schema), instance)
+        join_ops = [op for op in plan_operators(plan) if isinstance(op, JoinOp)]
+        assert len(join_ops) == 1
+        # Left input (Registration) is larger, so the hash table builds right.
+        assert not join_ops[0].build_left
+
+        flipped = theta_join(
+            rename_prefix(relation("Student"), "s"),
+            rename_prefix(relation("Registration"), "r"),
+            eq("s.name", "r.name"),
+        )
+        plan = choose_build_sides(compile_plan(flipped, schema), instance)
+        join_ops = [op for op in plan_operators(plan) if isinstance(op, JoinOp)]
+        assert join_ops[0].build_left
+
+    def test_estimates_scale_with_relation_sizes(self, instance):
+        scan = compile_plan(relation("Registration"), instance.schema)
+        assert estimate_rows(scan, instance) == len(instance.relation("Registration"))
+        filtered = compile_plan(
+            select(relation("Registration"), equals_constant("dept", "CS")),
+            instance.schema,
+        )
+        assert estimate_rows(filtered, instance) < estimate_rows(scan, instance)
+
+    def test_rename_compiles_away(self, instance):
+        plain = compile_plan(relation("Student"), instance.schema)
+        renamed = compile_plan(rename_prefix(relation("Student"), "s"), instance.schema)
+        assert plain == renamed == ScanOp("Student")
+
+    def test_division_predicates_are_not_pushed_past_joins(self):
+        """Pushdown must not evaluate a/b on rows the join would eliminate."""
+        from repro.catalog.schema import DatabaseSchema, RelationSchema
+        from repro.catalog.types import DataType
+        from repro.engine.reference import ReferenceEvaluator
+        from repro.ra import gt
+        from repro.ra.predicates import Arithmetic, ColumnRef, Comparison, Literal
+
+        schema = DatabaseSchema.of(
+            [
+                RelationSchema.of(
+                    "A", [("k", DataType.INT), ("a", DataType.INT), ("b", DataType.INT)]
+                ),
+                RelationSchema.of("B", [("k2", DataType.INT)]),
+            ]
+        )
+        instance = DatabaseInstance(schema)
+        instance.insert("A", (1, 4, 2))
+        instance.insert("A", (2, 1, 0))  # never joins; a/b would divide by zero
+        instance.insert("B", (1,))
+        query = select(
+            theta_join(relation("A"), relation("B"), eq("k", "k2")),
+            Comparison(">", Arithmetic("/", ColumnRef("a"), ColumnRef("b")), Literal(1)),
+        )
+        expected = set(ReferenceEvaluator(instance, {}).rows(query))
+        assert set(evaluate(query, instance).rows) == expected == {(1, 4, 2, 1)}
+
+    def test_mixed_type_comparisons_are_not_pushed_past_joins(self):
+        """An ordered string-vs-number comparison raises only on the rows it
+        sees; pushdown must not make it see rows an empty join eliminates."""
+        from repro.catalog.schema import DatabaseSchema, RelationSchema
+        from repro.catalog.types import DataType
+        from repro.engine.reference import ReferenceEvaluator
+        from repro.ra import col, lit, lt
+
+        schema = DatabaseSchema.of(
+            [
+                RelationSchema.of("R", [("a", DataType.STRING), ("k", DataType.INT)]),
+                RelationSchema.of("S", [("k2", DataType.INT)]),
+            ]
+        )
+        instance = DatabaseInstance(schema)
+        instance.insert("R", ("x", 1))  # 'x' < 5 raises TypeError if evaluated
+        query = select(
+            theta_join(relation("R"), relation("S"), eq("k", "k2")),
+            lt(col("a"), lit(5)),
+        )
+        expected = ReferenceEvaluator(instance, {}).rows(query)
+        assert list(evaluate(query, instance).rows) == expected == []
+
+    def test_param_predicates_are_not_pushed_past_joins(self, instance):
+        """An unbound @param raises only if its selection sees rows; pushdown
+        must not move it below a join that filters all rows out."""
+        from repro.engine.reference import ReferenceEvaluator
+        from repro.ra.predicates import ColumnRef, Comparison, Param
+
+        query = select(
+            theta_join(
+                rename_prefix(relation("Student"), "s"),
+                rename_prefix(relation("Registration"), "r"),
+                eq("s.major", "r.grade"),  # never matches: no rows flow
+            ),
+            Comparison("=", ColumnRef("s.name"), Param("x")),
+        )
+        expected = ReferenceEvaluator(instance, {}).rows(query)
+        assert list(evaluate(query, instance).rows) == expected == []
+
+
+class TestProvenanceDomainViaEngine:
+    def test_group_by_still_rejected_with_same_message(self, instance):
+        query = group_by(relation("Registration"), ["name"], [count(None, "n")])
+        with pytest.raises(NotApplicableError, match="how-provenance does not cover"):
+            annotate(query, instance)
+
+    def test_optimized_and_exact_evaluation_agree(self, instance):
+        query = select(
+            difference(
+                _cs_students(),
+                project(relation("Student"), ["name"]),
+            ),
+            equals_constant("s.name", "Mary"),
+        )
+        optimized = EngineSession(instance, optimize=True)
+        exact = EngineSession(instance, optimize=False)
+        assert optimized.evaluate(query).rows == exact.evaluate(query).rows
