@@ -5,7 +5,7 @@ Using Small Examples" (Miao, Roy, Yang — SIGMOD 2019): given a reference
 query, a test query and a database instance on which they disagree, find the
 smallest sub-instance on which they still disagree.
 
-Typical usage::
+Typical usage, one submission at a time::
 
     from repro import RATest
     from repro.datagen import university_instance
@@ -14,8 +14,26 @@ Typical usage::
     tool = RATest(instance)
     outcome = tool.check(correct_query, student_query)
     print(outcome.render())
+
+or as a service grading whole batches concurrently::
+
+    from repro import GradingService, SubmissionRequest
+
+    service = GradingService(default_dataset="university:200")
+    graded = service.submit_batch(
+        [SubmissionRequest(reference_text, submission_text, id="alice/q1"), ...],
+        workers=8,
+    )
+    print(graded[0].to_dict())   # versioned, JSON-serializable result schema
 """
 
+from repro.api import (
+    SCHEMA_VERSION,
+    DatasetRegistry,
+    GradedSubmission,
+    GradingService,
+    SubmissionRequest,
+)
 from repro.core import (
     CounterexampleResult,
     SmallestCounterexampleFinder,
@@ -23,18 +41,24 @@ from repro.core import (
     find_smallest_witness,
 )
 from repro.engine import EngineSession
-from repro.ratest import AutoGrader, Question, RATest, RATestReport
+from repro.ratest import AutoGrader, Question, RATest, RATestReport, SubmissionOutcome
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AutoGrader",
     "CounterexampleResult",
+    "DatasetRegistry",
     "EngineSession",
+    "GradedSubmission",
+    "GradingService",
     "Question",
     "RATest",
     "RATestReport",
+    "SCHEMA_VERSION",
     "SmallestCounterexampleFinder",
+    "SubmissionOutcome",
+    "SubmissionRequest",
     "find_smallest_counterexample",
     "find_smallest_witness",
     "__version__",

@@ -1,0 +1,281 @@
+"""The versioned, JSON-serializable result schema of the grading service.
+
+Everything the RATest system shows a user — the graded outcome, the
+counterexample instance, both query results on it, timings and the algorithm
+used — can be turned into plain JSON-compatible dictionaries and back.  That
+is what lets grades cross a process boundary (the ``batch`` CLI, a web
+front-end, a result store) instead of existing only as printable ASCII.
+
+Schema stability rules:
+
+* every top-level payload carries ``"schema_version"``;
+* within one version, serialization is *canonical*: tid lists and map keys
+  are sorted, result rows use
+  :meth:`~repro.catalog.instance.ResultSet.sorted_rows` order, and
+  counterexample subinstances store their tuples in tid order (see
+  :meth:`~repro.catalog.instance.DatabaseInstance.subinstance`), so equal
+  outcomes produce byte-identical JSON — the property the concurrency
+  determinism test relies on (arbitrary hand-built instances serialize in
+  insertion order);
+* ``from_dict(to_dict(x))`` round-trips exactly: re-serializing the
+  reconstructed object yields the same dictionary.
+
+Version history:
+
+========  ====================================================================
+Version   Contents
+========  ====================================================================
+1         Initial schema: outcome / report / counterexample result /
+          instance / result-set payloads as documented here.
+========  ====================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields as dataclass_fields
+from typing import Any, Mapping
+
+from repro.catalog.constraints import (
+    Constraint,
+    ForeignKeyConstraint,
+    FunctionalDependency,
+    KeyConstraint,
+    NotNullConstraint,
+)
+from repro.catalog.instance import DatabaseInstance, ResultSet, Values
+from repro.catalog.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.catalog.types import DataType
+from repro.core.results import CounterexampleResult
+from repro.errors import ReproError
+
+#: Version of the serialized result schema produced by this module.
+SCHEMA_VERSION = 1
+
+JsonDict = dict[str, Any]
+
+
+class SerializationError(ReproError):
+    """A payload could not be serialized or deserialized."""
+
+
+def check_version(payload: Mapping[str, Any], what: str) -> None:
+    """Reject payloads from an unknown schema version (or with none at all)."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SerializationError(
+            f"cannot read {what} payload with schema_version {version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Schemas and constraints
+# ---------------------------------------------------------------------------
+
+#: Constraint classes serializable by field introspection (all frozen
+#: dataclasses whose fields are strings or tuples of strings).
+_CONSTRAINT_KINDS: dict[str, type[Constraint]] = {
+    cls.__name__: cls
+    for cls in (KeyConstraint, NotNullConstraint, FunctionalDependency, ForeignKeyConstraint)
+}
+
+
+def attribute_to_dict(attribute: Attribute) -> JsonDict:
+    return {
+        "name": attribute.name,
+        "dtype": attribute.dtype.value,
+        "nullable": attribute.nullable,
+    }
+
+
+def attribute_from_dict(payload: Mapping[str, Any]) -> Attribute:
+    return Attribute(payload["name"], DataType(payload["dtype"]), bool(payload.get("nullable")))
+
+
+def relation_schema_to_dict(schema: RelationSchema) -> JsonDict:
+    return {
+        "name": schema.name,
+        "attributes": [attribute_to_dict(a) for a in schema.attributes],
+    }
+
+
+def relation_schema_from_dict(payload: Mapping[str, Any]) -> RelationSchema:
+    return RelationSchema(
+        payload["name"], tuple(attribute_from_dict(a) for a in payload["attributes"])
+    )
+
+
+def constraint_to_dict(constraint: Constraint) -> JsonDict:
+    kind = type(constraint).__name__
+    if kind not in _CONSTRAINT_KINDS:
+        raise SerializationError(f"cannot serialize constraint of type {kind}")
+    out: JsonDict = {"kind": kind}
+    for field in dataclass_fields(constraint):  # type: ignore[arg-type]
+        value = getattr(constraint, field.name)
+        out[field.name] = list(value) if isinstance(value, tuple) else value
+    return out
+
+
+def constraint_from_dict(payload: Mapping[str, Any]) -> Constraint:
+    kind = payload.get("kind")
+    cls = _CONSTRAINT_KINDS.get(kind)  # type: ignore[arg-type]
+    if cls is None:
+        raise SerializationError(f"unknown constraint kind {kind!r}")
+    kwargs = {
+        field.name: tuple(payload[field.name])
+        if isinstance(payload[field.name], list)
+        else payload[field.name]
+        for field in dataclass_fields(cls)  # type: ignore[arg-type]
+    }
+    return cls(**kwargs)
+
+
+def database_schema_to_dict(schema: DatabaseSchema) -> JsonDict:
+    return {
+        "relations": [relation_schema_to_dict(s) for s in schema.relations.values()],
+        "constraints": [constraint_to_dict(c) for c in schema.constraints],
+    }
+
+
+def database_schema_from_dict(payload: Mapping[str, Any]) -> DatabaseSchema:
+    return DatabaseSchema.of(
+        (relation_schema_from_dict(s) for s in payload["relations"]),
+        (constraint_from_dict(c) for c in payload.get("constraints", ())),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Instances and result sets
+# ---------------------------------------------------------------------------
+
+
+def instance_to_dict(instance: DatabaseInstance) -> JsonDict:
+    """Serialize an instance: full schema plus ``[tid, values]`` tuple lists.
+
+    Tuple identifiers are preserved so provenance in a reconstructed
+    counterexample still names the original test-database tuples.
+    """
+    return {
+        "schema": database_schema_to_dict(instance.schema),
+        "tuples": {
+            name: [[tid, list(values)] for tid, values in relation.tuples()]
+            for name, relation in instance.relations.items()
+        },
+    }
+
+
+def instance_from_dict(payload: Mapping[str, Any]) -> DatabaseInstance:
+    schema = database_schema_from_dict(payload["schema"])
+    instance = DatabaseInstance(schema)
+    for name, rows in payload["tuples"].items():
+        relation = instance.relation(name)
+        for tid, values in rows:
+            relation.insert(values, tid=tid)
+    return instance
+
+
+def _row_from_list(row: Any) -> Values:
+    return tuple(row)
+
+
+def result_set_to_dict(result: ResultSet) -> JsonDict:
+    return {
+        "schema": relation_schema_to_dict(result.schema),
+        "rows": [list(row) for row in result.sorted_rows()],
+    }
+
+
+def result_set_from_dict(payload: Mapping[str, Any]) -> ResultSet:
+    schema = relation_schema_from_dict(payload["schema"])
+    return ResultSet(schema, frozenset(_row_from_list(row) for row in payload["rows"]))
+
+
+# ---------------------------------------------------------------------------
+# Counterexample results, reports, outcomes
+# ---------------------------------------------------------------------------
+
+
+def counterexample_result_to_dict(
+    result: CounterexampleResult, *, include_timings: bool = True
+) -> JsonDict:
+    out: JsonDict = {
+        "tids": sorted(result.tids),
+        "counterexample": instance_to_dict(result.counterexample),
+        "distinguishing_row": (
+            None if result.distinguishing_row is None else list(result.distinguishing_row)
+        ),
+        "q1_rows": result_set_to_dict(result.q1_rows),
+        "q2_rows": result_set_to_dict(result.q2_rows),
+        "optimal": result.optimal,
+        "algorithm": result.algorithm,
+        "parameter_values": {
+            name: result.parameter_values[name] for name in sorted(result.parameter_values)
+        },
+        "solver_calls": result.solver_calls,
+        "verified": result.verified,
+    }
+    if include_timings:
+        out["timings"] = {name: result.timings[name] for name in sorted(result.timings)}
+    return out
+
+
+def counterexample_result_from_dict(payload: Mapping[str, Any]) -> CounterexampleResult:
+    row = payload.get("distinguishing_row")
+    return CounterexampleResult(
+        tids=frozenset(payload["tids"]),
+        counterexample=instance_from_dict(payload["counterexample"]),
+        distinguishing_row=None if row is None else _row_from_list(row),
+        q1_rows=result_set_from_dict(payload["q1_rows"]),
+        q2_rows=result_set_from_dict(payload["q2_rows"]),
+        optimal=payload["optimal"],
+        algorithm=payload["algorithm"],
+        timings=dict(payload.get("timings", {})),
+        parameter_values=dict(payload.get("parameter_values", {})),
+        solver_calls=payload.get("solver_calls", 0),
+        verified=payload.get("verified", False),
+    )
+
+
+def report_to_dict(report: "RATestReport", *, include_timings: bool = True) -> JsonDict:
+    return {
+        "correct_query_text": report.correct_query_text,
+        "test_query_text": report.test_query_text,
+        "result": counterexample_result_to_dict(report.result, include_timings=include_timings),
+    }
+
+
+def report_from_dict(payload: Mapping[str, Any]) -> "RATestReport":
+    from repro.ratest.report import RATestReport
+
+    return RATestReport(
+        correct_query_text=payload["correct_query_text"],
+        test_query_text=payload["test_query_text"],
+        result=counterexample_result_from_dict(payload["result"]),
+    )
+
+
+def outcome_to_dict(outcome: "SubmissionOutcome", *, include_timings: bool = True) -> JsonDict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "correct": outcome.correct,
+        "report": (
+            None
+            if outcome.report is None
+            else report_to_dict(outcome.report, include_timings=include_timings)
+        ),
+        "error": outcome.error,
+        "error_kind": outcome.error_kind,
+    }
+
+
+def outcome_from_dict(payload: Mapping[str, Any]) -> "SubmissionOutcome":
+    from repro.ratest.system import SubmissionOutcome
+
+    check_version(payload, "submission outcome")
+    report = payload.get("report")
+    return SubmissionOutcome(
+        correct=payload["correct"],
+        report=None if report is None else report_from_dict(report),
+        error=payload.get("error"),
+        error_kind=payload.get("error_kind"),
+    )

@@ -27,6 +27,14 @@ def split_tid(tid: str) -> tuple[str, str]:
     return relation, suffix
 
 
+def tid_sort_key(tid: str) -> tuple[str, int, int | str]:
+    """Numeric-aware sort key: ``Student:3`` before ``Student:33``."""
+    relation, suffix = split_tid(tid)
+    if suffix.isdigit():
+        return (relation, 0, int(suffix))
+    return (relation, 1, suffix)
+
+
 class Relation:
     """A base relation instance: a set of identified, typed tuples."""
 
@@ -60,6 +68,13 @@ class Relation:
             self._next_id += 1
         elif tid in self._rows:
             raise SchemaError(f"duplicate tuple identifier {tid!r}")
+        else:
+            # Keep auto-generated identifiers ahead of explicit numeric ones,
+            # so inserts after a deserialized/hand-built relation never
+            # silently overwrite an existing tuple.
+            suffix = tid.partition(":")[2]
+            if suffix.isdigit():
+                self._next_id = max(self._next_id, int(suffix) + 1)
         self._rows[tid] = coerced
         self._version += 1
         if self._indexes:
@@ -149,12 +164,39 @@ class DatabaseInstance:
     # -- construction ------------------------------------------------------
 
     @staticmethod
-    def from_dict(schema: DatabaseSchema, data: Mapping[str, Iterable[Sequence[Any]]]) -> "DatabaseInstance":
-        """Build an instance from ``{relation_name: [row, ...]}``."""
+    def from_dict(
+        schema: "DatabaseSchema | Mapping[str, Any]",
+        data: Mapping[str, Iterable[Sequence[Any]]] | None = None,
+    ) -> "DatabaseInstance":
+        """Build an instance from ``{relation_name: [row, ...]}``.
+
+        Alternatively, called with a single serialized payload (as produced
+        by :meth:`to_dict`), reconstructs the instance — schema, constraints
+        and tuple identifiers included.
+        """
+        if data is None:
+            if isinstance(schema, Mapping):
+                from repro.api.serialization import instance_from_dict
+
+                return instance_from_dict(schema)
+            raise TypeError(
+                "from_dict needs row data alongside a schema, or a single "
+                "serialized payload dict (as produced by to_dict)"
+            )
         instance = DatabaseInstance(schema)
         for name, rows in data.items():
             instance.relation(name).insert_all(rows)
         return instance
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialized payload: schema plus ``[tid, values]`` lists per relation.
+
+        The inverse of the one-argument form of :meth:`from_dict`; the JSON
+        shape is defined in :mod:`repro.api.serialization`.
+        """
+        from repro.api.serialization import instance_to_dict
+
+        return instance_to_dict(self)
 
     def insert(self, relation_name: str, values: Sequence[Any], *, tid: str | None = None) -> str:
         return self.relation(relation_name).insert(values, tid=tid)
@@ -195,9 +237,12 @@ class DatabaseInstance:
 
         Tids keep their values and identifiers, so provenance computed on the
         subinstance is comparable with provenance computed on the original.
+        Tuples are stored in sorted tid order, so subinstances built from
+        unordered tid sets (counterexamples!) render and serialize
+        identically across runs and processes.
         """
         by_relation: dict[str, list[str]] = {name: [] for name in self.relations}
-        for tid in tids:
+        for tid in sorted(tids, key=tid_sort_key):
             relation_name, _ = split_tid(tid)
             if relation_name not in by_relation:
                 raise UnknownRelationError(

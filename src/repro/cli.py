@@ -1,6 +1,6 @@
 """Command-line interface for the RATest reproduction.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
 ``demo``
     Run the paper's running example end to end and print the counterexample.
@@ -8,7 +8,17 @@ Three subcommands cover the common workflows:
 ``explain``
     Read a reference query and a test query (RA DSL text, from files or
     inline), evaluate them on one of the built-in datasets and print the
-    smallest-counterexample report.
+    smallest-counterexample report (``--json`` for the machine-readable
+    outcome instead of ASCII).
+
+``batch``
+    Grade a JSONL stream of submissions concurrently through the
+    :class:`~repro.api.service.GradingService` and write one JSON grade per
+    line.  Each input line is a :class:`~repro.api.service.SubmissionRequest`
+    payload, e.g.::
+
+        {"id": "alice/q1", "dataset": "university:200",
+         "correct": "\\project_{name} Student", "test": "Student"}
 
 ``experiments``
     Re-run the paper's tables and figures at a chosen scale profile and write
@@ -19,23 +29,19 @@ Examples::
     python -m repro.cli demo
     python -m repro.cli explain --dataset university:200 \
         --correct correct.ra --test submission.ra
+    python -m repro.cli batch --input submissions.jsonl --workers 8
     python -m repro.cli experiments --profile quick --output results.md
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+from repro.api import GradingService, SubmissionRequest, default_registry
 from repro.catalog.instance import DatabaseInstance
-from repro.datagen import (
-    beers_instance,
-    toy_beers_instance,
-    toy_university_instance,
-    tpch_instance,
-    university_instance,
-)
 from repro.errors import ReproError
 from repro.ratest import RATest
 
@@ -44,23 +50,12 @@ def load_dataset(spec: str, *, seed: int = 0) -> DatabaseInstance:
     """Build a dataset instance from a spec like ``university:500`` or ``tpch:0.1``.
 
     Supported datasets: ``toy-university``, ``university[:num_students]``,
-    ``toy-beers``, ``beers[:num_drinkers]``, ``tpch[:scale]``.
+    ``toy-beers``, ``beers[:num_drinkers]``, ``tpch[:scale]`` — plus anything
+    registered on the default :class:`~repro.api.registry.DatasetRegistry`.
+    Returns a fresh, caller-owned instance (the grading service resolves
+    shared cached handles instead).
     """
-    name, _, argument = spec.partition(":")
-    if name == "toy-university":
-        return toy_university_instance()
-    if name == "university":
-        return university_instance(int(argument or 50), seed=seed)
-    if name == "toy-beers":
-        return toy_beers_instance()
-    if name == "beers":
-        return beers_instance(num_drinkers=int(argument or 40), seed=seed)
-    if name == "tpch":
-        return tpch_instance(float(argument or 0.1), seed=seed)
-    raise ReproError(
-        f"unknown dataset {spec!r}; expected toy-university, university[:N], "
-        "toy-beers, beers[:N] or tpch[:scale]"
-    )
+    return default_registry().build(spec, seed=seed)
 
 
 def _read_query(value: str) -> str:
@@ -72,6 +67,7 @@ def _read_query(value: str) -> str:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.datagen import toy_university_instance
     from repro.workload import course_questions
 
     instance = toy_university_instance()
@@ -89,10 +85,64 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     correct = _read_query(args.correct)
     test = _read_query(args.test)
     outcome = tool.check(correct, test, algorithm=args.algorithm)
-    print(outcome.render())
+    if args.json:
+        print(json.dumps(outcome.to_dict(), indent=2))
+    else:
+        print(outcome.render())
     if outcome.correct:
         return 0
     return 1 if outcome.report is not None else 2
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    if args.input == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            lines = Path(args.input).read_text().splitlines()
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.input}: {exc}") from None
+    requests = []
+    for number, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{args.input}:{number}: not valid JSON: {exc}") from None
+        try:
+            requests.append(SubmissionRequest.from_dict(payload))
+        except ReproError as exc:
+            raise ReproError(f"{args.input}:{number}: {exc}") from None
+
+    service = GradingService(default_dataset=args.dataset, default_seed=args.seed)
+    graded = service.submit_batch(requests, workers=args.workers)
+
+    out_lines = [json.dumps(result.to_dict(), sort_keys=True) for result in graded]
+    text = "\n".join(out_lines) + ("\n" if out_lines else "")
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        try:
+            Path(args.output).write_text(text)
+        except OSError as exc:
+            raise ReproError(f"cannot write {args.output}: {exc}") from None
+    num_correct = sum(1 for result in graded if result.correct)
+    num_error = sum(1 for result in graded if result.outcome.error is not None)
+    print(
+        f"graded {len(graded)} submissions with {args.workers} worker(s): "
+        f"{num_correct} correct, {len(graded) - num_correct - num_error} wrong, "
+        f"{num_error} errors",
+        file=sys.stderr,
+    )
+    # Submission-level failures (a student's unparsable query) are grades,
+    # not tool failures; operational failures (unknown dataset, internal
+    # error) make the run exit nonzero so pipelines notice.
+    operational = {"invalid_request", "internal_error", "solver_error", "not_applicable"}
+    if any(result.outcome.error_kind in operational for result in graded):
+        return 1
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -123,7 +173,18 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--correct", required=True, help="reference query (RA DSL text or file path)")
     explain.add_argument("--test", required=True, help="test query (RA DSL text or file path)")
     explain.add_argument("--algorithm", default="auto", help="auto, basic, optsigma, agg-basic, agg-opt, ...")
+    explain.add_argument("--json", action="store_true", help="print the outcome as JSON instead of ASCII")
     explain.set_defaults(func=_cmd_explain)
+
+    batch = subparsers.add_parser("batch", help="grade a JSONL stream of submissions")
+    batch.add_argument("--input", default="-", help="JSONL submissions file, or - for stdin")
+    batch.add_argument("--output", default="-", help="JSONL grades file, or - for stdout")
+    batch.add_argument("--workers", type=int, default=1, help="concurrent grading workers")
+    batch.add_argument(
+        "--dataset", default="toy-university", help="dataset spec for lines without one"
+    )
+    batch.add_argument("--seed", type=int, default=0, help="seed for lines without one")
+    batch.set_defaults(func=_cmd_batch)
 
     experiments = subparsers.add_parser("experiments", help="re-run the paper's tables and figures")
     experiments.add_argument("--profile", default="quick", choices=["quick", "paper"])

@@ -61,6 +61,18 @@ class CounterexampleResult:
     def total_time(self) -> float:
         return self.timings.get("total", sum(self.timings.values()))
 
+    def to_dict(self, *, include_timings: bool = True) -> dict[str, Any]:
+        """JSON-compatible payload (see :mod:`repro.api.serialization`)."""
+        from repro.api.serialization import counterexample_result_to_dict
+
+        return counterexample_result_to_dict(self, include_timings=include_timings)
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, Any]) -> "CounterexampleResult":
+        from repro.api.serialization import counterexample_result_from_dict
+
+        return counterexample_result_from_dict(payload)
+
 
 @dataclass
 class WitnessResult:

@@ -19,10 +19,18 @@ Caches are invalidated automatically when the bound instance's
 historical operator order (build on the right join input, no pushdown), which
 reproduces the legacy set evaluator *and* the legacy provenance annotations
 bit for bit — that mode backs the ``annotate()`` facade.
+
+Sessions are **thread-safe**: a reentrant lock serializes plan compilation
+and execution, so one warm session per dataset can serve a pool of grading
+workers (see :mod:`repro.api.service`).  The lock makes sharing *correct*
+and *deterministic* — concurrent throughput gains come from the shared
+caches, not from parallel plan execution, which the lock (and CPython's GIL)
+intentionally forgoes.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Mapping
 
 from repro.catalog.instance import DatabaseInstance, ResultSet, Values
@@ -59,6 +67,7 @@ class EngineSession:
         self._results: dict[str, dict[tuple, dict[Values, Any]]] = {}
         self._param_refs: dict[PlanNode, frozenset] = {}
         self._data_version = instance.data_version
+        self._lock = threading.RLock()
         self.stats = {"plan_hits": 0, "plan_misses": 0, "invalidations": 0}
 
     # -- cache management ----------------------------------------------------
@@ -115,11 +124,12 @@ class EngineSession:
 
     def cache_info(self) -> dict[str, int]:
         """Plan/result cache statistics (used by tests and benchmarks)."""
-        return {
-            **self.stats,
-            "cached_plans": len(self._plans),
-            "cached_results": sum(len(memo) for memo in self._results.values()),
-        }
+        with self._lock:
+            return {
+                **self.stats,
+                "cached_plans": len(self._plans),
+                "cached_results": sum(len(memo) for memo in self._results.values()),
+            }
 
     # -- execution -----------------------------------------------------------
 
@@ -134,20 +144,24 @@ class EngineSession:
         """Run ``expression`` under ``domain``; returns (schema, annotated rows).
 
         The returned dict is owned by the session cache — treat it as
-        read-only (the public helpers below copy).
+        read-only (the public helpers below copy).  Safe to call from many
+        threads: the whole compile-and-execute path runs under the session
+        lock (operators never mutate a finished annotated row set, so
+        returned dicts stay valid after the lock is released).
         """
-        self._check_version()
-        schema = expression.output_schema(self.instance.schema)
-        plan = self._plan(expression, exact=exact)
-        executor = PlanExecutor(
-            self.instance,
-            params or {},
-            domain,
-            self._memo(domain),
-            self._param_refs,
-            use_index=self.use_index,
-        )
-        return schema, executor.run(plan)
+        with self._lock:
+            self._check_version()
+            schema = expression.output_schema(self.instance.schema)
+            plan = self._plan(expression, exact=exact)
+            executor = PlanExecutor(
+                self.instance,
+                params or {},
+                domain,
+                self._memo(domain),
+                self._param_refs,
+                use_index=self.use_index,
+            )
+            return schema, executor.run(plan)
 
     def evaluate(self, expression: RAExpression, params: ParamValues | None = None) -> ResultSet:
         """Set-semantics evaluation (same contract as ``repro.ra.evaluate``)."""

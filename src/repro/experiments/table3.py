@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import random
 
+from repro.api import GradingService, SubmissionRequest
 from repro.datagen.university import university_instance_with_size
+from repro.errors import ReproError
 from repro.experiments.harness import ExperimentResult, Row, ScaleProfile, run_experiment
-from repro.ra.evaluator import evaluate
 from repro.workload.course import course_questions, course_submission_pool
 
 
@@ -42,21 +43,39 @@ def discovery_experiment(
         out: list[Row] = []
         for size in profile.database_sizes:
             instance = university_instance_with_size(size, seed=seed)
-            reference = {
-                key: evaluate(question.correct_query, instance)
-                for key, question in questions.items()
-            }
+            # Screen the whole pool through the grading service in one batch:
+            # reference queries are evaluated once on the shared warm session,
+            # and crashing submissions are counted wrong, as the grader does.
+            service = GradingService.for_instance(instance, name="hidden")
+            correct_queries = {key: question.correct_query for key, question in questions.items()}
+            keyed = [
+                (key, index)
+                for key, wrong_queries in pool.wrong_queries.items()
+                for index in range(len(wrong_queries))
+            ]
+            graded = service.submit_batch(
+                [
+                    SubmissionRequest(
+                        correct_queries[key],
+                        pool.wrong_queries[key][index],
+                        id=f"{key}/{index}",
+                        explain=False,
+                    )
+                    for key, index in keyed
+                ]
+            )
             discovered = 0
             students_caught: set[int] = set()
-            for key, wrong_queries in pool.wrong_queries.items():
-                for index, wrong in enumerate(wrong_queries):
-                    try:
-                        differs = not evaluate(wrong, instance).same_rows(reference[key])
-                    except Exception:
-                        differs = True
-                    if differs:
-                        discovered += 1
-                        students_caught.add(student_of[(key, index)])
+            for (key, index), result in zip(keyed, graded):
+                if result.outcome.error_kind in ("invalid_request", "internal_error"):
+                    # A broken *reference* query (or an engine bug) must fail
+                    # the experiment loudly, not count as a discovery.
+                    raise ReproError(
+                        f"table3: grading {key} failed: {result.outcome.error}"
+                    )
+                if not result.correct:
+                    discovered += 1
+                    students_caught.add(student_of[(key, index)])
             out.append(
                 {
                     "num_tuples": instance.total_size(),

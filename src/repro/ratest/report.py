@@ -101,6 +101,18 @@ class RATestReport:
             f"{self.result.total_time():.3f}s)"
         )
 
+    def to_dict(self, *, include_timings: bool = True) -> dict:
+        """JSON-compatible payload (see :mod:`repro.api.serialization`)."""
+        from repro.api.serialization import report_to_dict
+
+        return report_to_dict(self, include_timings=include_timings)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "RATestReport":
+        from repro.api.serialization import report_from_dict
+
+        return report_from_dict(payload)
+
 
 def _cell(value: object) -> str:
     if isinstance(value, float):

@@ -1,0 +1,188 @@
+"""Tests for the versioned JSON result schema: exact round trips."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    GradingService,
+    SerializationError,
+    SubmissionRequest,
+    instance_from_dict,
+    instance_to_dict,
+)
+from repro.catalog.instance import DatabaseInstance
+from repro.core.results import CounterexampleResult
+from repro.datagen import toy_university_instance, university_instance
+from repro.ratest import RATestReport, SubmissionOutcome
+
+CORRECT = "\\project_{name} \\select_{dept = 'ECON'} Registration"
+WRONG = "\\project_{name} Registration"
+
+
+@pytest.fixture(scope="module")
+def service():
+    return GradingService.for_instance(toy_university_instance(), name="toy")
+
+
+@pytest.fixture(scope="module")
+def wrong_outcome(service):
+    outcome = service.check(CORRECT, WRONG)
+    assert outcome.report is not None
+    return outcome
+
+
+def json_round_trip(payload):
+    return json.loads(json.dumps(payload))
+
+
+class TestOutcomeRoundTrip:
+    def test_correct_outcome(self, service):
+        outcome = service.check(CORRECT, CORRECT)
+        payload = json_round_trip(outcome.to_dict())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        again = SubmissionOutcome.from_dict(payload)
+        assert again.to_dict() == outcome.to_dict()
+        assert again.render() == outcome.render()
+
+    def test_wrong_outcome_reproduces_everything_exactly(self, wrong_outcome):
+        payload = json_round_trip(wrong_outcome.to_dict())
+        again = SubmissionOutcome.from_dict(payload)
+        # Dict-level: re-serializing the reconstruction is the identity.
+        assert again.to_dict() == wrong_outcome.to_dict()
+        # Semantic level: queries, counterexample tables, both results and
+        # the full rendered report survive the process boundary.
+        report, original = again.report, wrong_outcome.report
+        assert report.correct_query_text == CORRECT
+        assert report.test_query_text == WRONG
+        assert report.result.tids == original.result.tids
+        assert report.result.q1_rows.rows == original.result.q1_rows.rows
+        assert report.result.q2_rows.rows == original.result.q2_rows.rows
+        assert report.result.timings == original.result.timings
+        assert report.result.algorithm == original.result.algorithm
+        assert again.render() == wrong_outcome.render()
+
+    def test_counterexample_tables_round_trip(self, wrong_outcome):
+        original = wrong_outcome.report.result.counterexample
+        rebuilt = (
+            SubmissionOutcome.from_dict(json_round_trip(wrong_outcome.to_dict()))
+            .report.result.counterexample
+        )
+        assert rebuilt.relation_names == original.relation_names
+        for name in original.relation_names:
+            assert list(rebuilt.relation(name).tuples()) == list(
+                original.relation(name).tuples()
+            )
+
+    def test_error_outcome(self, service):
+        outcome = service.check(CORRECT, "\\select_{oops")
+        again = SubmissionOutcome.from_dict(json_round_trip(outcome.to_dict()))
+        assert again.to_dict() == outcome.to_dict()
+        assert again.error_kind == "parse_error"
+
+    def test_include_timings_false_is_deterministic(self, service):
+        first = service.check(CORRECT, WRONG).to_dict(include_timings=False)
+        second = service.check(CORRECT, WRONG).to_dict(include_timings=False)
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_unknown_schema_version_is_rejected(self, wrong_outcome):
+        payload = wrong_outcome.to_dict()
+        payload["schema_version"] = 999
+        with pytest.raises(SerializationError, match="schema_version"):
+            SubmissionOutcome.from_dict(payload)
+        with pytest.raises(SerializationError):
+            SubmissionOutcome.from_dict({"correct": True})
+
+
+class TestComponentRoundTrips:
+    def test_report_and_result_methods(self, wrong_outcome):
+        report = wrong_outcome.report
+        assert RATestReport.from_dict(report.to_dict()).to_dict() == report.to_dict()
+        result = report.result
+        assert (
+            CounterexampleResult.from_dict(json_round_trip(result.to_dict())).to_dict()
+            == result.to_dict()
+        )
+
+    def test_instance_round_trip_keeps_schema_constraints_and_tids(self):
+        instance = university_instance(10, seed=3)
+        payload = json_round_trip(instance_to_dict(instance))
+        rebuilt = instance_from_dict(payload)
+        assert rebuilt.relation_names == instance.relation_names
+        assert rebuilt.total_size() == instance.total_size()
+        for name in instance.relation_names:
+            assert list(rebuilt.relation(name).tuples()) == list(
+                instance.relation(name).tuples()
+            )
+            assert rebuilt.relation(name).schema == instance.relation(name).schema
+        assert len(rebuilt.schema.constraints) == len(instance.schema.constraints)
+        assert rebuilt.satisfies_constraints()
+        assert instance_to_dict(rebuilt) == payload
+
+    def test_database_instance_methods(self):
+        instance = toy_university_instance()
+        rebuilt = DatabaseInstance.from_dict(instance.to_dict())
+        assert rebuilt.to_dict() == instance.to_dict()
+
+    def test_from_dict_still_requires_row_data_with_a_schema(self):
+        with pytest.raises(TypeError, match="row data"):
+            DatabaseInstance.from_dict(toy_university_instance().schema)
+
+    def test_inserting_into_a_rebuilt_instance_never_overwrites(self):
+        instance = toy_university_instance()
+        rebuilt = DatabaseInstance.from_dict(instance.to_dict())
+        before = rebuilt.total_size()
+        tid = rebuilt.insert("Student", ("Zed", "ECON"))
+        assert rebuilt.total_size() == before + 1
+        assert tid not in instance.relation("Student").tids()
+
+    def test_serialization_is_canonical_across_processes(self):
+        # Counterexample tids live in frozensets, whose iteration order
+        # depends on string hashing; the canonical form must not.
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (
+            "import json\n"
+            "from repro.api import GradingService\n"
+            "svc = GradingService()\n"
+            "outcome = svc.check("
+            "\"\\\\project_{name} \\\\select_{dept = 'ECON'} Registration\", "
+            "'\\\\project_{name} Registration')\n"
+            "print(json.dumps(outcome.to_dict(include_timings=False), sort_keys=True))\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                env={"PYTHONPATH": src, "PYTHONHASHSEED": hash_seed},
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout
+            for hash_seed in ("1", "7342")
+        }
+        assert len(outputs) == 1
+
+    def test_parameterized_outcome_round_trip(self, service):
+        outcome = service.check(
+            "\\select_{dept = @d} Registration",
+            "\\select_{dept = @d and grade > 90} Registration",
+            params={"d": "CS"},
+        )
+        assert not outcome.correct
+        payload = json_round_trip(outcome.to_dict())
+        again = SubmissionOutcome.from_dict(payload)
+        assert again.to_dict() == outcome.to_dict()
+        assert dict(again.report.result.parameter_values) == dict(
+            outcome.report.result.parameter_values
+        )
+
+
+class TestRequestFormat:
+    def test_request_to_dict_is_jsonl_ready(self):
+        request = SubmissionRequest(CORRECT, WRONG, dataset="university:20", id="a")
+        line = json.dumps(request.to_dict())
+        assert SubmissionRequest.from_dict(json.loads(line)) == request

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, load_dataset, main
@@ -70,3 +72,107 @@ class TestCommands:
         )
         assert exit_code == 2
         assert "error:" in capsys.readouterr().err
+
+    def test_explain_json_output(self, capsys):
+        exit_code = main(
+            [
+                "explain",
+                "--json",
+                "--correct",
+                "\\project_{name} \\select_{dept = 'ECON'} Registration",
+                "--test",
+                "\\project_{name} Registration",
+            ]
+        )
+        assert exit_code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["correct"] is False
+        assert payload["report"]["result"]["algorithm"]
+
+
+SUBMISSIONS = [
+    {
+        "id": "a/q1",
+        "correct": "\\project_{name} \\select_{dept = 'ECON'} Registration",
+        "test": "\\project_{name} \\select_{dept = 'ECON'} Registration",
+    },
+    {
+        "id": "b/q1",
+        "correct": "\\project_{name} \\select_{dept = 'ECON'} Registration",
+        "test": "\\project_{name} Registration",
+    },
+    {
+        "id": "c/q1",
+        "correct": "\\project_{name} \\select_{dept = 'ECON'} Registration",
+        "test": "\\select_{oops",
+    },
+]
+
+
+class TestBatchCommand:
+    def write_submissions(self, tmp_path, rows=SUBMISSIONS):
+        path = tmp_path / "submissions.jsonl"
+        path.write_text("\n".join(json.dumps(row) for row in rows) + "\n")
+        return path
+
+    def read_grades(self, path):
+        return [json.loads(line) for line in path.read_text().splitlines()]
+
+    def test_batch_grades_jsonl(self, tmp_path, capsys):
+        submissions = self.write_submissions(tmp_path)
+        output = tmp_path / "grades.jsonl"
+        exit_code = main(
+            ["batch", "--input", str(submissions), "--output", str(output), "--workers", "2"]
+        )
+        assert exit_code == 0
+        grades = self.read_grades(output)
+        assert [g["id"] for g in grades] == ["a/q1", "b/q1", "c/q1"]
+        assert [g["correct"] for g in grades] == [True, False, False]
+        assert grades[2]["outcome"]["error_kind"] == "parse_error"
+        assert all(g["schema_version"] == 1 for g in grades)
+        summary = capsys.readouterr().err
+        assert "graded 3 submissions" in summary
+
+    def test_batch_stdout_and_dataset_flag(self, tmp_path, capsys):
+        submissions = self.write_submissions(tmp_path, SUBMISSIONS[:1])
+        exit_code = main(
+            ["batch", "--input", str(submissions), "--dataset", "university:20"]
+        )
+        assert exit_code == 0
+        line = capsys.readouterr().out.strip()
+        payload = json.loads(line)
+        assert payload["dataset"] == "university:20"
+
+    def test_batch_rejects_bad_json(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        assert main(["batch", "--input", str(path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_batch_missing_input_file_is_reported(self, tmp_path, capsys):
+        assert main(["batch", "--input", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_unwritable_output_is_reported(self, tmp_path, capsys):
+        submissions = self.write_submissions(tmp_path, SUBMISSIONS[:1])
+        output = tmp_path / "no" / "such" / "dir" / "grades.jsonl"
+        assert main(["batch", "--input", str(submissions), "--output", str(output)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_batch_operational_failures_exit_nonzero(self, tmp_path, capsys):
+        rows = [dict(SUBMISSIONS[0], dataset="no-such-dataset")]
+        submissions = self.write_submissions(tmp_path, rows)
+        exit_code = main(["batch", "--input", str(submissions)])
+        assert exit_code == 1
+        grade = json.loads(capsys.readouterr().out.strip())
+        assert grade["outcome"]["error_kind"] == "invalid_request"
+
+    def test_batch_fixture_file_matches_ci_expectations(self, capsys):
+        from pathlib import Path
+
+        fixture = Path(__file__).resolve().parent.parent / "examples" / "submissions.jsonl"
+        exit_code = main(["batch", "--input", str(fixture)])
+        assert exit_code == 0
+        grades = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [g["correct"] for g in grades] == [True, False, False]
