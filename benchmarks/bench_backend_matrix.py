@@ -1,0 +1,135 @@
+"""Backend matrix: Python plan engine vs. SQLite on the TPC-H grading workload.
+
+Grades the five TPC-H benchmark queries (each: the reference plus its two
+wrong variants, screening mode) against one generated TPC-H-lite instance on
+both execution backends, and times three regimes per backend:
+
+* ``cold eval``  — a fresh :class:`~repro.engine.session.EngineSession`
+  evaluates all 15 workload queries once (for SQLite this includes loading
+  the ``:memory:`` database and compiling every plan to SQL);
+* ``warm eval``  — the same session evaluates them again (both backends
+  serve these from the shared result memo — warm cost is
+  backend-independent by design);
+* ``grading``    — a fresh :class:`~repro.api.service.GradingService` batch
+  over the 15 (reference, submission) pairs.
+
+The benchmark *asserts* the matrix property the differential fuzz suite
+establishes statistically: identical row sets and bit-identical grades on
+both backends.  It does not assert a winner — the point of the matrix is
+that backend choice is a deployment decision, not a correctness one.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_backend_matrix.py``)
+for a table, or through pytest for the assertions.  ``REPRO_BENCH_SCALE``
+overrides the TPC-H scale factor (default 1 ≈ 7k tuples).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.api import GradingService, SubmissionRequest
+from repro.datagen import tpch_instance
+from repro.engine import EngineSession
+from repro.workload import tpch_queries
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def _workload_queries():
+    queries = []
+    for query in tpch_queries():
+        queries.append(query.correct_query)
+        queries.extend(query.wrong_queries)
+    return queries
+
+
+def _requests():
+    requests = []
+    for query in tpch_queries():
+        for index, wrong in enumerate(query.wrong_texts):
+            requests.append(
+                SubmissionRequest(
+                    query.correct_text,
+                    wrong,
+                    id=f"{query.key}/wrong{index}",
+                    explain=False,
+                )
+            )
+        requests.append(
+            SubmissionRequest(
+                query.correct_text, query.correct_text, id=f"{query.key}/ok", explain=False
+            )
+        )
+    return requests
+
+
+def run_benchmark(seed: int = 7) -> dict:
+    instance = tpch_instance(SCALE, seed=seed)
+    queries = _workload_queries()
+    requests = _requests()
+    result: dict = {"total_tuples": instance.total_size(), "queries": len(queries)}
+
+    row_sets: dict[str, list] = {}
+    for backend in ("python", "sqlite"):
+        session = EngineSession(instance, backend=backend)
+        start = time.perf_counter()
+        row_sets[backend] = [session.evaluate(q).rows for q in queries]
+        result[f"{backend}_cold_s"] = time.perf_counter() - start
+        start = time.perf_counter()
+        for query in queries:
+            session.evaluate(query)
+        result[f"{backend}_warm_s"] = time.perf_counter() - start
+
+        service = GradingService.for_instance(instance, name="tpch", backend=backend)
+        start = time.perf_counter()
+        graded = service.submit_batch(requests, workers=1)
+        result[f"{backend}_grading_s"] = time.perf_counter() - start
+        result[f"{backend}_grades"] = [
+            g.to_dict(include_timings=False) for g in graded
+        ]
+        if backend == "sqlite":
+            stats = session.stats
+            result["sqlite_statements"] = stats["sqlite_statements"]
+            result["sqlite_fallbacks"] = stats["sqlite_fallbacks"]
+
+    assert row_sets["python"] == row_sets["sqlite"], "backends disagree on rows"
+    assert result["python_grades"] == result["sqlite_grades"], (
+        "backends disagree on grades"
+    )
+    result["wrong"] = sum(1 for g in result["python_grades"] if not g["correct"])
+    return result
+
+
+def test_backend_matrix(benchmark=None):
+    if benchmark is not None:
+        result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+        benchmark.extra_info["result"] = result
+    else:  # plain pytest without pytest-benchmark
+        result = run_benchmark()
+    # The workload must actually run on SQLite, not fall back wholesale.
+    assert result["sqlite_statements"] > 0
+    assert result["sqlite_fallbacks"] == 0
+    assert result["wrong"] == 10  # two wrong variants per TPC-H query
+
+
+def main() -> None:
+    result = run_benchmark()
+    print(
+        f"TPC-H grading workload, scale {SCALE} "
+        f"({result['total_tuples']} tuples, {result['queries']} queries, "
+        f"{result['wrong']} wrong submissions)"
+    )
+    print(f"{'regime':<14} {'python':>10} {'sqlite':>10}")
+    for regime in ("cold", "warm", "grading"):
+        py = result[f"python_{regime}_s"]
+        sq = result[f"sqlite_{regime}_s"]
+        print(f"{regime + ' eval':<14} {py:>9.3f}s {sq:>9.3f}s")
+    print(
+        f"sqlite executed {result['sqlite_statements']} statements, "
+        f"{result['sqlite_fallbacks']} fallbacks; grades bit-identical across backends"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.catalog.instance import DatabaseInstance
+from repro.engine.backends import BACKEND_NAMES
 from repro.engine.session import EngineSession
 from repro.errors import ReproError
 
@@ -35,13 +36,17 @@ class DatasetHandle:
 
     Handles are cached and shared across submissions and worker threads —
     treat the instance as read-only (mutating it invalidates the session's
-    caches for every concurrent user).
+    caches for every concurrent user).  ``backend`` names the execution
+    backend the session runs set-semantics evaluation on; handles for
+    different backends share neither sessions nor caches, but instance-backed
+    datasets do share the one underlying instance.
     """
 
     spec: str
     seed: int
     instance: DatabaseInstance
     session: EngineSession
+    backend: str = "python"
 
 
 def _builtin_builders() -> dict[str, DatasetBuilder]:
@@ -76,8 +81,8 @@ class DatasetRegistry:
             _builtin_builders() if include_builtin else {}
         )
         self._instance_backed: set[str] = set()
-        self._handles: dict[tuple[str, int], DatasetHandle] = {}
-        self._build_locks: dict[tuple[str, int], threading.Lock] = {}
+        self._handles: dict[tuple[str, int, str], DatasetHandle] = {}
+        self._build_locks: dict[tuple[str, int, str], threading.Lock] = {}
         self._generations: dict[str, int] = {}
         self._lock = threading.Lock()
 
@@ -134,23 +139,30 @@ class DatasetRegistry:
                 raise self._unknown_dataset(spec)
         return builder(argument, seed)
 
-    def resolve(self, spec: str, *, seed: int = 0) -> DatasetHandle:
+    def resolve(self, spec: str, *, seed: int = 0, backend: str = "python") -> DatasetHandle:
         """The shared handle for ``spec``: built on first use, cached after.
 
         Builds run under a per-key lock *outside* the registry lock, so
         concurrent workers asking for the same dataset wait for one build,
         while requests for other (cached or building) datasets proceed —
         a slow ``tpch:1`` build never blocks ``toy-university`` lookups.
+        ``backend`` selects the engine session's execution backend; handles
+        are cached per (spec, seed, backend).
         """
+        if backend not in BACKEND_NAMES:
+            raise ReproError(
+                f"unknown execution backend {backend!r}; "
+                f"expected one of {', '.join(BACKEND_NAMES)}"
+            )
         name, _, argument = spec.partition(":")
         with self._lock:
             builder = self._builders.get(name)
             if builder is None:
                 raise self._unknown_dataset(spec)
             if name in self._instance_backed:
-                key, argument, seed = (name, 0), "", 0
+                key, argument, seed = (name, 0, backend), "", 0
             else:
-                key = (spec, seed)
+                key = (spec, seed, backend)
             handle = self._touch(key)
             if handle is not None:
                 return handle
@@ -168,7 +180,11 @@ class DatasetRegistry:
                     self._build_locks.pop(key, None)
                 raise
             handle = DatasetHandle(
-                spec=key[0], seed=seed, instance=instance, session=EngineSession(instance)
+                spec=key[0],
+                seed=seed,
+                instance=instance,
+                session=EngineSession(instance, backend=backend),
+                backend=backend,
             )
             with self._lock:
                 if self._generations.get(name, 0) != generation:
@@ -183,10 +199,10 @@ class DatasetRegistry:
                         evicted = next(iter(self._handles))
                         del self._handles[evicted]
             if retry:
-                return self.resolve(spec, seed=seed)
+                return self.resolve(spec, seed=seed, backend=backend)
             return handle
 
-    def _touch(self, key: tuple[str, int]) -> DatasetHandle | None:
+    def _touch(self, key: tuple[str, int, str]) -> DatasetHandle | None:
         """Cached handle for ``key``, refreshed to most-recently-used."""
         handle = self._handles.pop(key, None)
         if handle is not None:

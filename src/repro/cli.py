@@ -42,6 +42,7 @@ from pathlib import Path
 
 from repro.api import GradingService, SubmissionRequest, default_registry
 from repro.catalog.instance import DatabaseInstance
+from repro.engine.backends import BACKEND_NAMES
 from repro.errors import ReproError
 from repro.ratest import RATest
 
@@ -81,7 +82,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     instance = load_dataset(args.dataset, seed=args.seed)
-    tool = RATest(instance)
+    tool = RATest(instance, backend=args.backend)
     correct = _read_query(args.correct)
     test = _read_query(args.test)
     outcome = tool.check(correct, test, algorithm=args.algorithm)
@@ -116,7 +117,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         except ReproError as exc:
             raise ReproError(f"{args.input}:{number}: {exc}") from None
 
-    service = GradingService(default_dataset=args.dataset, default_seed=args.seed)
+    service = GradingService(
+        default_dataset=args.dataset, default_seed=args.seed, backend=args.backend
+    )
     graded = service.submit_batch(requests, workers=args.workers)
 
     out_lines = [json.dumps(result.to_dict(), sort_keys=True) for result in graded]
@@ -173,6 +176,12 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--correct", required=True, help="reference query (RA DSL text or file path)")
     explain.add_argument("--test", required=True, help="test query (RA DSL text or file path)")
     explain.add_argument("--algorithm", default="auto", help="auto, basic, optsigma, agg-basic, agg-opt, ...")
+    explain.add_argument(
+        "--backend",
+        default="python",
+        choices=list(BACKEND_NAMES),
+        help="execution backend for set-semantics evaluation",
+    )
     explain.add_argument("--json", action="store_true", help="print the outcome as JSON instead of ASCII")
     explain.set_defaults(func=_cmd_explain)
 
@@ -184,6 +193,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", default="toy-university", help="dataset spec for lines without one"
     )
     batch.add_argument("--seed", type=int, default=0, help="seed for lines without one")
+    batch.add_argument(
+        "--backend",
+        default="python",
+        choices=list(BACKEND_NAMES),
+        help="execution backend for set-semantics evaluation",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     experiments = subparsers.add_parser("experiments", help="re-run the paper's tables and figures")

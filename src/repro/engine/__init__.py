@@ -15,6 +15,11 @@ result caching across repeated evaluations — the unit of reuse for a grading
 session that checks many submissions against one instance.
 """
 
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    BackendUnsupportedError,
+    SqliteBackend,
+)
 from repro.engine.domains import (
     PROVENANCE_DOMAIN,
     SET_DOMAIN,
@@ -45,6 +50,8 @@ from repro.engine.structural import KeyCache, StructuralKey, structural_hash
 __all__ = [
     "AggregateOp",
     "AnnotationDomain",
+    "BACKEND_NAMES",
+    "BackendUnsupportedError",
     "CrossOp",
     "DifferenceOp",
     "EngineSession",
@@ -60,6 +67,7 @@ __all__ = [
     "SET_DOMAIN",
     "ScanOp",
     "SetDomain",
+    "SqliteBackend",
     "StructuralKey",
     "UnionOp",
     "apply_aggregate",

@@ -1,0 +1,40 @@
+"""Pluggable execution backends for set-semantics plan evaluation.
+
+The engine's default backend runs compiled plans through the in-process
+Python operators (:mod:`repro.engine.physical`).  This package adds
+alternatives that execute the *same* optimized logical plans elsewhere —
+today :class:`~repro.engine.backends.sqlite.SqliteBackend`, which compiles
+plans to SQLite SQL and runs them on a cached ``:memory:`` database, the
+way the original RATest ran its rewritten queries on SQL Server.
+
+Backends are deliberately narrow: they only cover plain set-semantics
+evaluation.  Provenance annotation (and anything else a backend cannot
+express) falls back to the Python operators via
+:class:`BackendUnsupportedError`, which
+:class:`~repro.engine.session.EngineSession` treats as "run it in-process
+instead" — never as a user-visible failure.
+"""
+
+from repro.engine.backends.sqlite import (
+    BackendUnsupportedError,
+    CompiledPlan,
+    SqliteBackend,
+    compile_plan_to_sql,
+    connect_instance,
+    load_instance,
+    prepare_connection,
+)
+
+#: Names accepted by ``EngineSession``/``DatasetRegistry``/``GradingService``.
+BACKEND_NAMES = ("python", "sqlite")
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendUnsupportedError",
+    "CompiledPlan",
+    "SqliteBackend",
+    "compile_plan_to_sql",
+    "connect_instance",
+    "load_instance",
+    "prepare_connection",
+]

@@ -19,6 +19,7 @@ from typing import Sequence
 
 from repro.catalog.schema import DatabaseSchema, RelationSchema
 from repro.errors import QueryEvaluationError, UnknownAttributeError
+from repro.ra.analysis import split_equijoin_conjuncts  # noqa: F401 — re-exported
 from repro.ra.ast import (
     AggregateSpec,
     Difference,
@@ -34,37 +35,6 @@ from repro.ra.ast import (
     Union,
 )
 from repro.ra.predicates import ColumnRef, Comparison, Predicate
-
-
-def split_equijoin_conjuncts(
-    predicate: Predicate,
-    left_schema: RelationSchema,
-    right_schema: RelationSchema,
-) -> tuple[list[tuple[str, str]], list[Predicate]]:
-    """Split a join predicate into hashable equi-join pairs and residual conjuncts.
-
-    Returns ``(pairs, residual)`` where each pair is ``(left_column,
-    right_column)`` and the residual predicates must still be evaluated on the
-    concatenated tuple.
-    """
-    pairs: list[tuple[str, str]] = []
-    residual: list[Predicate] = []
-    for conjunct in predicate.conjuncts():
-        if (
-            isinstance(conjunct, Comparison)
-            and conjunct.op == "="
-            and isinstance(conjunct.left, ColumnRef)
-            and isinstance(conjunct.right, ColumnRef)
-        ):
-            left_name, right_name = conjunct.left.name, conjunct.right.name
-            if left_schema.has_attribute(left_name) and right_schema.has_attribute(right_name):
-                pairs.append((left_name, right_name))
-                continue
-            if left_schema.has_attribute(right_name) and right_schema.has_attribute(left_name):
-                pairs.append((right_name, left_name))
-                continue
-        residual.append(conjunct)
-    return pairs, residual
 
 
 def resolve_aggregate_input(spec: AggregateSpec, schema: RelationSchema) -> int:

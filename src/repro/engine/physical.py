@@ -183,6 +183,56 @@ def apply_aggregate(func: AggregateFunction, values: Sequence[Any]) -> Any:
 # ---------------------------------------------------------------------------
 
 
+def referenced_params(
+    plan: PlanNode, cache: MutableMapping[PlanNode, frozenset]
+) -> frozenset:
+    """Names of the query parameters a subplan's predicates read.
+
+    Shared by the executor's memo keys and the session's backend dispatch so
+    both derive identical cache keys for one plan.
+    """
+    cached = cache.get(plan)
+    if cached is None:
+        refs: set[str] = set()
+        if isinstance(plan, FilterOp):
+            refs |= plan.predicate.referenced_params()
+        elif isinstance(plan, (JoinOp, CrossOp)):
+            for predicate in plan.residual:
+                refs |= predicate.referenced_params()
+        for child in plan.children():
+            refs |= referenced_params(child, cache)
+        cached = frozenset(refs)
+        cache[plan] = cached
+    return cached
+
+
+def plan_memo_key(
+    plan: PlanNode,
+    params: ParamValues,
+    cache: MutableMapping[PlanNode, frozenset],
+) -> tuple | None:
+    """Session-memo key for a (plan, parameter binding) pair.
+
+    The binding part is the restriction of ``params`` to the parameters the
+    plan references, so param-independent plans share one entry across
+    bindings.  Returns ``None`` when a referenced value is unhashable (the
+    execution is then simply not cached).
+    """
+    try:
+        refs = referenced_params(plan, cache)
+        if refs:
+            binding = tuple(
+                (name, params[name]) for name in sorted(refs) if name in params
+            )
+            key = (plan, binding)
+        else:
+            key = (plan, ())
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
 class PlanExecutor:
     """Executes a plan over one instance under one annotation domain.
 
@@ -214,32 +264,11 @@ class PlanExecutor:
 
     def _referenced_params(self, plan: PlanNode) -> frozenset:
         """Names of the query parameters the subplan's predicates read."""
-        cached = self.param_refs.get(plan)
-        if cached is None:
-            refs: set[str] = set()
-            if isinstance(plan, FilterOp):
-                refs |= plan.predicate.referenced_params()
-            elif isinstance(plan, (JoinOp, CrossOp)):
-                for predicate in plan.residual:
-                    refs |= predicate.referenced_params()
-            for child in plan.children():
-                refs |= self._referenced_params(child)
-            cached = frozenset(refs)
-            self.param_refs[plan] = cached
-        return cached
+        return referenced_params(plan, self.param_refs)
 
     def run(self, plan: PlanNode) -> "dict[Values, Any]":
-        try:
-            refs = self._referenced_params(plan)
-            if refs:
-                binding = tuple(
-                    (name, self.params[name]) for name in sorted(refs) if name in self.params
-                )
-                key = (plan, binding)
-            else:
-                key = (plan, ())
-            hash(key)
-        except TypeError:  # unhashable literal/parameter value: skip caching
+        key = plan_memo_key(plan, self.params, self.param_refs)
+        if key is None:  # unhashable literal/parameter value: skip caching
             return self._execute(plan)
         cached = self.memo.get(key)
         if cached is None:

@@ -26,6 +26,13 @@ workers (see :mod:`repro.api.service`).  The lock makes sharing *correct*
 and *deterministic* — concurrent throughput gains come from the shared
 caches, not from parallel plan execution, which the lock (and CPython's GIL)
 intentionally forgoes.
+
+``backend="sqlite"`` routes plain set-semantics evaluation through
+:class:`~repro.engine.backends.sqlite.SqliteBackend` — the optimized plan is
+compiled to SQL and executed on a cached ``:memory:`` database — while plans
+the dialect cannot express faithfully (and all provenance work) silently
+fall back to the Python operators.  Results land in the same memo either
+way, so cache hits are backend-independent.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.catalog.instance import DatabaseInstance, ResultSet, Values
 from repro.catalog.schema import RelationSchema
+from repro.engine.backends import BACKEND_NAMES
 from repro.engine.domains import (
     PROVENANCE_DOMAIN,
     SET_DOMAIN,
@@ -42,8 +50,9 @@ from repro.engine.domains import (
 )
 from repro.engine.logical import PlanNode, compile_plan
 from repro.engine.optimizer import choose_build_sides, optimize_expression
-from repro.engine.physical import PlanExecutor
+from repro.engine.physical import PlanExecutor, plan_memo_key
 from repro.engine.structural import KeyCache, StructuralKey
+from repro.errors import ReproError
 from repro.ra.ast import RAExpression
 
 ParamValues = Mapping[str, Any]
@@ -58,17 +67,31 @@ class EngineSession:
         *,
         optimize: bool = True,
         use_index: bool = True,
+        backend: str = "python",
     ) -> None:
+        if backend not in BACKEND_NAMES:
+            raise ReproError(
+                f"unknown execution backend {backend!r}; "
+                f"expected one of {', '.join(BACKEND_NAMES)}"
+            )
         self.instance = instance
         self.optimize = optimize
         self.use_index = use_index
+        self.backend = backend
+        self._sqlite: Any = None  # lazily created SqliteBackend
         self._keys = KeyCache()
         self._plans: dict[tuple[bool, StructuralKey], PlanNode] = {}
         self._results: dict[str, dict[tuple, dict[Values, Any]]] = {}
         self._param_refs: dict[PlanNode, frozenset] = {}
         self._data_version = instance.data_version
         self._lock = threading.RLock()
-        self.stats = {"plan_hits": 0, "plan_misses": 0, "invalidations": 0}
+        self.stats = {
+            "plan_hits": 0,
+            "plan_misses": 0,
+            "invalidations": 0,
+            "sqlite_statements": 0,
+            "sqlite_fallbacks": 0,
+        }
 
     # -- cache management ----------------------------------------------------
 
@@ -153,6 +176,10 @@ class EngineSession:
             self._check_version()
             schema = expression.output_schema(self.instance.schema)
             plan = self._plan(expression, exact=exact)
+            if self.backend == "sqlite" and not exact and domain is SET_DOMAIN:
+                rows = self._run_sqlite(plan, params or {}, domain)
+                if rows is not None:
+                    return schema, rows
             executor = PlanExecutor(
                 self.instance,
                 params or {},
@@ -162,6 +189,38 @@ class EngineSession:
                 use_index=self.use_index,
             )
             return schema, executor.run(plan)
+
+    def _run_sqlite(
+        self, plan: PlanNode, params: ParamValues, domain: AnnotationDomain
+    ) -> "dict[Values, Any] | None":
+        """Run a set-semantics plan on the SQLite backend; ``None`` → fall back.
+
+        Results are stored under the same memo key the Python executor would
+        use, so a row set computed by either backend serves later hits from
+        both.  Genuine query failures (e.g. division by zero) propagate as
+        the Python operators would raise them; unbound or type-incompatible
+        parameter bindings instead fall back, because only the Python
+        operators' lazy evaluation can tell whether they are an error at all.
+        """
+        from repro.engine.backends.sqlite import BackendUnsupportedError, SqliteBackend
+
+        memo = self._memo(domain)
+        key = plan_memo_key(plan, params, self._param_refs)
+        if key is not None:
+            cached = memo.get(key)
+            if cached is not None:
+                return cached
+        if self._sqlite is None:
+            self._sqlite = SqliteBackend(self.instance)
+        try:
+            rows = self._sqlite.execute_plan(plan, params)
+        except BackendUnsupportedError:
+            self.stats["sqlite_fallbacks"] += 1
+            return None
+        self.stats["sqlite_statements"] += 1
+        if key is not None:
+            memo[key] = rows
+        return rows
 
     def evaluate(self, expression: RAExpression, params: ParamValues | None = None) -> ResultSet:
         """Set-semantics evaluation (same contract as ``repro.ra.evaluate``)."""

@@ -16,6 +16,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.catalog.schema import RelationSchema
+from repro.ra.predicates import ColumnRef, Comparison, Predicate
 from repro.ra.ast import (
     Difference,
     GroupBy,
@@ -31,6 +33,38 @@ from repro.ra.ast import (
 )
 
 _JOIN_NODES = (Join, NaturalJoin, Intersection)
+
+
+def split_equijoin_conjuncts(
+    predicate: Predicate,
+    left_schema: RelationSchema,
+    right_schema: RelationSchema,
+) -> tuple[list[tuple[str, str]], list[Predicate]]:
+    """Split a join predicate into hashable equi-join pairs and residual conjuncts.
+
+    Returns ``(pairs, residual)`` where each pair is ``(left_column,
+    right_column)`` and the residual predicates must still be evaluated on the
+    concatenated tuple.  Pure predicate/schema analysis — shared by the plan
+    compiler, the reference interpreters, and the SQL writer.
+    """
+    pairs: list[tuple[str, str]] = []
+    residual: list[Predicate] = []
+    for conjunct in predicate.conjuncts():
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            left_name, right_name = conjunct.left.name, conjunct.right.name
+            if left_schema.has_attribute(left_name) and right_schema.has_attribute(right_name):
+                pairs.append((left_name, right_name))
+                continue
+            if left_schema.has_attribute(right_name) and right_schema.has_attribute(left_name):
+                pairs.append((right_name, left_name))
+                continue
+        residual.append(conjunct)
+    return pairs, residual
 
 
 class QueryClass(enum.Enum):

@@ -70,9 +70,9 @@ def split_equijoin_conjuncts(
 ) -> tuple[list[tuple[str, str]], list[Predicate]]:
     """Split a join predicate into hashable equi-join pairs and residual conjuncts.
 
-    Re-exported facade over :func:`repro.engine.logical.split_equijoin_conjuncts`.
+    Re-exported facade over :func:`repro.ra.analysis.split_equijoin_conjuncts`.
     """
-    from repro.engine.logical import split_equijoin_conjuncts as split
+    from repro.ra.analysis import split_equijoin_conjuncts as split
 
     return split(predicate, left_schema, right_schema)
 

@@ -12,6 +12,12 @@ from repro.workload.course import (
     course_questions,
     course_submission_pool,
 )
+from repro.workload.fuzz import (
+    FuzzQuery,
+    QueryFuzzer,
+    perturb_instance,
+    to_dsl,
+)
 from repro.workload.mutations import (
     ALL_MUTATION_OPERATORS,
     Mutant,
@@ -32,7 +38,9 @@ __all__ = [
     "ALL_MUTATION_OPERATORS",
     "BeersProblem",
     "CourseQuestion",
+    "FuzzQuery",
     "Mutant",
+    "QueryFuzzer",
     "RATEST_PROBLEMS",
     "SubmissionPool",
     "TpchQuery",
@@ -46,10 +54,12 @@ __all__ = [
     "generate_mutants",
     "mutate_constants",
     "mutate_group_by",
+    "perturb_instance",
     "relax_comparison_operators",
     "replace_difference_with_union",
     "replace_intersection_with_union",
     "swap_difference_operands",
+    "to_dsl",
     "tpch_queries",
     "tpch_query",
 ]

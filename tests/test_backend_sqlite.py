@@ -1,0 +1,436 @@
+"""The SQLite backend: semantics units plus workload SQL round trips.
+
+Two layers of guarantees:
+
+* every course/beers/TPC-H workload query — correct references *and* wrong
+  variants — (a) evaluates identically on the Python and SQLite backends
+  through ``EngineSession``, and (b) has ``to_sql`` output that executes
+  verbatim on a loaded SQLite database and returns the same rows;
+* targeted unit tests for the dialect corners where SQL and the engine
+  disagree by default: two-valued NULL logic under ``NOT``, null-safe join
+  keys, Python division, BOOL round trips, quoting of reserved/dotted
+  identifiers, parameter binding, empty-input aggregates, data-version
+  reloads, and the fallback protocol for inexpressible plans.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.instance import DatabaseInstance
+from repro.catalog.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.catalog.types import DataType
+from repro.engine.backends.sqlite import (
+    BackendUnsupportedError,
+    SqliteBackend,
+    compile_plan_to_sql,
+    connect_instance,
+)
+from repro.engine.logical import compile_plan
+from repro.engine.session import EngineSession
+from repro.errors import QueryEvaluationError
+from repro.datagen import (
+    tpch_instance,
+    toy_beers_instance,
+    toy_university_instance,
+)
+from repro.parser import parse_query, to_sql
+from repro.ra.ast import RelationRef, Selection
+from repro.ra.predicates import (
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Not,
+    Param,
+    Predicate,
+)
+from repro.workload import beers_problems, course_questions, tpch_queries
+
+
+def _workloads():
+    university = toy_university_instance()
+    beers = toy_beers_instance()
+    tpch = tpch_instance(0.01, seed=3)
+    cases = []
+    for question in course_questions():
+        for text in (question.correct_text, *question.wrong_texts):
+            cases.append(("course", university, text))
+    for problem in beers_problems():
+        for text in (problem.correct_text, *problem.wrong_texts):
+            cases.append(("beers", beers, text))
+    for query in tpch_queries():
+        for text in (query.correct_text, *query.wrong_texts):
+            cases.append(("tpch", tpch, text))
+    return cases
+
+
+_WORKLOADS = _workloads()
+
+
+class TestWorkloadRoundTrips:
+    """Acceptance: every workload query's SQL executes on SQLite."""
+
+    @pytest.fixture(scope="class")
+    def connections(self):
+        cache = {}
+
+        def connection_for(instance):
+            key = id(instance)
+            if key not in cache:
+                cache[key] = connect_instance(instance)
+            return cache[key]
+
+        yield connection_for
+        for conn in cache.values():
+            conn.close()
+
+    @pytest.fixture(scope="class")
+    def sessions(self):
+        cache = {}
+
+        def session_for(instance, backend):
+            key = (id(instance), backend)
+            if key not in cache:
+                cache[key] = EngineSession(instance, backend=backend)
+            return cache[key]
+
+        return session_for
+
+    @pytest.mark.parametrize(
+        "workload,instance,text",
+        _WORKLOADS,
+        ids=[f"{w}-{i}" for i, (w, _, _) in enumerate(_WORKLOADS)],
+    )
+    def test_sql_text_executes_and_matches_engine(
+        self, workload, instance, text, connections, sessions
+    ):
+        expression = parse_query(text)
+        sql = to_sql(expression, instance.schema)
+        fetched = frozenset(
+            tuple(row) for row in connections(instance).execute(sql).fetchall()
+        )
+        expected = sessions(instance, "python").evaluate(expression).rows
+        assert fetched == expected
+
+    @pytest.mark.parametrize(
+        "workload,instance,text",
+        _WORKLOADS,
+        ids=[f"{w}-{i}" for i, (w, _, _) in enumerate(_WORKLOADS)],
+    )
+    def test_sqlite_backend_matches_python_backend(
+        self, workload, instance, text, sessions
+    ):
+        expression = parse_query(text)
+        expected = sessions(instance, "python").evaluate(expression)
+        actual = sessions(instance, "sqlite").evaluate(expression)
+        assert actual.rows == expected.rows
+
+
+class TestNullSemantics:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        schema = DatabaseSchema.of(
+            [
+                RelationSchema.of(
+                    "T",
+                    [
+                        Attribute("k", DataType.INT, nullable=True),
+                        Attribute("v", DataType.STRING),
+                    ],
+                ),
+                RelationSchema.of(
+                    "U",
+                    [
+                        Attribute("k", DataType.INT, nullable=True),
+                        Attribute("w", DataType.STRING),
+                    ],
+                ),
+            ]
+        )
+        instance = DatabaseInstance(schema)
+        instance.relation("T").insert_all([(1, "a"), (None, "b"), (2, "c")])
+        instance.relation("U").insert_all([(None, "x"), (2, "y")])
+        return instance
+
+    def test_not_over_null_comparison_is_true(self, instance):
+        # Engine logic: k = 1 is False when k IS NULL, so NOT(k = 1) keeps
+        # the row.  Plain SQL three-valued logic would drop it.
+        query = parse_query("\\select_{not (k = 1)} T")
+        python = EngineSession(instance).evaluate(query)
+        sqlite = EngineSession(instance, backend="sqlite").evaluate(query)
+        assert python.rows == sqlite.rows
+        assert (None, "b") in python.rows
+
+    def test_null_join_keys_match_like_dict_keys(self, instance):
+        # The hash join's dict lookup matches NULL with NULL; the compiled
+        # SQL must use IS, not =, for hoisted key conjuncts.
+        query = parse_query(
+            "(\\rename_{prefix: a} T) \\join_{a.k = b.k} (\\rename_{prefix: b} U)"
+        )
+        python = EngineSession(instance).evaluate(query)
+        sqlite = EngineSession(instance, backend="sqlite").evaluate(query)
+        assert python.rows == sqlite.rows
+        assert any(row[0] is None for row in python.rows)
+
+
+class TestDialectCorners:
+    def test_division_matches_python_semantics(self):
+        instance = toy_university_instance()
+        predicate = Comparison(
+            ">",
+            Arithmetic("/", ColumnRef("grade"), Literal(2)),
+            Literal(44.0),
+        )
+        query = Selection(RelationRef("Registration"), predicate)
+        python = EngineSession(instance).evaluate(query)
+        sqlite = EngineSession(instance, backend="sqlite").evaluate(query)
+        assert python.rows == sqlite.rows
+
+    def test_division_by_zero_raises_on_both_backends(self):
+        instance = toy_university_instance()
+        predicate = Comparison(
+            ">", Arithmetic("/", ColumnRef("grade"), Literal(0)), Literal(1)
+        )
+        query = Selection(RelationRef("Registration"), predicate)
+        with pytest.raises(QueryEvaluationError):
+            EngineSession(instance).evaluate(query)
+        with pytest.raises(QueryEvaluationError):
+            EngineSession(instance, backend="sqlite").evaluate(query)
+
+    def test_cross_type_ordering_comparison_fails_identically(self):
+        # SQLite would order 'Mary' < 5 by storage class; the Python
+        # operators raise TypeError.  The backend must fall back so both
+        # backends produce the same (internal) error — grades stay
+        # backend-independent even for type-broken submissions.
+        instance = toy_university_instance()
+        query = parse_query("\\select_{name < 5} Student")
+        with pytest.raises(TypeError):
+            EngineSession(instance).evaluate(query)
+        session = EngineSession(instance, backend="sqlite")
+        with pytest.raises(TypeError):
+            session.evaluate(query)
+        assert session.stats["sqlite_fallbacks"] == 1
+
+    def test_cross_type_equality_falls_back_consistently(self):
+        # name = 5 is simply false everywhere in Python; SQLite's comparison
+        # affinity could coerce and match — so it must not run on SQLite.
+        instance = toy_university_instance()
+        query = parse_query("\\select_{name = 5} Student")
+        python = EngineSession(instance).evaluate(query)
+        session = EngineSession(instance, backend="sqlite")
+        assert session.evaluate(query).rows == python.rows == frozenset()
+        assert session.stats["sqlite_fallbacks"] == 1
+
+    def test_cross_type_grading_is_backend_independent(self):
+        from repro.api import GradingService
+
+        instance = toy_university_instance()
+        correct = "\\project_{name} Student"
+        broken = "\\select_{name < 5} \\project_{name} Student"
+        python = GradingService.for_instance(instance, name="h").check(correct, broken)
+        sqlite = GradingService.for_instance(
+            instance, name="h", backend="sqlite"
+        ).check(correct, broken)
+        assert python.to_dict(include_timings=False) == sqlite.to_dict(
+            include_timings=False
+        )
+        assert python.error_kind == "internal_error"
+
+    def test_string_division_is_not_compiled(self):
+        instance = toy_university_instance()
+        predicate = Comparison(
+            "=", Arithmetic("/", ColumnRef("name"), Literal(2)), Literal(1.0)
+        )
+        plan = compile_plan(
+            Selection(RelationRef("Student"), predicate), instance.schema
+        )
+        with pytest.raises(BackendUnsupportedError):
+            compile_plan_to_sql(plan, instance.schema)
+
+    def test_string_typed_parameter_division_raises_typeerror_on_both(self):
+        # The parameter's type is unknown at compile time, so division does
+        # run on SQLite — the UDF must then surface Python's real TypeError,
+        # not a fabricated division-by-zero.
+        instance = toy_university_instance()
+        predicate = Comparison(
+            ">", Arithmetic("/", ColumnRef("grade"), Param("d")), Literal(1)
+        )
+        query = Selection(RelationRef("Registration"), predicate)
+        with pytest.raises(TypeError):
+            EngineSession(instance).evaluate(query, {"d": "oops"})
+        with pytest.raises(TypeError):
+            EngineSession(instance, backend="sqlite").evaluate(query, {"d": "oops"})
+
+    def test_bool_columns_round_trip(self):
+        schema = DatabaseSchema.of(
+            [
+                RelationSchema.of(
+                    "Flags",
+                    [("name", DataType.STRING), ("active", DataType.BOOL)],
+                )
+            ]
+        )
+        instance = DatabaseInstance(schema)
+        instance.relation("Flags").insert_all([("a", True), ("b", False)])
+        query = parse_query("\\select_{active = true} Flags")
+        python = EngineSession(instance).evaluate(query)
+        sqlite = EngineSession(instance, backend="sqlite").evaluate(query)
+        assert python.rows == sqlite.rows == frozenset({("a", True)})
+        (row,) = sqlite.rows
+        assert row[1] is True  # int 1 would break bit-identical serialization
+
+    def test_reserved_and_dotted_identifiers(self):
+        schema = DatabaseSchema.of(
+            [
+                RelationSchema.of(
+                    "order",
+                    [("group", DataType.STRING), ("select", DataType.INT)],
+                )
+            ]
+        )
+        instance = DatabaseInstance(schema)
+        instance.relation("order").insert_all([("g1", 1), ("g2", 2)])
+        query = parse_query('\\project_{p.group -> g} \\select_{p.select > 1} \\rename_{prefix: p} order')
+        python = EngineSession(instance).evaluate(query)
+        sqlite = EngineSession(instance, backend="sqlite").evaluate(query)
+        assert python.rows == sqlite.rows == frozenset({("g2",)})
+        sql = to_sql(query, schema)
+        conn = connect_instance(instance)
+        assert frozenset(conn.execute(sql).fetchall()) == {("g2",)}
+        conn.close()
+
+    def test_parameter_binding(self):
+        instance = toy_university_instance()
+        query = parse_query("\\project_{name} \\select_{grade >= @cutoff} Registration")
+        python = EngineSession(instance).evaluate(query, {"cutoff": 95})
+        session = EngineSession(instance, backend="sqlite")
+        sqlite = session.evaluate(query, {"cutoff": 95})
+        assert python.rows == sqlite.rows
+        assert session.stats["sqlite_statements"] == 1
+        # Unbound parameters fail the same way as the Python operators.
+        with pytest.raises(QueryEvaluationError, match="unbound query parameter"):
+            session.evaluate(query, {})
+
+    def test_string_valued_parameter_against_numeric_column_fails_identically(self):
+        # SQLite's cross-type ordering would happily answer grade < 'abc';
+        # the binding check must refuse it so Python raises its TypeError
+        # on both backends.
+        instance = toy_university_instance()
+        query = parse_query("\\select_{grade < @p} Registration")
+        with pytest.raises(TypeError):
+            EngineSession(instance).evaluate(query, {"p": "abc"})
+        session = EngineSession(instance, backend="sqlite")
+        with pytest.raises(TypeError):
+            session.evaluate(query, {"p": "abc"})
+        assert session.stats["sqlite_fallbacks"] == 1
+
+    def test_unbound_parameter_over_empty_input_matches_python_laziness(self):
+        # The Python operators resolve parameters lazily: if the filter's
+        # input is empty the parameter is never read, so no error.  The
+        # backend must fall back rather than eagerly refusing to bind.
+        instance = toy_university_instance()
+        query = parse_query(
+            "\\select_{grade < @p} \\select_{dept = 'NOPE'} Registration"
+        )
+        python = EngineSession(instance).evaluate(query, {})
+        session = EngineSession(instance, backend="sqlite")
+        assert session.evaluate(query, {}).rows == python.rows == frozenset()
+        assert session.stats["sqlite_fallbacks"] == 1
+
+    def test_ungrouped_aggregate_over_empty_input_yields_no_rows(self):
+        instance = toy_university_instance()
+        query = parse_query("\\aggr_{ ; count(*) -> n} \\select_{dept = 'NOPE'} Registration")
+        python = EngineSession(instance).evaluate(query)
+        sqlite = EngineSession(instance, backend="sqlite").evaluate(query)
+        assert python.rows == sqlite.rows == frozenset()
+
+
+class TestBackendLifecycle:
+    def test_data_version_reload(self):
+        instance = toy_university_instance()
+        session = EngineSession(instance, backend="sqlite")
+        query = parse_query("\\project_{name} Student")
+        before = session.evaluate(query).rows
+        instance.relation("Student").insert(("Zoe", "ART"))
+        after = session.evaluate(query).rows
+        assert ("Zoe",) in after and ("Zoe",) not in before
+
+    def test_compiled_sql_is_cached_per_plan(self):
+        instance = toy_university_instance()
+        backend = SqliteBackend(instance)
+        plan = compile_plan(parse_query("\\select_{dept = 'CS'} Registration"), instance.schema)
+        backend.execute_plan(plan)
+        backend.execute_plan(plan)
+        assert backend.stats["compile_misses"] == 1
+        assert backend.stats["statements"] == 2
+        assert backend.stats["loads"] == 1
+
+    def test_unsupported_plan_falls_back_to_python(self):
+        class OpaquePredicate(Predicate):
+            """Not a member of the compilable predicate grammar."""
+
+            def evaluate(self, schema, row, params):
+                return row[schema.index_of("dept")] == "CS"
+
+            def referenced_columns(self):
+                return {"dept"}
+
+            def __eq__(self, other):
+                return isinstance(other, OpaquePredicate)
+
+            def __hash__(self):
+                return hash("OpaquePredicate")
+
+        instance = toy_university_instance()
+        query = Selection(RelationRef("Registration"), OpaquePredicate())
+        session = EngineSession(instance, backend="sqlite")
+        python = EngineSession(instance).evaluate(query)
+        assert session.evaluate(query).rows == python.rows
+        assert session.stats["sqlite_fallbacks"] == 1
+        assert session.stats["sqlite_statements"] == 0
+
+    def test_compile_rejects_opaque_scalars(self):
+        instance = toy_university_instance()
+        predicate = Comparison(
+            "=", ColumnRef("dept"), Arithmetic("-", Literal("x"), Literal("y"))
+        )
+        plan = compile_plan(
+            Selection(RelationRef("Registration"), predicate), instance.schema
+        )
+        with pytest.raises(BackendUnsupportedError):
+            compile_plan_to_sql(plan, instance.schema)
+
+    def test_nan_data_falls_back_instead_of_becoming_null(self):
+        # sqlite3 binds NaN as NULL, which would silently change results;
+        # the loader must refuse so the session falls back to Python.
+        schema = DatabaseSchema.of(
+            [RelationSchema.of("M", [("k", DataType.INT), ("x", DataType.FLOAT)])]
+        )
+        instance = DatabaseInstance(schema)
+        instance.relation("M").insert_all([(1, 1.5), (2, float("nan"))])
+        python = EngineSession(instance).evaluate(parse_query("M"))
+        session = EngineSession(instance, backend="sqlite")
+        sqlite = session.evaluate(parse_query("M"))
+        assert session.stats["sqlite_fallbacks"] == 1
+        assert not any(row[1] is None for row in sqlite.rows)
+        assert len(sqlite.rows) == len(python.rows) == 2
+
+    def test_oversized_integers_fall_back(self):
+        instance = toy_university_instance()
+        predicate = Comparison("<", ColumnRef("grade"), Literal(2**70))
+        query = Selection(RelationRef("Registration"), predicate)
+        session = EngineSession(instance, backend="sqlite")
+        python = EngineSession(instance).evaluate(query)
+        assert session.evaluate(query).rows == python.rows
+        assert session.stats["sqlite_fallbacks"] == 1
+
+    def test_provenance_stays_on_python_operators(self):
+        instance = toy_university_instance()
+        session = EngineSession(instance, backend="sqlite")
+        schema, rows = session.annotated_rows(parse_query("\\select_{dept = 'CS'} Registration"))
+        reference = EngineSession(instance).annotated_rows(
+            parse_query("\\select_{dept = 'CS'} Registration")
+        )
+        assert rows == reference[1]
+        assert session.stats["sqlite_statements"] == 0

@@ -1,0 +1,184 @@
+"""Differential fuzzing: reference interpreter vs. plan engine vs. SQLite.
+
+Hundreds of seeded random queries (see :mod:`repro.workload.fuzz`) run on
+perturbed instances through three independent evaluators:
+
+* the pre-engine reference interpreter (``repro.engine.reference``),
+* the plan-based engine on the Python backend,
+* the plan-based engine on the SQLite backend,
+
+and additionally round-trip through the DSL parser (``to_dsl`` → ``parse``).
+All four row sets must be identical.  On failure the assertion message is a
+reproduction one-liner: the seed, the query's DSL text, and any parameter
+binding — paste it into ``QueryFuzzer.query(seed)`` or the CLI to replay.
+
+``REPRO_FUZZ_BUDGET`` scales the per-instance query budget (default 300;
+CI's smoke job uses a small value).  The ``slow``-marked extended run only
+executes when ``REPRO_FUZZ_EXTENDED`` is set.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.catalog.instance import DatabaseInstance
+from repro.catalog.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.catalog.types import DataType
+from repro.datagen import toy_beers_instance, toy_university_instance
+from repro.engine.reference import ReferenceEvaluator
+from repro.engine.session import EngineSession
+from repro.parser import parse_query
+from repro.workload.fuzz import QueryFuzzer, perturb_instance
+
+pytestmark = pytest.mark.fuzz
+
+
+def _budget(default: int = 300) -> int:
+    return int(os.environ.get("REPRO_FUZZ_BUDGET", default))
+
+
+def _nullable_instance() -> DatabaseInstance:
+    """A small schema with nullable columns: NULL semantics get exercised."""
+    schema = DatabaseSchema.of(
+        [
+            RelationSchema.of(
+                "Sensor",
+                [
+                    Attribute("sid", DataType.INT),
+                    Attribute("room", DataType.STRING),
+                    Attribute("reading", DataType.FLOAT, nullable=True),
+                ],
+            ),
+            RelationSchema.of(
+                "Room",
+                [
+                    Attribute("room", DataType.STRING),
+                    Attribute("floor", DataType.INT),
+                    Attribute("label", DataType.STRING, nullable=True),
+                ],
+            ),
+        ]
+    )
+    instance = DatabaseInstance(schema)
+    instance.relation("Sensor").insert_all(
+        [
+            (1, "r1", 20.5),
+            (2, "r1", None),
+            (3, "r2", 18.25),
+            (4, "r3", None),
+            (5, "r2", 20.5),
+        ]
+    )
+    instance.relation("Room").insert_all(
+        [("r1", 1, "lab"), ("r2", 1, None), ("r3", 2, "office"), ("r4", 2, None)]
+    )
+    return instance
+
+
+def _instances() -> list[tuple[str, DatabaseInstance]]:
+    return [
+        ("university", perturb_instance(toy_university_instance(), seed=42)),
+        ("beers", perturb_instance(toy_beers_instance(), seed=43)),
+        ("nullable", perturb_instance(_nullable_instance(), seed=44)),
+    ]
+
+
+def _run_differential(instance: DatabaseInstance, budget: int, *, start: int = 0) -> dict:
+    fuzzer = QueryFuzzer(instance.schema, instance=instance)
+    python_session = EngineSession(instance)
+    sqlite_session = EngineSession(instance, backend="sqlite")
+    for fuzz_query in fuzzer.queries(budget, start=start):
+        reference = frozenset(
+            ReferenceEvaluator(instance, fuzz_query.params).rows(fuzz_query.expression)
+        )
+        engine = python_session.evaluate(fuzz_query.expression, fuzz_query.params).rows
+        sqlite = sqlite_session.evaluate(fuzz_query.expression, fuzz_query.params).rows
+        reparsed = python_session.evaluate(
+            parse_query(fuzz_query.dsl), fuzz_query.params
+        ).rows
+        assert reference == engine == sqlite == reparsed, (
+            f"backends disagree — reproduce with: {fuzz_query.repro()}\n"
+            f"  reference: {len(reference)} rows\n"
+            f"  engine:    {len(engine)} rows\n"
+            f"  sqlite:    {len(sqlite)} rows\n"
+            f"  reparsed:  {len(reparsed)} rows"
+        )
+    return sqlite_session.stats
+
+
+@pytest.mark.parametrize("label,instance", _instances(), ids=lambda v: v if isinstance(v, str) else "")
+def test_differential_fuzz(label, instance):
+    """Seeded random queries agree bit for bit across all evaluators."""
+    stats = _run_differential(instance, _budget())
+    # The suite must actually exercise SQLite, not silently fall back.
+    assert stats["sqlite_statements"] > 0
+    assert stats["sqlite_fallbacks"] == 0
+
+
+def test_fuzzer_is_deterministic():
+    instance = perturb_instance(toy_university_instance(), seed=42)
+    first = QueryFuzzer(instance.schema, instance=instance)
+    second = QueryFuzzer(instance.schema, instance=instance)
+    for seed in range(40):
+        a, b = first.query(seed), second.query(seed)
+        assert a.dsl == b.dsl
+        assert a.params == b.params
+
+
+def test_fuzzer_covers_every_operator():
+    """The generator reaches all SPJUDA operators within a modest budget."""
+    from repro.ra.ast import (
+        Difference,
+        GroupBy,
+        Intersection,
+        Join,
+        NaturalJoin,
+        Projection,
+        Rename,
+        Selection,
+        Union,
+    )
+
+    instance = perturb_instance(toy_university_instance(), seed=42)
+    fuzzer = QueryFuzzer(instance.schema, instance=instance)
+    seen: set[type] = set()
+    for fuzz_query in fuzzer.queries(300):
+        seen.update(type(node) for node in fuzz_query.expression.walk())
+    expected = {
+        Selection,
+        Projection,
+        Rename,
+        Join,
+        NaturalJoin,
+        Union,
+        Difference,
+        Intersection,
+        GroupBy,
+    }
+    assert expected <= seen
+
+
+def test_perturbation_changes_data_and_respects_schema():
+    base = toy_university_instance()
+    mutated = perturb_instance(base, seed=1)
+    assert mutated.schema is base.schema
+    assert {name: mutated.relation(name).value_set() for name in mutated.relation_names} != {
+        name: base.relation(name).value_set() for name in base.relation_names
+    }
+    other = perturb_instance(base, seed=1)
+    for name in base.relation_names:
+        assert mutated.relation(name).value_set() == other.relation(name).value_set()
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    "REPRO_FUZZ_EXTENDED" not in os.environ,
+    reason="extended fuzz run only with REPRO_FUZZ_EXTENDED set",
+)
+@pytest.mark.parametrize("label,instance", _instances(), ids=lambda v: v if isinstance(v, str) else "")
+def test_differential_fuzz_extended(label, instance):
+    """A deeper sweep (fresh seed range) for nightly/extended runs."""
+    budget = max(1000, 2 * _budget())
+    _run_differential(instance, budget, start=10_000)

@@ -175,7 +175,8 @@ class TestSqlWriter:
         assert "GROUP BY name" in sql and "COUNT(*) AS n" in sql
 
     def test_base_relation_without_ctes(self):
-        assert to_sql(parse_query("Student"), DB) == "SELECT * FROM Student"
+        # Scans deduplicate: the storage layer allows duplicate value rows.
+        assert to_sql(parse_query("Student"), DB) == "SELECT DISTINCT name, major FROM Student"
 
     def test_predicate_rendering(self):
         assert predicate_to_sql(parse_predicate("dept <> 'CS'")) == "dept <> 'CS'"
@@ -185,3 +186,25 @@ class TestSqlWriter:
 
         predicate = Comparison("=", ColumnRef("name"), Literal("O'Brien"))
         assert "O''Brien" in predicate_to_sql(predicate)
+
+    def test_null_literal_renders_as_null(self):
+        from repro.ra.predicates import Comparison, ColumnRef, Literal
+
+        predicate = Comparison("=", ColumnRef("name"), Literal(None))
+        rendered = predicate_to_sql(predicate)
+        assert "NULL" in rendered
+        assert "None" not in rendered and "''" not in rendered
+
+    def test_dotted_and_reserved_identifiers_are_quoted(self):
+        query = parse_query("\\project_{s.name -> name} \\rename_{prefix: s} Student")
+        sql = to_sql(query, DB)
+        assert '"s.name"' in sql
+
+    def test_set_operands_use_explicit_column_lists(self, example1_q1):
+        sql = to_sql(example1_q1, DB)
+        assert "EXCEPT" in sql
+        assert "SELECT *" not in sql
+
+    def test_hoisted_equijoin_keys_are_null_safe(self, example1_q2):
+        sql = to_sql(example1_q2, DB)
+        assert " IS " in sql

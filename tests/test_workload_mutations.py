@@ -1,0 +1,138 @@
+"""Coverage for the mutation operators across the whole course workload.
+
+Every mutation operator is applied to every course question, and every
+resulting mutant must behave like a real (wrong) student submission:
+
+* its DSL rendering parses back to an equivalent query,
+* it evaluates to identical rows on the Python and SQLite backends,
+* it is gradeable end-to-end through :class:`GradingService` — on *both*
+  backends, with bit-identical outcomes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import GradingService
+from repro.datagen import toy_university_instance
+from repro.engine.session import EngineSession
+from repro.parser import parse_query
+from repro.workload import (
+    ALL_MUTATION_OPERATORS,
+    course_questions,
+    generate_mutants,
+    mutate_constants,
+    to_dsl,
+    tpch_queries,
+)
+
+_CONSTANT_POOL = ("ECON", "MATH", "BIO")
+
+
+def _operators():
+    operators = [(op.__name__, op) for op in ALL_MUTATION_OPERATORS]
+    operators.append(
+        ("mutate_constants", lambda expr: mutate_constants(expr, _CONSTANT_POOL))
+    )
+    return operators
+
+
+_OPERATORS = _operators()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+@pytest.fixture(scope="module")
+def sessions(instance):
+    return EngineSession(instance), EngineSession(instance, backend="sqlite")
+
+
+@pytest.fixture(scope="module")
+def services(instance):
+    python = GradingService.for_instance(instance, name="hidden")
+    sqlite = GradingService.for_instance(instance, name="hidden", backend="sqlite")
+    return python, sqlite
+
+
+def _mutants_by_operator(operator):
+    """(question, mutant) pairs the operator produces across all questions."""
+    pairs = []
+    for question in course_questions():
+        for mutant in operator(question.correct_query):
+            pairs.append((question, mutant))
+    return pairs
+
+
+class TestEveryOperatorOnEveryQuestion:
+    @pytest.mark.parametrize("name,operator", _OPERATORS, ids=[n for n, _ in _OPERATORS])
+    def test_operator_produces_mutants(self, name, operator):
+        """Each operator fires somewhere in the course or TPC-H workload.
+
+        The course questions use only =/<> comparisons and single-attribute
+        group-bys, so ``relax_comparison_operators`` and ``mutate_group_by``
+        find their targets in the TPC-H queries instead.
+        """
+        if _mutants_by_operator(operator):
+            return
+        tpch_mutants = [
+            mutant
+            for query in tpch_queries()
+            for mutant in operator(query.correct_query)
+        ]
+        assert tpch_mutants, f"{name} produced no mutants on any workload"
+        # TPC-H mutants must still parse via their DSL rendering.
+        for mutant in tpch_mutants:
+            parse_query(to_dsl(mutant.query))
+
+    @pytest.mark.parametrize("name,operator", _OPERATORS, ids=[n for n, _ in _OPERATORS])
+    def test_mutants_parse_and_evaluate_on_both_backends(
+        self, name, operator, sessions
+    ):
+        python_session, sqlite_session = sessions
+        for question, mutant in _mutants_by_operator(operator):
+            text = to_dsl(mutant.query)
+            reparsed = parse_query(text)
+            rows = python_session.evaluate(mutant.query).rows
+            assert python_session.evaluate(reparsed).rows == rows, (
+                f"{name} mutant of {question.key} does not round-trip: {text}"
+            )
+            assert sqlite_session.evaluate(mutant.query).rows == rows, (
+                f"{name} mutant of {question.key} diverges on SQLite: {text}"
+            )
+
+    @pytest.mark.parametrize("name,operator", _OPERATORS, ids=[n for n, _ in _OPERATORS])
+    def test_mutants_are_gradeable_end_to_end(self, name, operator, services):
+        python_service, sqlite_service = services
+        for question, mutant in _mutants_by_operator(operator):
+            python_outcome = python_service.check(question.correct_query, mutant.query)
+            sqlite_outcome = sqlite_service.check(question.correct_query, mutant.query)
+            assert python_outcome.error is None, (
+                f"{name} mutant of {question.key} is not gradeable "
+                f"({python_outcome.error_kind}: {python_outcome.error}); "
+                f"mutant: {mutant.description}"
+            )
+            assert (
+                python_outcome.to_dict(include_timings=False)
+                == sqlite_outcome.to_dict(include_timings=False)
+            ), f"{name} mutant of {question.key} grades differently across backends"
+
+
+def test_full_mutant_pool_is_gradeable(services):
+    """The deduplicated pool (as used by the experiments) grades cleanly."""
+    python_service, sqlite_service = services
+    graded = 0
+    for question in course_questions():
+        for mutant in generate_mutants(
+            question.correct_query, constant_pool=_CONSTANT_POOL, max_mutants=6
+        ):
+            outcome = python_service.check(question.correct_query, mutant.query)
+            assert outcome.error is None
+            sqlite_outcome = sqlite_service.check(question.correct_query, mutant.query)
+            assert outcome.to_dict(include_timings=False) == sqlite_outcome.to_dict(
+                include_timings=False
+            )
+            graded += 1
+    assert graded > 0
