@@ -1,4 +1,26 @@
-"""Setuptools entry point (kept for offline editable installs without wheel)."""
-from setuptools import setup
+"""Setuptools entry point (kept for offline editable installs without wheel).
 
-setup()
+The version is parsed from ``src/repro/__init__.py`` — the package's single
+source of truth — rather than duplicated here.
+"""
+
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_version(),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+)

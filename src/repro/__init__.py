@@ -43,7 +43,10 @@ from repro.core import (
 from repro.engine import EngineSession
 from repro.ratest import AutoGrader, Question, RATest, RATestReport, SubmissionOutcome
 
-__version__ = "1.2.0"
+#: Single source of truth for the package version: ``setup.py`` parses this
+#: assignment, ``repro --version`` prints it, and the server's ``/healthz``
+#: reports it, so a deployment can always be traced back to a build.
+__version__ = "1.3.0"
 
 __all__ = [
     "AutoGrader",

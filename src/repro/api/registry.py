@@ -25,6 +25,7 @@ from repro.catalog.instance import DatabaseInstance
 from repro.engine.backends import BACKEND_NAMES
 from repro.engine.session import EngineSession
 from repro.errors import ReproError
+from repro.lru import LRUCache
 
 #: Builds an instance from the spec argument (text after ``:``) and a seed.
 DatasetBuilder = Callable[[str, int], DatabaseInstance]
@@ -70,21 +71,36 @@ def _builtin_builders() -> dict[str, DatasetBuilder]:
 class DatasetRegistry:
     """Thread-safe resolver of dataset specs to cached (instance, session) pairs."""
 
-    #: Bound on cached handles; the least recently resolved is evicted first.
-    #: A grading deployment serves a handful of hidden datasets — the bound
-    #: exists so submitter-controlled specs/seeds (e.g. from JSONL input)
-    #: cannot pin unbounded instances in memory.
-    max_handles = 16
+    #: Default bound on cached handles (see the ``max_handles`` property).
+    DEFAULT_MAX_HANDLES = 16
 
-    def __init__(self, *, include_builtin: bool = True) -> None:
+    def __init__(
+        self, *, include_builtin: bool = True, max_handles: int | None = None
+    ) -> None:
         self._builders: dict[str, DatasetBuilder] = (
             _builtin_builders() if include_builtin else {}
         )
         self._instance_backed: set[str] = set()
-        self._handles: dict[tuple[str, int, str], DatasetHandle] = {}
+        self._handles: LRUCache = LRUCache(
+            self.DEFAULT_MAX_HANDLES if max_handles is None else max_handles
+        )
         self._build_locks: dict[tuple[str, int, str], threading.Lock] = {}
         self._generations: dict[str, int] = {}
         self._lock = threading.Lock()
+
+    @property
+    def max_handles(self) -> int | None:
+        """Bound on cached handles; the least recently resolved is evicted first.
+
+        A grading deployment serves a handful of hidden datasets — the bound
+        exists so submitter-controlled specs/seeds (e.g. from JSONL input)
+        cannot pin unbounded instances in memory.
+        """
+        return self._handles.max_entries
+
+    @max_handles.setter
+    def max_handles(self, value: int | None) -> None:
+        self._handles.max_entries = value
 
     # -- registration --------------------------------------------------------
 
@@ -113,9 +129,8 @@ class DatasetRegistry:
             else:
                 self._instance_backed.discard(name)
             self._generations[name] = self._generations.get(name, 0) + 1
-            self._handles = {
-                key: handle for key, handle in self._handles.items() if _name(key[0]) != name
-            }
+            for key in [key for key in self._handles if _name(key[0]) == name]:
+                del self._handles[key]
             self._build_locks = {
                 key: lock for key, lock in self._build_locks.items() if _name(key[0]) != name
             }
@@ -163,14 +178,15 @@ class DatasetRegistry:
                 key, argument, seed = (name, 0, backend), "", 0
             else:
                 key = (spec, seed, backend)
-            handle = self._touch(key)
+            handle = self._handles.get(key)
             if handle is not None:
                 return handle
             generation = self._generations.get(name, 0)
             build_lock = self._build_locks.setdefault(key, threading.Lock())
         with build_lock:
             with self._lock:
-                handle = self._touch(key)
+                # Double-checked: don't let the re-check skew the hit ratio.
+                handle = self._handles.get(key, record=False)
                 if handle is not None:
                     return handle
             try:
@@ -193,21 +209,11 @@ class DatasetRegistry:
                     retry = True
                 else:
                     retry = False
-                    self._handles[key] = handle
+                    self._handles[key] = handle  # LRU-bounded: evicts oldest
                     self._build_locks.pop(key, None)
-                    while len(self._handles) > self.max_handles:
-                        evicted = next(iter(self._handles))
-                        del self._handles[evicted]
             if retry:
                 return self.resolve(spec, seed=seed, backend=backend)
             return handle
-
-    def _touch(self, key: tuple[str, int, str]) -> DatasetHandle | None:
-        """Cached handle for ``key``, refreshed to most-recently-used."""
-        handle = self._handles.pop(key, None)
-        if handle is not None:
-            self._handles[key] = handle
-        return handle
 
     def _unknown_dataset(self, spec: str) -> ReproError:
         """The shared unknown-spec error (caller must hold ``self._lock``)."""
@@ -222,7 +228,25 @@ class DatasetRegistry:
             return {
                 "registered_builders": len(self._builders),
                 "resolved_handles": len(self._handles),
+                "handle_hits": self._handles.hits,
+                "handle_misses": self._handles.misses,
+                "handle_evictions": self._handles.evictions,
             }
+
+    def session_stats(self) -> dict[str, int]:
+        """Engine-cache statistics summed over every resolved handle's session.
+
+        This is what a long-lived server exports per worker on ``/metrics``:
+        plan and result hit/miss/eviction counters aggregated across all warm
+        sessions this registry owns.
+        """
+        with self._lock:
+            sessions = [handle.session for handle in self._handles.values()]
+        totals: dict[str, int] = {}
+        for session in sessions:
+            for name, value in session.cache_info().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
 
 def _name(spec: str) -> str:

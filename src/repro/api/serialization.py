@@ -32,8 +32,9 @@ Version   Contents
 
 from __future__ import annotations
 
+import functools
 from dataclasses import fields as dataclass_fields
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping, TypeVar
 
 from repro.catalog.constraints import (
     Constraint,
@@ -55,17 +56,58 @@ JsonDict = dict[str, Any]
 
 
 class SerializationError(ReproError):
-    """A payload could not be serialized or deserialized."""
+    """A payload could not be serialized or deserialized.
+
+    Subclasses :class:`ReproError`, so the grading layers classify it as
+    ``error_kind="invalid_request"`` — a malformed or unknown-version payload
+    from an untrusted client is a bad request, never an internal crash.
+    """
 
 
 def check_version(payload: Mapping[str, Any], what: str) -> None:
     """Reject payloads from an unknown schema version (or with none at all)."""
+    if not isinstance(payload, Mapping):
+        raise SerializationError(
+            f"{what} payload must be a JSON object, got {type(payload).__name__}"
+        )
     version = payload.get("schema_version")
     if version != SCHEMA_VERSION:
         raise SerializationError(
             f"cannot read {what} payload with schema_version {version!r}; "
             f"this build reads version {SCHEMA_VERSION}"
         )
+
+
+_FromDict = TypeVar("_FromDict", bound=Callable[..., Any])
+
+
+def _reads(what: str) -> Callable[[_FromDict], _FromDict]:
+    """Harden a ``*_from_dict`` function against malformed untrusted input.
+
+    The server deserializes payloads straight off the wire; a missing field,
+    a list where an object was expected, or a junk enum value must surface as
+    a :class:`SerializationError` (→ ``invalid_request``), not as a raw
+    ``KeyError``/``TypeError`` that would be classified as an internal error.
+    """
+
+    def decorate(func: _FromDict) -> _FromDict:
+        @functools.wraps(func)
+        def read(payload: Any, *args: Any, **kwargs: Any) -> Any:
+            if not isinstance(payload, Mapping):
+                raise SerializationError(
+                    f"{what} payload must be a JSON object, got {type(payload).__name__}"
+                )
+            try:
+                return func(payload, *args, **kwargs)
+            except ReproError:
+                raise
+            except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
+                detail = f"missing field {exc}" if isinstance(exc, KeyError) else str(exc)
+                raise SerializationError(f"malformed {what} payload: {detail}") from exc
+
+        return read  # type: ignore[return-value]
+
+    return decorate
 
 
 # ---------------------------------------------------------------------------
@@ -88,6 +130,7 @@ def attribute_to_dict(attribute: Attribute) -> JsonDict:
     }
 
 
+@_reads("attribute")
 def attribute_from_dict(payload: Mapping[str, Any]) -> Attribute:
     return Attribute(payload["name"], DataType(payload["dtype"]), bool(payload.get("nullable")))
 
@@ -99,6 +142,7 @@ def relation_schema_to_dict(schema: RelationSchema) -> JsonDict:
     }
 
 
+@_reads("relation schema")
 def relation_schema_from_dict(payload: Mapping[str, Any]) -> RelationSchema:
     return RelationSchema(
         payload["name"], tuple(attribute_from_dict(a) for a in payload["attributes"])
@@ -116,6 +160,7 @@ def constraint_to_dict(constraint: Constraint) -> JsonDict:
     return out
 
 
+@_reads("constraint")
 def constraint_from_dict(payload: Mapping[str, Any]) -> Constraint:
     kind = payload.get("kind")
     cls = _CONSTRAINT_KINDS.get(kind)  # type: ignore[arg-type]
@@ -137,6 +182,7 @@ def database_schema_to_dict(schema: DatabaseSchema) -> JsonDict:
     }
 
 
+@_reads("database schema")
 def database_schema_from_dict(payload: Mapping[str, Any]) -> DatabaseSchema:
     return DatabaseSchema.of(
         (relation_schema_from_dict(s) for s in payload["relations"]),
@@ -164,6 +210,7 @@ def instance_to_dict(instance: DatabaseInstance) -> JsonDict:
     }
 
 
+@_reads("instance")
 def instance_from_dict(payload: Mapping[str, Any]) -> DatabaseInstance:
     schema = database_schema_from_dict(payload["schema"])
     instance = DatabaseInstance(schema)
@@ -185,6 +232,7 @@ def result_set_to_dict(result: ResultSet) -> JsonDict:
     }
 
 
+@_reads("result set")
 def result_set_from_dict(payload: Mapping[str, Any]) -> ResultSet:
     schema = relation_schema_from_dict(payload["schema"])
     return ResultSet(schema, frozenset(_row_from_list(row) for row in payload["rows"]))
@@ -219,6 +267,7 @@ def counterexample_result_to_dict(
     return out
 
 
+@_reads("counterexample result")
 def counterexample_result_from_dict(payload: Mapping[str, Any]) -> CounterexampleResult:
     row = payload.get("distinguishing_row")
     return CounterexampleResult(
@@ -244,6 +293,7 @@ def report_to_dict(report: "RATestReport", *, include_timings: bool = True) -> J
     }
 
 
+@_reads("report")
 def report_from_dict(payload: Mapping[str, Any]) -> "RATestReport":
     from repro.ratest.report import RATestReport
 
@@ -268,6 +318,7 @@ def outcome_to_dict(outcome: "SubmissionOutcome", *, include_timings: bool = Tru
     }
 
 
+@_reads("submission outcome")
 def outcome_from_dict(payload: Mapping[str, Any]) -> "SubmissionOutcome":
     from repro.ratest.system import SubmissionOutcome
 

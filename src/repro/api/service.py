@@ -248,7 +248,17 @@ class SubmissionRequest:
 
     @staticmethod
     def from_dict(payload: Mapping[str, Any]) -> "SubmissionRequest":
-        """Read a request dict; ``correct``/``test`` are accepted as aliases."""
+        """Read a request dict; ``correct``/``test`` are accepted as aliases.
+
+        Payloads come straight off the wire (the batch CLI, the HTTP server),
+        so every field is type-checked here and violations raise
+        :class:`~repro.errors.ReproError` (→ ``error_kind="invalid_request"``)
+        rather than surfacing later as confusing internal errors.
+        """
+        if not isinstance(payload, Mapping):
+            raise ReproError(
+                f"submission request must be a JSON object, got {type(payload).__name__}"
+            )
         correct = payload.get("correct_query", payload.get("correct"))
         test = payload.get("test_query", payload.get("test"))
         if correct is None or test is None:
@@ -256,16 +266,32 @@ class SubmissionRequest:
                 "submission request needs 'correct_query' and 'test_query' "
                 "(aliases: 'correct', 'test')"
             )
+
+        def expect(name: str, value: Any, kinds: tuple[type, ...], what: str) -> Any:
+            if value is not None and not isinstance(value, kinds):
+                raise ReproError(
+                    f"submission request field {name!r} must be {what}, "
+                    f"got {type(value).__name__}"
+                )
+            return value
+
+        expect("correct_query", correct, (str, RAExpression), "query text")
+        expect("test_query", test, (str, RAExpression), "query text")
+        seed = expect("seed", payload.get("seed"), (int,), "an integer")
+        if isinstance(seed, bool):
+            raise ReproError("submission request field 'seed' must be an integer")
         return SubmissionRequest(
             correct_query=correct,
             test_query=test,
-            dataset=payload.get("dataset"),
-            seed=payload.get("seed"),
-            id=payload.get("id"),
-            algorithm=payload.get("algorithm", "auto"),
-            params=payload.get("params"),
-            explain=payload.get("explain", True),
-            options=payload.get("options", {}),
+            dataset=expect("dataset", payload.get("dataset"), (str,), "a dataset spec string"),
+            seed=seed,
+            id=expect("id", payload.get("id"), (str,), "a string"),
+            algorithm=expect(
+                "algorithm", payload.get("algorithm", "auto"), (str,), "a string"
+            ),
+            params=expect("params", payload.get("params"), (Mapping,), "an object"),
+            explain=bool(payload.get("explain", True)),
+            options=expect("options", payload.get("options", {}), (Mapping,), "an object"),
         )
 
 

@@ -1,6 +1,6 @@
 """Command-line interface for the RATest reproduction.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``demo``
     Run the paper's running example end to end and print the counterexample.
@@ -20,6 +20,14 @@ Four subcommands cover the common workflows:
         {"id": "alice/q1", "dataset": "university:200",
          "correct": "\\project_{name} Student", "test": "Student"}
 
+    With ``--server URL`` the same stream is graded by a running grading
+    daemon instead of in process (the CLI client mode); each grade then also
+    records whether it was served from the daemon's persistent result store.
+
+``serve``
+    Run the grading daemon: an HTTP frontend over a pool of worker processes
+    and a persistent SQLite result store (see :mod:`repro.server`).
+
 ``experiments``
     Re-run the paper's tables and figures at a chosen scale profile and write
     the markdown report.
@@ -30,6 +38,9 @@ Examples::
     python -m repro.cli explain --dataset university:200 \
         --correct correct.ra --test submission.ra
     python -m repro.cli batch --input submissions.jsonl --workers 8
+    python -m repro.cli serve --port 8080 --workers 4 --store grades.sqlite3
+    python -m repro.cli batch --server http://127.0.0.1:8080 \
+        --input submissions.jsonl
     python -m repro.cli experiments --profile quick --output results.md
 """
 
@@ -40,6 +51,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro import __version__
 from repro.api import GradingService, SubmissionRequest, default_registry
 from repro.catalog.instance import DatabaseInstance
 from repro.engine.backends import BACKEND_NAMES
@@ -95,7 +107,19 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     return 1 if outcome.report is not None else 2
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
+#: Error kinds that mean the *tool or request* failed, not the submission —
+#: a batch run containing one exits nonzero so pipelines notice.
+OPERATIONAL_ERROR_KINDS = {
+    "invalid_request",
+    "internal_error",
+    "solver_error",
+    "not_applicable",
+    "overloaded",
+    "unavailable",
+}
+
+
+def _read_requests(args: argparse.Namespace) -> list[SubmissionRequest]:
     if args.input == "-":
         lines = sys.stdin.read().splitlines()
     else:
@@ -116,13 +140,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             requests.append(SubmissionRequest.from_dict(payload))
         except ReproError as exc:
             raise ReproError(f"{args.input}:{number}: {exc}") from None
+    return requests
 
-    service = GradingService(
-        default_dataset=args.dataset, default_seed=args.seed, backend=args.backend
-    )
-    graded = service.submit_batch(requests, workers=args.workers)
 
-    out_lines = [json.dumps(result.to_dict(), sort_keys=True) for result in graded]
+def _write_jsonl(args: argparse.Namespace, payloads: list[dict]) -> None:
+    out_lines = [json.dumps(payload, sort_keys=True) for payload in payloads]
     text = "\n".join(out_lines) + ("\n" if out_lines else "")
     if args.output == "-":
         sys.stdout.write(text)
@@ -131,6 +153,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             Path(args.output).write_text(text)
         except OSError as exc:
             raise ReproError(f"cannot write {args.output}: {exc}") from None
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    requests = _read_requests(args)
+
+    if args.server:
+        # CLI client mode: grade through a running daemon instead of in
+        # process, so repeated workloads hit its persistent result store.
+        from repro.server.client import GradingClient
+
+        with GradingClient(args.server) as client:
+            envelopes = client.grade_batch(requests)
+        _write_jsonl(args, envelopes)
+        num_correct = sum(1 for envelope in envelopes if envelope["correct"])
+        num_error = sum(
+            1 for envelope in envelopes if envelope["outcome"].get("error") is not None
+        )
+        num_hits = sum(1 for envelope in envelopes if envelope.get("store") == "hit")
+        print(
+            f"graded {len(envelopes)} submissions via {args.server}: "
+            f"{num_correct} correct, {len(envelopes) - num_correct - num_error} wrong, "
+            f"{num_error} errors, {num_hits} served from the result store",
+            file=sys.stderr,
+        )
+        error_kinds = {envelope["outcome"].get("error_kind") for envelope in envelopes}
+        return 1 if error_kinds & OPERATIONAL_ERROR_KINDS else 0
+
+    service = GradingService(
+        default_dataset=args.dataset, default_seed=args.seed, backend=args.backend
+    )
+    graded = service.submit_batch(requests, workers=args.workers)
+    _write_jsonl(args, [result.to_dict() for result in graded])
     num_correct = sum(1 for result in graded if result.correct)
     num_error = sum(1 for result in graded if result.outcome.error is not None)
     print(
@@ -142,9 +196,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # Submission-level failures (a student's unparsable query) are grades,
     # not tool failures; operational failures (unknown dataset, internal
     # error) make the run exit nonzero so pipelines notice.
-    operational = {"invalid_request", "internal_error", "solver_error", "not_applicable"}
-    if any(result.outcome.error_kind in operational for result in graded):
+    if any(result.outcome.error_kind in OPERATIONAL_ERROR_KINDS for result in graded):
         return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import GradingServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        backend=args.backend,
+        default_dataset=args.dataset,
+        default_seed=args.seed,
+        store_path=None if args.store == ":memory:" else args.store,
+        warm_datasets=tuple(args.warm),
+        max_queue=args.max_queue,
+        verbose=args.verbose,
+    )
+    server = GradingServer(config)
+    print(
+        f"repro-serve {__version__} listening on http://{server.host}:{server.port} "
+        f"(workers={config.workers}, backend={config.backend}, store={args.store})",
+        file=sys.stderr,
+        flush=True,
+    )
+    server.serve_forever(install_signal_handlers=True)
+    print("repro-serve drained and stopped", file=sys.stderr)
     return 0
 
 
@@ -164,6 +244,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RATest reproduction: smallest counterexamples for wrong queries"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -199,7 +282,52 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BACKEND_NAMES),
         help="execution backend for set-semantics evaluation",
     )
+    batch.add_argument(
+        "--server",
+        default=None,
+        metavar="URL",
+        help="grade through a running 'repro serve' daemon at URL instead of in process "
+        "(--workers/--dataset/--seed/--backend then follow the daemon's configuration)",
+    )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the grading daemon (worker pool + persistent result store)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="listen port (0 picks a free one)"
+    )
+    serve.add_argument("--workers", type=int, default=2, help="grading worker processes")
+    serve.add_argument(
+        "--store",
+        default="repro-store.sqlite3",
+        help="path of the persistent SQLite result store (':memory:' disables durability)",
+    )
+    serve.add_argument(
+        "--dataset", default="toy-university", help="default dataset spec for requests without one"
+    )
+    serve.add_argument("--seed", type=int, default=0, help="default seed for requests without one")
+    serve.add_argument(
+        "--backend",
+        default="python",
+        choices=list(BACKEND_NAMES),
+        help="execution backend for set-semantics evaluation",
+    )
+    serve.add_argument(
+        "--warm",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="extra dataset spec each worker warms at startup (repeatable)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, help="in-flight requests before answering 429"
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log one line per HTTP request to stderr"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     experiments = subparsers.add_parser("experiments", help="re-run the paper's tables and figures")
     experiments.add_argument("--profile", default="quick", choices=["quick", "paper"])

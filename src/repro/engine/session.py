@@ -53,6 +53,7 @@ from repro.engine.optimizer import choose_build_sides, optimize_expression
 from repro.engine.physical import PlanExecutor, plan_memo_key
 from repro.engine.structural import KeyCache, StructuralKey
 from repro.errors import ReproError
+from repro.lru import LRUCache
 from repro.ra.ast import RAExpression
 
 ParamValues = Mapping[str, Any]
@@ -68,6 +69,7 @@ class EngineSession:
         optimize: bool = True,
         use_index: bool = True,
         backend: str = "python",
+        max_cached_results: int | None = None,
     ) -> None:
         if backend not in BACKEND_NAMES:
             raise ReproError(
@@ -78,10 +80,12 @@ class EngineSession:
         self.optimize = optimize
         self.use_index = use_index
         self.backend = backend
+        if max_cached_results is not None:
+            self.max_cached_results = max_cached_results
         self._sqlite: Any = None  # lazily created SqliteBackend
         self._keys = KeyCache()
         self._plans: dict[tuple[bool, StructuralKey], PlanNode] = {}
-        self._results: dict[str, dict[tuple, dict[Values, Any]]] = {}
+        self._results: dict[str, LRUCache] = {}
         self._param_refs: dict[PlanNode, frozenset] = {}
         self._data_version = instance.data_version
         self._lock = threading.RLock()
@@ -102,12 +106,19 @@ class EngineSession:
     #: actually bounded.
     max_cached_rows = 2_000_000
     max_cached_plans = 10_000
+    #: Entry bound on each per-domain result memo.  Unlike the wholesale row
+    #: bound above, this is enforced per insertion with LRU eviction, so a
+    #: long-lived server session degrades gracefully instead of periodically
+    #: dropping its entire memo.  Override per instance via the
+    #: ``max_cached_results`` constructor knob.
+    max_cached_results = 100_000
 
     def _check_version(self) -> None:
         version = self.instance.data_version
         if version != self._data_version:
             self._plans.clear()
-            self._results.clear()
+            for memo in self._results.values():  # keep cumulative counters
+                memo.clear()
             self._param_refs.clear()
             self._keys.clear()
             self._data_version = version
@@ -117,16 +128,17 @@ class EngineSession:
             len(rows) for memo in self._results.values() for rows in memo.values()
         )
         if cached_rows > self.max_cached_rows:
-            self._results.clear()
+            for memo in self._results.values():
+                memo.clear()
         if len(self._plans) > self.max_cached_plans:
             self._plans.clear()
             self._param_refs.clear()
             self._keys.clear()
 
-    def _memo(self, domain: AnnotationDomain) -> dict:
+    def _memo(self, domain: AnnotationDomain) -> LRUCache:
         memo = self._results.get(domain.name)
         if memo is None:
-            memo = self._results[domain.name] = {}
+            memo = self._results[domain.name] = LRUCache(self.max_cached_results)
         return memo
 
     def _plan(self, expression: RAExpression, *, exact: bool) -> PlanNode:
@@ -146,13 +158,39 @@ class EngineSession:
         return plan
 
     def cache_info(self) -> dict[str, int]:
-        """Plan/result cache statistics (used by tests and benchmarks)."""
+        """Plan/result cache statistics (used by tests, benchmarks, /metrics)."""
         with self._lock:
             return {
                 **self.stats,
                 "cached_plans": len(self._plans),
                 "cached_results": sum(len(memo) for memo in self._results.values()),
+                "result_hits": sum(memo.hits for memo in self._results.values()),
+                "result_misses": sum(memo.misses for memo in self._results.values()),
+                "result_evictions": sum(
+                    memo.evictions for memo in self._results.values()
+                ),
             }
+
+    def warmup(self, queries: "Iterable[RAExpression | str]", params: ParamValues | None = None) -> int:
+        """Plan and evaluate ``queries`` to populate the session caches.
+
+        The server's workers (and anything else that knows its workload ahead
+        of traffic) call this so the first real submission pays neither
+        planning nor reference-evaluation cost.  Queries that fail to parse
+        or evaluate are skipped — warming is best-effort by design.  Returns
+        the number of queries successfully warmed.
+        """
+        from repro.parser.ra_parser import parse_query
+
+        warmed = 0
+        for query in queries:
+            try:
+                expression = query if isinstance(query, RAExpression) else parse_query(query)
+                self.evaluate(expression, params)
+            except ReproError:
+                continue
+            warmed += 1
+        return warmed
 
     # -- execution -----------------------------------------------------------
 

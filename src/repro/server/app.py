@@ -1,0 +1,546 @@
+"""The grading daemon: JSON-over-HTTP frontend over workers and the store.
+
+Request lifecycle for ``POST /v1/grade``::
+
+    parse + validate (400 on junk)
+      → persistent-store lookup ..................... hit → serve from disk
+      → in-flight coalescing ........ identical request already grading →
+                                      share its result ("store": "coalesced")
+      → bounded queue check (429 Retry-After on overload, 503 while draining)
+      → route to the worker owning this dataset (cache locality)
+      → store the deterministic envelope, respond ("store": "miss")
+
+``/v1/grade_batch`` runs the same path per item over a small thread pool,
+with intra-batch deduplication falling out of the coalescing map, and opts
+into *waiting* for queue slots instead of failing item-by-item.
+
+Shutdown (SIGTERM/SIGINT under ``repro serve``, or :meth:`GradingServer.shutdown`)
+drains gracefully: new grading work is refused with 503, in-flight grades
+finish and are stored, then workers, the HTTP listener and the store close.
+
+Everything observable is exported on ``/metrics`` in Prometheus text format:
+request counts by endpoint/status, store and coalescing hit counts,
+per-stage latency histograms (store lookup, queue wait, grading, store
+write, total), queue depth, and each worker's engine-cache counters.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from time import monotonic, perf_counter
+from typing import Any, Mapping
+
+import repro
+from repro.api.registry import default_registry
+from repro.api.serialization import SCHEMA_VERSION
+from repro.api.service import SubmissionRequest, display_text
+from repro.errors import ReproError
+from repro.server.metrics import MetricsRegistry, label_key
+from repro.server.store import ResultStore, StoreKey
+from repro.server.workers import (
+    QueueFullError,
+    WorkerConfig,
+    WorkerPool,
+    error_envelope,
+)
+
+#: ``error_kind`` values that are deterministic properties of the submission
+#: and therefore safe to persist.  Operational failures (overload, solver
+#: budget, worker crash) must be retried, never remembered.
+_CACHEABLE_ERROR_KINDS = frozenset(
+    {None, "parse_error", "schema_error", "evaluation_error", "no_counterexample"}
+)
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Static configuration of one :class:`GradingServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 → pick a free ephemeral port (reported as .port)
+    workers: int = 2
+    backend: str = "python"
+    default_dataset: str = "toy-university"
+    default_seed: int = 0
+    #: Persistent store location; ``None`` keeps results in memory only.
+    store_path: str | Path | None = None
+    #: Extra dataset specs each worker warms at startup (the default dataset
+    #: is always warmed).
+    warm_datasets: tuple[str, ...] = ()
+    #: Bound on requests in flight across the whole pool; beyond it
+    #: ``/v1/grade`` answers 429.
+    max_queue: int = 64
+    #: Per-request grading deadline (seconds) before the HTTP answer is 504.
+    request_timeout: float = 300.0
+    #: How long shutdown waits for in-flight grades before forcing the issue.
+    drain_timeout: float = 30.0
+    #: Threads used to fan one ``/v1/grade_batch`` body out over the pool.
+    batch_threads: int = 16
+    #: Hard bound on items per batch request.
+    max_batch_size: int = 10_000
+    mp_context: str = "spawn"
+    #: Log one line per request to stderr (quiet by default: tests/benchmarks).
+    verbose: bool = False
+
+
+class GradingServer:
+    """The daemon: HTTP frontend + worker pool + persistent result store."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.store = ResultStore(
+            ":memory:" if self.config.store_path is None else self.config.store_path
+        )
+        self.pool = WorkerPool(
+            WorkerConfig(
+                backend=self.config.backend,
+                default_dataset=self.config.default_dataset,
+                default_seed=self.config.default_seed,
+                warm_datasets=self.config.warm_datasets,
+            ),
+            workers=self.config.workers,
+            max_queue=self.config.max_queue,
+            mp_context=self.config.mp_context,
+        )
+        self._started = monotonic()
+        self._draining = threading.Event()
+        self._shutdown_done = threading.Event()
+        self._inflight: dict[StoreKey, Future] = {}
+        self._inflight_lock = threading.Lock()
+        self._batch_pool = ThreadPoolExecutor(
+            max_workers=self.config.batch_threads, thread_name_prefix="repro-batch"
+        )
+        self.metrics = self._build_metrics()
+        self._httpd = _HTTPServer((self.config.host, self.config.port), _Handler, app=self)
+        self.host, self.port = self._httpd.server_address[:2]
+        self._serve_thread: threading.Thread | None = None
+
+    # -- metrics -------------------------------------------------------------
+
+    def _build_metrics(self) -> MetricsRegistry:
+        metrics = MetricsRegistry()
+        metrics.counter(
+            "repro_server_requests_total", "HTTP requests handled, by endpoint and status."
+        )
+        metrics.counter(
+            "repro_server_grades_total",
+            'Grades served, by source ("hit": persistent store, "miss": computed, '
+            '"coalesced": shared with an identical in-flight request).',
+        )
+        metrics.histogram(
+            "repro_server_stage_seconds",
+            "Per-stage latency: store_lookup, queue_wait, grade, store_write, total.",
+        )
+        metrics.gauge(
+            "repro_server_queue_depth",
+            "Requests currently in flight in the worker pool.",
+            callback=lambda: self.pool.queue_depth(),
+        )
+        metrics.gauge(
+            "repro_server_store_rows",
+            "Rows in the persistent result store.",
+            callback=lambda: len(self.store),
+        )
+        metrics.gauge(
+            "repro_server_draining", "1 while the server is draining for shutdown."
+        )
+        metrics.set("repro_server_draining", 0.0)
+        metrics.gauge(
+            "repro_server_uptime_seconds",
+            "Seconds since the server started.",
+            callback=lambda: monotonic() - self._started,
+        )
+        metrics.gauge(
+            "repro_server_info",
+            "Constant 1; the labels carry build information.",
+        )
+        metrics.set(
+            "repro_server_info",
+            1.0,
+            {"version": repro.__version__, "schema_version": str(SCHEMA_VERSION)},
+        )
+        metrics.gauge(
+            "repro_worker_restarts_total",
+            "Worker processes respawned after a crash.",
+            callback=lambda: self.pool.restarts,
+        )
+        metrics.gauge(
+            "repro_worker_cache",
+            "Per-worker engine/registry cache counters (plan and result "
+            "hits/misses/evictions, dataset handle churn), by worker and counter.",
+            callback=self._worker_cache_series,
+        )
+        return metrics
+
+    def _worker_cache_series(self) -> Mapping[tuple, float]:
+        series: dict[tuple, float] = {}
+        for stats in self.pool.stats(timeout=1.0):
+            worker = str(stats.get("worker"))
+            for scope in ("registry", "sessions"):
+                for name, value in stats.get(scope, {}).items():
+                    labels = label_key({"worker": worker, "counter": f"{scope}_{name}"})
+                    series[labels] = float(value)
+        return series
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "GradingServer":
+        """Serve in a background thread (tests, benchmarks, embedding)."""
+        thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        self._serve_thread = thread
+        return self
+
+    def serve_forever(self, *, install_signal_handlers: bool = False) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (or SIGTERM)."""
+        if install_signal_handlers:
+
+            def _drain(signum: int, frame: Any) -> None:
+                # Keep the handler trivial: the drain itself runs on its own
+                # thread, because shutdown() joins the serve loop this signal
+                # interrupted.
+                threading.Thread(
+                    target=self.shutdown, name="repro-drain", daemon=True
+                ).start()
+
+            signal.signal(signal.SIGTERM, _drain)
+            signal.signal(signal.SIGINT, _drain)
+        self._httpd.serve_forever()
+        self._shutdown_done.wait(timeout=self.config.drain_timeout + 10.0)
+
+    def shutdown(self) -> None:
+        """Graceful drain: refuse new grades, finish in-flight ones, stop."""
+        if self._draining.is_set():
+            self._shutdown_done.wait(timeout=self.config.drain_timeout + 10.0)
+            return
+        self._draining.set()
+        self.metrics.set("repro_server_draining", 1.0)
+        self.pool.drain(timeout=self.config.drain_timeout)
+        self._batch_pool.shutdown(wait=True, cancel_futures=False)
+        self._httpd.shutdown()  # stops serve_forever; in-flight handlers finish
+        self._httpd.server_close()
+        self.pool.close()
+        self.store.close()
+        self._shutdown_done.set()
+
+    # -- request handling ----------------------------------------------------
+
+    def handle_healthz(self) -> tuple[int, dict[str, Any]]:
+        status = "draining" if self._draining.is_set() else "ok"
+        return 200, {
+            "status": status,
+            "version": repro.__version__,
+            "schema_version": SCHEMA_VERSION,
+            "backend": self.config.backend,
+            "workers": self.config.workers,
+            "worker_restarts": self.pool.restarts,
+            "queue_depth": self.pool.queue_depth(),
+            "uptime_seconds": monotonic() - self._started,
+            "store": self.store.info(),
+        }
+
+    def handle_datasets(self) -> tuple[int, dict[str, Any]]:
+        return 200, {
+            "datasets": list(default_registry().known_datasets()),
+            "default_dataset": self.config.default_dataset,
+            "default_seed": self.config.default_seed,
+            "backend": self.config.backend,
+        }
+
+    def handle_grade(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        try:
+            request = SubmissionRequest.from_dict(payload)
+        except ReproError as exc:
+            return 400, {"error": str(exc), "error_kind": "invalid_request"}
+        return self._grade_one(request, wait_for_slot=False)
+
+    def handle_grade_batch(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        if not isinstance(payload, Mapping) or not isinstance(payload.get("requests"), list):
+            return 400, {
+                "error": "grade_batch body must be {\"requests\": [...]}",
+                "error_kind": "invalid_request",
+            }
+        items = payload["requests"]
+        if len(items) > self.config.max_batch_size:
+            return 400, {
+                "error": f"batch of {len(items)} exceeds max_batch_size "
+                f"{self.config.max_batch_size}",
+                "error_kind": "invalid_request",
+            }
+        requests: list[SubmissionRequest | None] = []
+        errors: dict[int, dict[str, Any]] = {}
+        for index, item in enumerate(items):
+            try:
+                requests.append(SubmissionRequest.from_dict(item))
+            except ReproError as exc:
+                requests.append(None)
+                errors[index] = error_envelope(str(exc), "invalid_request", item if isinstance(item, Mapping) else None)
+        futures = {
+            index: self._batch_pool.submit(self._grade_one, request, wait_for_slot=True)
+            for index, request in enumerate(requests)
+            if request is not None
+        }
+        results: list[dict[str, Any]] = []
+        for index in range(len(items)):
+            if index in errors:
+                results.append(errors[index])
+                continue
+            status, envelope = futures[index].result()
+            if status != 200:
+                # Frontend-level failures (drain, queue timeout, 504) come
+                # back as bare {"error", "error_kind"} dicts; batch items
+                # must always be full grade envelopes or the client breaks.
+                envelope = error_envelope(
+                    envelope.get("error", "server error"),
+                    envelope.get("error_kind", "unavailable"),
+                    items[index] if isinstance(items[index], Mapping) else None,
+                )
+            results.append(envelope)
+        return 200, {"results": results}
+
+    # -- the grading path ----------------------------------------------------
+
+    def _normalize(self, request: SubmissionRequest) -> tuple[str, int]:
+        spec = request.dataset if request.dataset is not None else self.config.default_dataset
+        seed = self.config.default_seed if request.seed is None else request.seed
+        return spec, seed
+
+    def _store_key(self, request: SubmissionRequest, spec: str, seed: int) -> StoreKey:
+        return StoreKey.for_request(
+            dataset=spec,
+            seed=seed,
+            backend=self.config.backend,
+            correct_query=display_text(request.correct_query),
+            test_query=display_text(request.test_query),
+            algorithm=request.algorithm,
+            params=request.params,
+            explain=request.explain,
+            options=request.options,
+        )
+
+    def _observe(self, stage: str, seconds: float) -> None:
+        self.metrics.observe("repro_server_stage_seconds", seconds, {"stage": stage})
+
+    def _grade_one(
+        self, request: SubmissionRequest, *, wait_for_slot: bool
+    ) -> tuple[int, dict[str, Any]]:
+        """Grade one validated request: store → coalesce → worker pool."""
+        started = perf_counter()
+        spec, seed = self._normalize(request)
+        key = self._store_key(request, spec, seed)
+
+        lookup_started = perf_counter()
+        stored = self.store.get(key)
+        self._observe("store_lookup", perf_counter() - lookup_started)
+        if stored is not None:
+            self.metrics.inc("repro_server_grades_total", {"store": "hit"})
+            self._observe("total", perf_counter() - started)
+            return 200, {
+                **stored,
+                "id": request.id,
+                "store": "hit",
+                "wall_time": perf_counter() - started,
+            }
+
+        if self._draining.is_set():
+            return 503, {"error": "server is draining", "error_kind": "unavailable"}
+
+        # Coalesce identical concurrent requests onto one grading future —
+        # the common closed-loop pattern where a whole class submits the
+        # same wrong query within one scrape interval.
+        with self._inflight_lock:
+            shared = self._inflight.get(key)
+            owner = shared is None
+            if owner:
+                shared = Future()
+                self._inflight[key] = shared
+        if not owner:
+            try:
+                status, envelope, _ = shared.result(timeout=self.config.request_timeout)
+            except FutureTimeoutError:
+                return 504, {
+                    "error": "timed out waiting for an identical in-flight grade",
+                    "error_kind": "unavailable",
+                }
+            if status == 200:
+                self.metrics.inc("repro_server_grades_total", {"store": "coalesced"})
+                envelope = {
+                    **envelope,
+                    "id": request.id,
+                    "store": "coalesced",
+                    "wall_time": perf_counter() - started,
+                }
+            self._observe("total", perf_counter() - started)
+            return status, envelope
+
+        try:
+            status, envelope, grade_time = self._grade_via_pool(
+                request, key, spec, seed, wait_for_slot
+            )
+            shared.set_result((status, dict(envelope), grade_time))
+        except BaseException as exc:
+            shared.set_exception(exc)
+            raise
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+        if status == 200:
+            self.metrics.inc("repro_server_grades_total", {"store": "miss"})
+            envelope = {
+                **envelope,
+                "id": request.id,
+                "store": "miss",
+                "wall_time": perf_counter() - started,
+            }
+        self._observe("total", perf_counter() - started)
+        return status, envelope
+
+    def _grade_via_pool(
+        self,
+        request: SubmissionRequest,
+        key: StoreKey,
+        spec: str,
+        seed: int,
+        wait_for_slot: bool,
+    ) -> tuple[int, dict[str, Any], float]:
+        enqueued = perf_counter()
+        try:
+            future = self.pool.submit(
+                request.to_dict(),
+                dataset=spec,
+                seed=seed,
+                wait=wait_for_slot,
+                wait_timeout=self.config.request_timeout,
+            )
+        except QueueFullError as exc:
+            return 429, {"error": str(exc), "error_kind": "overloaded"}, 0.0
+        try:
+            reply = future.result(timeout=self.config.request_timeout)
+        except FutureTimeoutError:
+            return 504, {
+                "error": f"grading exceeded {self.config.request_timeout:.0f}s",
+                "error_kind": "unavailable",
+            }, 0.0
+        grade_time = float(reply.pop("grade_time", 0.0))
+        self._observe("grade", grade_time)
+        self._observe("queue_wait", max(0.0, perf_counter() - enqueued - grade_time))
+        error_kind = (reply.get("outcome") or {}).get("error_kind")
+        if error_kind in _CACHEABLE_ERROR_KINDS:
+            # The submitter's id is routing, not grade content — strip it so
+            # a store hit never echoes back someone else's submission id.
+            write_started = perf_counter()
+            self.store.put(key, {**reply, "id": None})
+            self._observe("store_write", perf_counter() - write_started)
+        return 200, reply, grade_time
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    # A closed-loop load generator opens its connections all at once; the
+    # socketserver default backlog of 5 resets the rest.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], handler: type, *, app: GradingServer) -> None:
+        self.app = app
+        super().__init__(address, handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{repro.__version__}"
+    protocol_version = "HTTP/1.1"
+    # Nagle + delayed ACK turns every small request/response pair into a
+    # ~40ms round trip; grading answers are small and latency-bound.
+    disable_nagle_algorithm = True
+
+    @property
+    def app(self) -> GradingServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.app.config.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Mapping[str, Any], *, endpoint: str) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._send_bytes(status, body, "application/json", endpoint=endpoint)
+
+    def _send_bytes(
+        self, status: int, body: bytes, content_type: str, *, endpoint: str
+    ) -> None:
+        self.app.metrics.inc(
+            "repro_server_requests_total",
+            {"endpoint": endpoint, "status": str(status)},
+        )
+        try:
+            self.send_response(status)
+            if status == 429:
+                self.send_header("Retry-After", "1")
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            self.close_connection = True
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ReproError("request body is empty; expected a JSON object")
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"request body is not valid JSON: {exc}") from None
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            status, payload = self.app.handle_healthz()
+            self._send_json(status, payload, endpoint="/healthz")
+        elif path == "/metrics":
+            self._send_bytes(
+                200,
+                self.app.metrics.render().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+                endpoint="/metrics",
+            )
+        elif path == "/v1/datasets":
+            status, payload = self.app.handle_datasets()
+            self._send_json(status, payload, endpoint="/v1/datasets")
+        else:
+            self._send_json(404, {"error": f"unknown path {path!r}"}, endpoint="other")
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        path = self.path.split("?", 1)[0]
+        if path not in ("/v1/grade", "/v1/grade_batch"):
+            self._send_json(404, {"error": f"unknown path {path!r}"}, endpoint="other")
+            return
+        try:
+            payload = self._read_json_body()
+        except ReproError as exc:
+            self._send_json(
+                400, {"error": str(exc), "error_kind": "invalid_request"}, endpoint=path
+            )
+            return
+        try:
+            if path == "/v1/grade":
+                status, body = self.app.handle_grade(payload)
+            else:
+                status, body = self.app.handle_grade_batch(payload)
+        except Exception as exc:  # noqa: BLE001 — the daemon must answer
+            status, body = 500, {"error": f"internal error: {exc}", "error_kind": "internal_error"}
+        self._send_json(status, body, endpoint=path)

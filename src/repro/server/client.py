@@ -1,0 +1,178 @@
+"""Stdlib HTTP client for the grading daemon (the ``--server`` CLI mode).
+
+:class:`GradingClient` speaks the server's JSON protocol over a persistent
+``http.client`` connection (keep-alive matters in the closed-loop load
+benchmark).  One client instance is **not** thread-safe — a load generator
+gives each client thread its own instance, which also mirrors how real
+traffic arrives.
+
+Overload is part of the protocol: a 429 answer (bounded-queue backpressure)
+is retried with exponential backoff up to ``retries`` times before
+:class:`ServerError` escapes, so closed-loop callers degrade into waiting
+instead of failing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Iterable, Mapping
+from urllib.parse import urlsplit
+
+from repro.api.service import SubmissionRequest
+from repro.errors import ReproError
+
+RequestLike = SubmissionRequest | Mapping[str, Any]
+
+
+class ServerError(ReproError):
+    """The server answered with a non-success status (or was unreachable)."""
+
+    def __init__(self, message: str, *, status: int | None = None, payload: Any = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+class GradingClient:
+    """Client for one ``repro serve`` endpoint, e.g. ``http://127.0.0.1:8080``."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 300.0,
+        retries: int = 8,
+        backoff: float = 0.05,
+    ) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if parts.scheme not in ("http", ""):
+            raise ReproError(f"only http:// servers are supported, got {base_url!r}")
+        if parts.hostname is None:
+            raise ReproError(f"cannot parse server URL {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port if parts.port is not None else 80
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -- transport -----------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+            conn.connect()
+            # Small JSON request/response pairs are latency-bound: without
+            # TCP_NODELAY, Nagle + delayed ACK costs ~40ms per call.
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._conn = conn
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _once(self, method: str, path: str, body: bytes | None) -> tuple[int, Any, str]:
+        headers = {"Content-Type": "application/json"} if body is not None else {}
+        conn = self._connection()
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # Stale keep-alive (server restarted, idle timeout): reconnect
+            # once per attempt rather than failing the call.
+            self.close()
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except BaseException:
+                self.close()  # never leave a half-sent connection behind
+                raise
+        text = raw.decode("utf-8", errors="replace")
+        content_type = response.headers.get("Content-Type", "")
+        payload = json.loads(text) if "json" in content_type and text else None
+        return response.status, payload, text
+
+    def _request(self, method: str, path: str, payload: Mapping[str, Any] | None = None) -> Any:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        last: tuple[int, Any, str] | None = None
+        for attempt in range(self.retries + 1):
+            try:
+                status, parsed, text = self._once(method, path, body)
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServerError(
+                    f"cannot reach server at {self.host}:{self.port}: {exc}"
+                ) from exc
+            if status == 429 and attempt < self.retries:
+                time.sleep(self.backoff * (2**attempt))
+                continue
+            last = (status, parsed, text)
+            break
+        assert last is not None
+        status, parsed, text = last
+        if status >= 400:
+            message = parsed.get("error") if isinstance(parsed, Mapping) else text[:200]
+            raise ServerError(
+                f"server answered {status} for {method} {path}: {message}",
+                status=status,
+                payload=parsed,
+            )
+        return parsed if parsed is not None else text
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def datasets(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/datasets")
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")
+
+    def grade(self, request: RequestLike) -> dict[str, Any]:
+        """Grade one submission; returns the server's grade envelope."""
+        return self._request("POST", "/v1/grade", self._payload(request))
+
+    def grade_batch(self, requests: Iterable[RequestLike], *, chunk_size: int = 500) -> list[dict[str, Any]]:
+        """Grade many submissions, preserving order, chunked over the wire."""
+        payloads = [self._payload(request) for request in requests]
+        results: list[dict[str, Any]] = []
+        for start in range(0, len(payloads), chunk_size):
+            chunk = payloads[start : start + chunk_size]
+            reply = self._request("POST", "/v1/grade_batch", {"requests": chunk})
+            results.extend(reply["results"])
+        return results
+
+    def wait_until_healthy(self, timeout: float = 15.0, interval: float = 0.05) -> dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (for just-booted daemons)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except ServerError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)
+
+    @staticmethod
+    def _payload(request: RequestLike) -> dict[str, Any]:
+        if isinstance(request, SubmissionRequest):
+            return request.to_dict()
+        return dict(request)
+
+    def __enter__(self) -> "GradingClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+__all__ = ["GradingClient", "ServerError"]

@@ -186,3 +186,94 @@ class TestRequestFormat:
         request = SubmissionRequest(CORRECT, WRONG, dataset="university:20", id="a")
         line = json.dumps(request.to_dict())
         assert SubmissionRequest.from_dict(json.loads(line)) == request
+
+
+class TestUntrustedPayloads:
+    """The server deserializes wire input: junk must fail as invalid_request."""
+
+    def test_unknown_schema_version_is_rejected(self, wrong_outcome):
+        payload = wrong_outcome.to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(SerializationError, match="schema_version"):
+            SubmissionOutcome.from_dict(payload)
+
+    def test_missing_schema_version_is_rejected(self, wrong_outcome):
+        payload = wrong_outcome.to_dict()
+        del payload["schema_version"]
+        with pytest.raises(SerializationError, match="schema_version"):
+            SubmissionOutcome.from_dict(payload)
+
+    def test_every_error_is_classified_as_invalid_request(self, wrong_outcome):
+        from repro.api import classify_error
+
+        payload = wrong_outcome.to_dict()
+        payload["schema_version"] = "banana"
+        try:
+            SubmissionOutcome.from_dict(payload)
+        except Exception as exc:
+            assert classify_error(exc) == "invalid_request"
+        else:
+            pytest.fail("junk schema_version was accepted")
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("correct"),
+            lambda p: p.__setitem__("report", [1, 2, 3]),
+            lambda p: p["report"].pop("result"),
+            lambda p: p["report"]["result"].pop("tids"),
+            lambda p: p["report"]["result"].__setitem__("counterexample", "nope"),
+            lambda p: p["report"]["result"]["counterexample"].pop("schema"),
+            lambda p: p["report"]["result"]["counterexample"]["schema"]
+            .__setitem__("relations", 7),
+            lambda p: p["report"]["result"]["q1_rows"].__setitem__("rows", 3),
+        ],
+    )
+    def test_malformed_outcome_payloads_raise_serialization_error(
+        self, wrong_outcome, mutate
+    ):
+        payload = json_round_trip(wrong_outcome.to_dict())
+        mutate(payload)
+        with pytest.raises(SerializationError):
+            SubmissionOutcome.from_dict(payload)
+
+    def test_junk_attribute_dtype_is_invalid_request(self):
+        payload = {
+            "name": "R",
+            "attributes": [{"name": "a", "dtype": "no-such-type"}],
+        }
+        from repro.api.serialization import relation_schema_from_dict
+
+        with pytest.raises(SerializationError):
+            relation_schema_from_dict(payload)
+
+    def test_non_object_payload_is_rejected(self):
+        with pytest.raises(SerializationError, match="JSON object"):
+            SubmissionOutcome.from_dict([1, 2])
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not even a dict",
+            {"correct_query": "Student"},  # missing test_query
+            {"correct": "Student", "test": "Student", "seed": "7"},
+            {"correct": "Student", "test": "Student", "seed": True},
+            {"correct": "Student", "test": "Student", "options": "x"},
+            {"correct": "Student", "test": "Student", "dataset": 9},
+            {"correct": ["Student"], "test": "Student"},
+        ],
+    )
+    def test_malformed_requests_are_invalid(self, payload):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            SubmissionRequest.from_dict(payload)
+
+    def test_graded_submission_checks_version(self, service):
+        from repro.api import GradedSubmission
+
+        graded = service.submit({"correct": CORRECT, "test": WRONG})
+        payload = graded.to_dict()
+        payload["schema_version"] = 99
+        with pytest.raises(SerializationError):
+            GradedSubmission.from_dict(payload)

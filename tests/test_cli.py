@@ -221,3 +221,68 @@ class TestBatchCommand:
         assert exit_code == 0
         grades = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
         assert [g["correct"] for g in grades] == [True, False, False]
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_setup_py_reads_the_same_version(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        setup_text = Path(__file__).parent.parent.joinpath("setup.py").read_text()
+        assert "__init__.py" in setup_text  # setup.py parses the package file
+        package_text = Path(repro.__file__).read_text()
+        match = re.search(r'^__version__ = "([^"]+)"$', package_text, re.MULTILINE)
+        assert match is not None
+        assert match.group(1) == repro.__version__
+
+
+class TestServeAndClientMode:
+    def test_batch_against_a_live_server(self, tmp_path, capsys):
+        """CLI client mode: the batch subcommand grading through a daemon."""
+        from repro.server import GradingServer, ServerConfig
+
+        submissions = tmp_path / "subs.jsonl"
+        submissions.write_text(
+            "\n".join(json.dumps(row) for row in SUBMISSIONS) + "\n"
+        )
+        grades = tmp_path / "grades.jsonl"
+        server = GradingServer(
+            ServerConfig(workers=1, store_path=tmp_path / "store.sqlite3")
+        ).start()
+        try:
+            url = f"http://127.0.0.1:{server.port}"
+            assert main(
+                ["batch", "--server", url, "--input", str(submissions), "--output", str(grades)]
+            ) == 0
+            first = [json.loads(line) for line in grades.read_text().splitlines()]
+            assert [g["correct"] for g in first] == [True, False, False]
+            assert all(g["store"] == "miss" for g in first)
+            assert "served from the result store" in capsys.readouterr().err
+
+            assert main(
+                ["batch", "--server", url, "--input", str(submissions), "--output", str(grades)]
+            ) == 0
+            second = [json.loads(line) for line in grades.read_text().splitlines()]
+            assert all(g["store"] == "hit" for g in second)
+            assert [g["outcome"] for g in first] == [g["outcome"] for g in second]
+        finally:
+            server.shutdown()
+
+    def test_batch_server_unreachable_is_reported(self, tmp_path, capsys):
+        submissions = tmp_path / "subs.jsonl"
+        submissions.write_text(json.dumps(SUBMISSIONS[0]) + "\n")
+        assert (
+            main(["batch", "--server", "http://127.0.0.1:9", "--input", str(submissions)])
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err

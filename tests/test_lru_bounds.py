@@ -1,0 +1,118 @@
+"""Bounded caches for long-lived servers: LRU semantics and counters."""
+
+from __future__ import annotations
+
+from repro.api.registry import DatasetRegistry
+from repro.engine.session import EngineSession
+from repro.lru import LRUCache
+from repro.parser.ra_parser import parse_query
+
+
+class TestLRUCache:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache["a"] = 1
+        cache["b"] = 2
+        assert cache.get("a") == 1  # refresh "a" → "b" is now oldest
+        cache["c"] = 3
+        assert "b" not in cache
+        assert set(cache.keys()) == {"a", "c"}
+        assert cache.evictions == 1
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(4)
+        cache["a"] = 1
+        assert cache.get("a") == 1
+        assert cache.get("nope") is None
+        assert cache.get("nope", record=False) is None  # double-check: uncounted
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1, "evictions": 0}
+
+    def test_unbounded_when_max_entries_is_none(self):
+        cache = LRUCache(None)
+        for index in range(100):
+            cache[index] = index
+        assert len(cache) == 100
+        assert cache.evictions == 0
+
+    def test_clear_keeps_cumulative_counters(self):
+        cache = LRUCache(1)
+        cache["a"] = 1
+        cache["b"] = 1
+        cache.get("b")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.evictions == 1
+        assert cache.hits == 1
+
+
+class TestSessionResultMemoBound:
+    def test_memo_is_bounded_and_counts_evictions(self, toy_university):
+        session = EngineSession(toy_university, max_cached_results=2)
+        queries = [
+            parse_query("Student"),
+            parse_query("Registration"),
+            parse_query("\\project_{name} Student"),
+            parse_query("\\project_{name} Registration"),
+        ]
+        for query in queries:
+            session.evaluate(query)
+        info = session.cache_info()
+        assert info["cached_results"] <= 2
+        assert info["result_evictions"] >= 1
+        assert info["result_misses"] >= len(queries)
+
+    def test_warm_hits_are_counted(self, toy_university):
+        session = EngineSession(toy_university)
+        query = parse_query("\\project_{name} Student")
+        session.evaluate(query)
+        before = session.cache_info()["result_hits"]
+        session.evaluate(query)
+        assert session.cache_info()["result_hits"] > before
+
+    def test_eviction_only_costs_recomputation(self, toy_university):
+        session = EngineSession(toy_university, max_cached_results=1)
+        query1 = parse_query("\\project_{name} Student")
+        query2 = parse_query("\\project_{name} Registration")
+        first = session.evaluate(query1)
+        session.evaluate(query2)  # evicts query1's rows
+        again = session.evaluate(query1)  # recomputed, not wrong
+        assert again.same_rows(first)
+
+    def test_warmup_hook_populates_caches(self, toy_university):
+        session = EngineSession(toy_university)
+        warmed = session.warmup(
+            ["\\project_{name} Student", "\\select_{oops", "Registration"]
+        )
+        assert warmed == 2  # the unparsable query is skipped, not fatal
+        assert session.cache_info()["cached_results"] >= 2
+
+
+class TestRegistryHandleCounters:
+    def test_resolve_counts_hits_misses_evictions(self):
+        registry = DatasetRegistry(max_handles=2)
+        registry.resolve("toy-university")
+        registry.resolve("toy-university")  # warm hit
+        registry.resolve("toy-beers")
+        registry.resolve("university:5")  # evicts toy-university
+        info = registry.cache_info()
+        assert info["resolved_handles"] == 2
+        assert info["handle_hits"] == 1
+        assert info["handle_misses"] == 3
+        assert info["handle_evictions"] == 1
+
+    def test_max_handles_knob_is_live(self):
+        registry = DatasetRegistry()
+        assert registry.max_handles == DatasetRegistry.DEFAULT_MAX_HANDLES
+        registry.max_handles = 1
+        registry.resolve("toy-university")
+        registry.resolve("toy-beers")
+        assert registry.cache_info()["resolved_handles"] == 1
+
+    def test_session_stats_aggregates_over_handles(self):
+        registry = DatasetRegistry()
+        handle = registry.resolve("toy-university")
+        handle.session.evaluate(parse_query("Student"))
+        registry.resolve("toy-beers")
+        stats = registry.session_stats()
+        assert stats["plan_misses"] >= 1
+        assert "result_misses" in stats
