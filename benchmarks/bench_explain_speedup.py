@@ -1,0 +1,133 @@
+"""Explanation-mode grading: cold sessions vs. one warm session.
+
+Counterexample construction (the paper's core pipeline: provenance → min-ones
+SAT) now runs its provenance through the engine's logically optimized plans
+and the session's structural plan/result caches — the same machinery that
+sped up set-semantics grading in PR 1.  This benchmark measures what that
+buys a grading service in *explanation mode*, where every wrong submission
+gets a verified counterexample:
+
+* ``cold``  — a fresh ``EngineSession`` per submission: every explain pays
+              plan compilation, reference evaluation and provenance scans
+              from scratch (a server worker before warm sessions);
+* ``warm``  — one shared session, the way ``GradingService`` explains: the
+              reference side, shared scans and repeated subplans are cache
+              hits across the whole submission batch.
+
+Outcomes are asserted bit-identical between the two configurations, and the
+warm pass must beat the cold pass — the acceptance gate wired into CI's
+benchmark smoke.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_explain_speedup.py``)
+for a table, or through pytest to enforce the speedup gate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import find_smallest_counterexample
+from repro.datagen import university_instance
+from repro.engine import EngineSession
+from repro.errors import ReproError
+from repro.ra.evaluator import evaluate
+from repro.workload import course_questions
+
+#: Students in the seeded university instance (≈25× the toy of Figure 1).
+STUDENTS = 200
+#: How many times the wrong-query pool is graded (a class of submissions
+#: resubmitting the same classic mistakes across assignments).
+ROUNDS = 3
+
+
+def _wrong_pairs(instance):
+    """Every course question's handwritten wrong queries that differ on data."""
+    pairs = []
+    for question in course_questions():
+        correct = question.correct_query
+        for index, wrong in enumerate(question.handwritten_wrong_queries):
+            try:
+                if evaluate(correct, instance).same_rows(evaluate(wrong, instance)):
+                    continue
+            except ReproError:
+                continue
+            pairs.append((f"{question.key}[{index}]", correct, wrong))
+    return pairs
+
+
+def _explain(correct, wrong, instance, session):
+    try:
+        result = find_smallest_counterexample(
+            correct, wrong, instance, session=session
+        )
+    except ReproError as exc:
+        return ("error", type(exc).__name__)
+    return (
+        "ok",
+        sorted(result.tids),
+        result.algorithm,
+        result.optimal,
+        sorted(map(str, result.q1_rows.rows)),
+        sorted(map(str, result.q2_rows.rows)),
+    )
+
+
+def run_benchmark(students: int = STUDENTS, rounds: int = ROUNDS, seed: int = 3) -> dict:
+    instance = university_instance(students, seed=seed)
+    pairs = _wrong_pairs(instance)
+    workload = pairs * rounds
+
+    start = time.perf_counter()
+    cold_outcomes = [
+        _explain(correct, wrong, instance, EngineSession(instance))
+        for _, correct, wrong in workload
+    ]
+    cold_s = time.perf_counter() - start
+
+    session = EngineSession(instance)
+    start = time.perf_counter()
+    warm_outcomes = [
+        _explain(correct, wrong, instance, session)
+        for _, correct, wrong in workload
+    ]
+    warm_s = time.perf_counter() - start
+
+    assert cold_outcomes == warm_outcomes, "warm caching must not change grades"
+    info = session.cache_info()
+    return {
+        "total_tuples": instance.total_size(),
+        "explains": len(workload),
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup_warm": cold_s / warm_s,
+        "result_hits": info["result_hits"],
+        "plan_hits": info["plan_hits"],
+    }
+
+
+def test_explanation_mode_is_faster_warm_than_cold(benchmark=None):
+    if benchmark is not None:
+        result = benchmark.pedantic(run_benchmark, rounds=1, iterations=1)
+        benchmark.extra_info["result"] = result
+    else:  # plain pytest without pytest-benchmark
+        result = run_benchmark()
+    assert result["explains"] >= 20
+    assert result["result_hits"] > 0, "provenance work must hit the session memo"
+    assert result["speedup_warm"] > 1.1, result
+
+
+def main() -> None:
+    result = run_benchmark()
+    print(
+        f"explanation-mode grading, {result['total_tuples']} tuples, "
+        f"{result['explains']} explains"
+    )
+    print(f"  cold sessions : {result['cold_s']:8.3f} s")
+    print(
+        f"  warm session  : {result['warm_s']:8.3f} s   "
+        f"({result['speedup_warm']:.2f}x, {result['result_hits']} result-cache hits)"
+    )
+
+
+if __name__ == "__main__":
+    main()

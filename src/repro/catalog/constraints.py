@@ -211,13 +211,23 @@ def close_under_foreign_keys(
     """Return the smallest superset of ``tids`` closed under foreign keys.
 
     For every kept child tuple whose reference is dangling in the subinstance,
-    one satisfying parent tuple (the first in insertion order, for determinism)
-    is added; the process repeats until a fixpoint because parents may
-    themselves be children of other foreign keys.
+    one satisfying parent tuple is added — preferring parents that are not
+    themselves dangling children of another foreign key (an unsupportable
+    parent can never appear in a referentially valid witness, so greedily
+    picking one would poison the closure when a clean alternative exists),
+    breaking ties by insertion order for determinism.  The process repeats
+    until a fixpoint because parents may themselves be children of other
+    foreign keys.
     """
     if constraints is None:
         constraints = instance.schema.constraints
     foreign_keys = [c for c in constraints if isinstance(c, ForeignKeyConstraint)]
+    # Tuples whose own (non-NULL) reference has no matching parent anywhere.
+    unsupportable: set[str] = set()
+    for fk in foreign_keys:
+        for child_tid, parents in fk.implications(instance).items():
+            if not parents:
+                unsupportable.add(child_tid)
     closed = set(tids)
     changed = True
     while changed:
@@ -231,6 +241,7 @@ def close_under_foreign_keys(
                     # The full instance itself is dangling; nothing we can add.
                     continue
                 if not any(parent in closed for parent in parents):
-                    closed.add(parents[0])
+                    supportable = [p for p in parents if p not in unsupportable]
+                    closed.add(supportable[0] if supportable else parents[0])
                     changed = True
     return closed

@@ -16,12 +16,19 @@ from repro.core.finder import (
 from repro.core.fk import foreign_key_clauses
 from repro.core.optsigma import smallest_witness_optsigma
 from repro.core.polytime import smallest_witness_monotone_dnf, smallest_witness_spjud_star
-from repro.core.results import CounterexampleResult, WitnessResult
+from repro.core.results import CounterexampleResult, WitnessResult, witness_cardinality
+from repro.core.verify import (
+    VerificationFailure,
+    VerificationReport,
+    verify_counterexample,
+)
 
 __all__ = [
     "ALGORITHMS",
     "CounterexampleResult",
     "SmallestCounterexampleFinder",
+    "VerificationFailure",
+    "VerificationReport",
     "WitnessResult",
     "find_smallest_counterexample",
     "find_smallest_witness",
@@ -36,4 +43,6 @@ __all__ = [
     "smallest_witness_optsigma",
     "smallest_witness_spjud_star",
     "symmetric_difference_rows",
+    "verify_counterexample",
+    "witness_cardinality",
 ]

@@ -28,7 +28,12 @@ from repro.catalog.instance import DatabaseInstance, Values
 from repro.core.common import Stopwatch, finalize_result
 from repro.core.fk import foreign_key_clauses
 from repro.core.results import CounterexampleResult
-from repro.errors import CounterexampleError, NotApplicableError, UnsatisfiableError
+from repro.errors import (
+    CounterexampleError,
+    NotApplicableError,
+    QueryEvaluationError,
+    UnsatisfiableError,
+)
 from repro.provenance.aggregate import (
     AggConstraint,
     AggNot,
@@ -44,7 +49,12 @@ from repro.ra.ast import Difference, GroupBy, Projection, RAExpression
 from repro.ra.evaluator import evaluate
 from repro.core.common import annotate_cached, evaluate_cached
 from repro.engine.session import EngineSession
-from repro.ra.rewrite import add_tuple_selection, parameterize_query, push_selections_down
+from repro.ra.rewrite import (
+    add_tuple_selection,
+    expression_parameters,
+    parameterize_query,
+    push_selections_down,
+)
 from repro.solver.minones import MinOnesProblem, MinOnesSolver
 from repro.solver.theory import AggregateProblem, AggregateSolver, AggregateSolverConfig
 
@@ -54,6 +64,19 @@ ParamValues = Mapping[str, Any]
 def is_aggregate_pair(q1: RAExpression, q2: RAExpression) -> bool:
     """True when at least one of the two queries uses aggregation."""
     return profile(q1).uses_aggregate or profile(q2).uses_aggregate
+
+
+def _pair_parameter_names(
+    q1: RAExpression, q2: RAExpression, params: Mapping[str, Any]
+) -> set[str]:
+    """Parameter names already taken by either query or the caller's binding.
+
+    The two queries of a grading pair share one binding at evaluation time, so
+    a generated parameter name colliding with *either* side's existing
+    ``@param`` would silently rebind it (e.g. a string-valued ``@p1`` to a
+    freed integer constant).
+    """
+    return expression_parameters(q1) | expression_parameters(q2) | set(params)
 
 
 # ---------------------------------------------------------------------------
@@ -78,8 +101,13 @@ def smallest_counterexample_agg_basic(
     query1, query2 = q1, q2
     if parameterize:
         shared: dict[Any, str] = {}
-        parameterized1 = parameterize_query(q1, instance.schema, shared_names=shared)
-        parameterized2 = parameterize_query(q2, instance.schema, shared_names=shared)
+        reserved = _pair_parameter_names(q1, q2, original_params)
+        parameterized1 = parameterize_query(
+            q1, instance.schema, shared_names=shared, reserved_names=reserved
+        )
+        parameterized2 = parameterize_query(
+            q2, instance.schema, shared_names=shared, reserved_names=reserved
+        )
         query1, query2 = parameterized1.query, parameterized2.query
         original_params.update(parameterized1.original_values)
         original_params.update(parameterized2.original_values)
@@ -108,14 +136,21 @@ def smallest_counterexample_agg_basic(
 
     # Cheapest candidate first (fewest tuple variables involved).
     candidates.sort(key=lambda item: (len(item[1].variables()), item[0]))
-    if not all_groups:
-        candidates = candidates[:1]
 
-    best: tuple[Values, Any] | None = None
+    # The per-group constraint is an abstraction of "this group distinguishes
+    # the two queries"; when the two queries group differently (a student
+    # dropped a grouping attribute) a solved group need not distinguish the
+    # *final* results, so every solver outcome is re-validated by evaluation
+    # and non-distinguishing groups are skipped — shipping an unverified
+    # witness is exactly the failure mode the fuzz verifier exists to catch.
+    best: tuple[Values, Any, dict[str, Any]] | None = None
     timed_out = False
     with stopwatch.measure("solver"):
         for key, constraint in candidates:
+            if best is not None and not all_groups:
+                break
             problem = AggregateProblem(constraint=constraint)
+            problem.seed_parameters(original_params)
             for clause in foreign_key_clauses(instance, problem.cost_variables):
                 problem.add_foreign_key(clause.child, clause.parents)
             try:
@@ -125,15 +160,20 @@ def smallest_counterexample_agg_basic(
             timed_out = timed_out or outcome.timed_out
             if outcome.timed_out and not outcome.true_variables:
                 continue
+            candidate_params = dict(original_params)
+            candidate_params.update(outcome.parameter_values)
+            if not _validate_on_counterexample(
+                query1, query2, instance, outcome.true_variables, candidate_params
+            ):
+                continue
             if best is None or outcome.cost < len(best[1].true_variables):
-                best = (key, outcome)
+                best = (key, outcome, candidate_params)
     if best is None:
         raise CounterexampleError(
-            "the aggregate solver exhausted its budget without finding a counterexample"
+            "the aggregate solver found no group whose witness distinguishes "
+            "the two queries within its budget"
         )
-    key, outcome = best
-    final_params = dict(original_params)
-    final_params.update(outcome.parameter_values)
+    key, outcome, final_params = best
     algorithm = "agg-param" if parameterize else "agg-basic"
     return finalize_result(
         query1,
@@ -273,8 +313,13 @@ def smallest_counterexample_agg_opt(
     # Candidate parameter settings are tried against the *parameterized*
     # original queries whenever re-validation with the original constants fails.
     shared: dict[Any, str] = {}
-    parameterized1 = parameterize_query(q1, instance.schema, shared_names=shared)
-    parameterized2 = parameterize_query(q2, instance.schema, shared_names=shared)
+    reserved = _pair_parameter_names(q1, q2, original_params)
+    parameterized1 = parameterize_query(
+        q1, instance.schema, shared_names=shared, reserved_names=reserved
+    )
+    parameterized2 = parameterize_query(
+        q2, instance.schema, shared_names=shared, reserved_names=reserved
+    )
     has_parameters = bool(parameterized1.original_values or parameterized2.original_values)
 
     best_tids: frozenset[str] | None = None
@@ -330,13 +375,22 @@ def smallest_counterexample_agg_opt(
 def _with_retries(
     solver: MinOnesSolver, first: Iterable[frozenset[str]], max_retries: int
 ) -> Iterable[frozenset[str]]:
-    """Yield the optimal model, then alternative models from enumeration."""
+    """Yield the optimal model, then alternative models from enumeration.
+
+    Running out of models is the one *expected* way enumeration ends early
+    (``UnsatisfiableError``: the blocked clause set admits no further model),
+    so only that is treated as benign exhaustion.  Anything else — a solver
+    budget or internal limit (→ ``error_kind="solver_error"``), an evaluation
+    failure while consuming the candidates (→ ``"evaluation_error"``) —
+    propagates so the PR 2 taxonomy classifies it, instead of being swallowed
+    here and silently degrading Agg-Opt's retry loop to a single candidate.
+    """
     yield from first
     if max_retries <= 0:
         return
     try:
         enumeration = solver.enumerate_models(max_retries)
-    except Exception:  # pragma: no cover - enumeration is best-effort
+    except UnsatisfiableError:
         return
     for model in enumeration.models:
         yield model
@@ -350,7 +404,17 @@ def _validate_on_counterexample(
     params: ParamValues,
 ) -> bool:
     subinstance = instance.subinstance(tids)
-    return not evaluate(q1, subinstance, params).same_rows(evaluate(q2, subinstance, params))
+    try:
+        return not evaluate(q1, subinstance, params).same_rows(
+            evaluate(q2, subinstance, params)
+        )
+    except (TypeError, QueryEvaluationError):
+        # A synthesised parameter value of the wrong type (an integer probe
+        # for a string parameter) makes a comparison ill-typed, and a
+        # sub-instance can hit evaluation errors the full instance avoids
+        # (division by an aggregate that is zero on this group); either way
+        # the candidate simply does not validate — the search moves on.
+        return False
 
 
 def _find_parameter_setting(
@@ -366,17 +430,36 @@ def _find_parameter_setting(
     aggregate values observed on the counterexample (±1).
     """
     subinstance = instance.subinstance(tids)
-    candidates: dict[str, set[Any]] = {
-        name: {0, 1, value} for name, value in original_values.items()
-    }
+    candidates: dict[str, set[Any]] = {}
+    for name, value in original_values.items():
+        # Integer probes only make sense for numeric parameters; for any
+        # other type the original constant is the sole trustworthy candidate.
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            candidates[name] = {0, 1, value}
+        else:
+            candidates[name] = {value}
     observed = _observed_aggregate_values(q1, subinstance) | _observed_aggregate_values(
         q2, subinstance
     )
     for name in candidates:
+        if not isinstance(original_values[name], (int, float)):
+            continue
         for value in observed:
             candidates[name].update({value, value - 1, value + 1})
+
+    def closeness(name: str):
+        origin = original_values[name]
+
+        def key(v: Any):
+            try:
+                return (0, abs(v - origin), str(v))
+            except TypeError:
+                return (0 if v == origin else 1, 0, str(v))
+
+        return key
+
     names = sorted(candidates)
-    pools = [sorted(candidates[name], key=lambda v: (abs(v - original_values[name]), v)) for name in names]
+    pools = [sorted(candidates[name], key=closeness(name)) for name in names]
     for combination in itertools.islice(itertools.product(*pools), 200):
         setting = dict(zip(names, combination))
         if _validate_on_counterexample(q1, q2, instance, tids, setting):

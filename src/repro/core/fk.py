@@ -20,6 +20,25 @@ from repro.catalog.instance import DatabaseInstance, split_tid
 from repro.solver.minones import ForeignKeyClause
 
 
+def dangling_children(instance: DatabaseInstance) -> set[str]:
+    """Tids whose non-NULL foreign-key reference has no matching parent at all.
+
+    The solver encoding turns such a tuple into a unit clause ``¬child`` (it
+    can never be part of a referentially valid witness); the enumeration-based
+    algorithms and the verifier use this set to apply the same rule, so every
+    algorithm agrees on which witnesses are admissible — including on dirty
+    fuzz instances that violate their own constraints.
+    """
+    dangling: set[str] = set()
+    for constraint in instance.schema.constraints:
+        if not isinstance(constraint, ForeignKeyConstraint):
+            continue
+        for child_tid, parents in constraint.implications(instance).items():
+            if not parents:
+                dangling.add(child_tid)
+    return dangling
+
+
 def foreign_key_clauses(
     instance: DatabaseInstance, relevant_tids: Iterable[str]
 ) -> list[ForeignKeyClause]:

@@ -30,9 +30,10 @@ from repro.core.common import (
     finalize_result,
     pick_witness_target,
 )
+from repro.core.fk import dangling_children
 from repro.engine.session import EngineSession
 from repro.core.results import CounterexampleResult
-from repro.errors import NotApplicableError
+from repro.errors import CounterexampleError, NotApplicableError
 from repro.provenance.boolexpr import to_dnf
 from repro.ra.analysis import QueryClass, profile, spju_terminals
 from repro.ra.ast import Difference, RAExpression
@@ -64,8 +65,26 @@ def smallest_witness_monotone_dnf(
         expression = annotated.expression_for(row)
     with stopwatch.measure("solver"):
         minterms = to_dnf(expression, max_terms=max_terms)
-        smallest = min(minterms, key=lambda term: (len(term), sorted(term)))
-        closed = close_under_foreign_keys(instance, smallest)
+        # A derivation through a tuple whose foreign-key reference is dangling
+        # in the full instance is inadmissible — the solver-based algorithms
+        # encode it as ``¬tid`` and so must the specialisations, or the two
+        # families would disagree on minimality (found by the fuzz verifier).
+        dangling = dangling_children(instance)
+        if dangling:
+            minterms = [term for term in minterms if not (term & dangling)]
+        minterms.sort(key=lambda term: (len(term), sorted(term)))
+        smallest: frozenset[str] | None = None
+        closed: set[str] = set()
+        for term in minterms:
+            candidate = close_under_foreign_keys(instance, term)
+            if not (candidate & dangling):
+                smallest, closed = term, candidate
+                break
+        if smallest is None:
+            raise CounterexampleError(
+                "every derivation of the witness target requires a tuple with "
+                "a dangling foreign-key reference"
+            )
     return finalize_result(
         q1,
         q2,
@@ -111,13 +130,27 @@ def smallest_witness_spjud_star(
     terminals = spju_terminals(combined)
 
     # Minimal witnesses of the target w.r.t. every terminal containing it.
+    dangling = dangling_children(instance)
     with stopwatch.measure("provenance"):
         options: list[list[frozenset[str]]] = []
         for terminal in terminals:
             annotated = annotate_cached(terminal, instance, params, session)
             if row not in annotated.provenance:
                 continue
-            minterms = to_dnf(annotated.expression_for(row))
+            expression = annotated.expression_for(row)
+            if not expression.is_positive():
+                # A difference hidden below a rename/projection survives the
+                # class check but leaves negations in the terminal; Theorem 7
+                # does not apply then.
+                raise NotApplicableError(
+                    "a decomposed terminal still contains negation; the query "
+                    "pair is not SPJUD* after normalisation"
+                )
+            minterms = to_dnf(expression)
+            if dangling:
+                # Match the solver encoding: never build on a tuple whose
+                # reference is dangling in the full instance.
+                minterms = [term for term in minterms if not (term & dangling)]
             minterms.sort(key=lambda term: (len(term), sorted(term)))
             choices = [frozenset()] + minterms[:max_witnesses_per_terminal]
             options.append(choices)
@@ -137,6 +170,8 @@ def smallest_witness_spjud_star(
             if best is not None and len(candidate) >= len(best):
                 continue
             closed = frozenset(close_under_foreign_keys(instance, candidate))
+            if closed & dangling:
+                continue  # closure dragged in a tuple that cannot be supported
             if best is not None and len(closed) >= len(best):
                 continue
             subinstance = instance.subinstance(closed)

@@ -3,9 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.catalog.instance import DatabaseInstance, ResultSet, Values
+
+
+def witness_cardinality(tids: Iterable[str]) -> int:
+    """The paper's counterexample-quality metric, defined once for everyone.
+
+    Counts **distinct tuples across relations**: each identifier contributes
+    once, no matter how often an iterable names it (identifiers are unique
+    across relations by construction — ``relation:suffix`` — so deduplicating
+    the names deduplicates the tuples).  Both result classes below,
+    ``RATestReport`` and the serialization layer derive their cardinality
+    from this function, so a witness can never be sized differently in two
+    places.
+    """
+    return len(frozenset(tids))
 
 
 @dataclass
@@ -55,8 +69,14 @@ class CounterexampleResult:
 
     @property
     def size(self) -> int:
-        """Number of tuples in the counterexample (the paper's quality metric)."""
-        return len(self.tids)
+        """Number of distinct tuples in the counterexample (the paper's metric).
+
+        Shares one definition with :class:`WitnessResult` via
+        :func:`witness_cardinality`, so a per-target witness compared during
+        the search and the final reported counterexample are always counted
+        the same way.
+        """
+        return witness_cardinality(self.tids)
 
     def total_time(self) -> float:
         return self.timings.get("total", sum(self.timings.values()))
@@ -85,4 +105,4 @@ class WitnessResult:
 
     @property
     def size(self) -> int:
-        return len(self.tids)
+        return witness_cardinality(self.tids)

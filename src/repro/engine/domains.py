@@ -32,6 +32,13 @@ class AnnotationDomain:
     name: str = "abstract"
     #: Whether GroupBy/aggregation is defined for this domain.
     supports_aggregation: bool = False
+    #: Whether the *structure* of an annotation depends on the order in which
+    #: ``plus``/``times`` fold it (Boolean expressions keep operand order, so
+    #: physical reorderings such as the hash-join build-side choice would
+    #: change provenance bit-for-bit even though the semantics are unchanged).
+    #: Order-sensitive domains run on plans whose logical rewrites are applied
+    #: but whose operator order stays deterministic.
+    order_sensitive: bool = False
 
     def of_tuple(self, tid: str) -> Any:
         """Annotation of one base tuple identified by ``tid``."""
@@ -81,6 +88,7 @@ class ProvenanceDomain(AnnotationDomain):
 
     name = "provenance"
     supports_aggregation = False
+    order_sensitive = True
 
     def of_tuple(self, tid: str) -> BoolExpr:
         return Var(tid)

@@ -11,9 +11,12 @@ The optimizer has two stages:
    (:func:`choose_build_sides`), using base-relation sizes from the bound
    instance and textbook selectivity guesses for the operators above them.
 
-Both stages are semantics-preserving for every annotation domain; exact-mode
-sessions (used to reproduce the historical provenance output bit-for-bit)
-skip them.
+Both stages are semantics-preserving for every annotation domain, but only
+stage 1 is *structure*-preserving for order-sensitive annotations: flipping a
+hash join's build side reorders how Boolean provenance is folded.  Sessions
+therefore apply stage 1 to every domain, stage 2 only to order-insensitive
+ones, and exact mode (which reproduces the historical output bit-for-bit)
+skips both.
 """
 
 from __future__ import annotations

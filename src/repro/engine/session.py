@@ -18,7 +18,17 @@ Caches are invalidated automatically when the bound instance's
 ``data_version`` changes.  ``exact=True`` runs the unoptimized plan with the
 historical operator order (build on the right join input, no pushdown), which
 reproduces the legacy set evaluator *and* the legacy provenance annotations
-bit for bit — that mode backs the ``annotate()`` facade.
+bit for bit.
+
+Provenance (and any other *order-sensitive* annotation domain, see
+:attr:`~repro.engine.domains.AnnotationDomain.order_sensitive`) runs on a
+third plan flavour: the logical rewrites (selection pushdown) are applied —
+so the ``annotate()`` facade benefits from the same optimizer as grading —
+but the hash-join build-side choice is skipped, because flipping a build side
+reorders how Boolean annotations are folded and would change their structure.
+Selection movement only ever *filters* annotated rows, never reorders or
+rewrites annotations, so this flavour stays bit-identical to the historical
+provenance evaluator (asserted by ``tests/test_provenance_engine_path.py``).
 
 Sessions are **thread-safe**: a reentrant lock serializes plan compilation
 and execution, so one warm session per dataset can serve a pool of grading
@@ -84,7 +94,7 @@ class EngineSession:
             self.max_cached_results = max_cached_results
         self._sqlite: Any = None  # lazily created SqliteBackend
         self._keys = KeyCache()
-        self._plans: dict[tuple[bool, StructuralKey], PlanNode] = {}
+        self._plans: dict[tuple[str, StructuralKey], PlanNode] = {}
         self._results: dict[str, LRUCache] = {}
         self._param_refs: dict[PlanNode, frozenset] = {}
         self._data_version = instance.data_version
@@ -141,19 +151,27 @@ class EngineSession:
             memo = self._results[domain.name] = LRUCache(self.max_cached_results)
         return memo
 
-    def _plan(self, expression: RAExpression, *, exact: bool) -> PlanNode:
-        key = (exact, self._keys.key(expression))
+    def _plan(self, expression: RAExpression, *, mode: str) -> PlanNode:
+        """Compile (or fetch) the plan for one of three flavours.
+
+        ``"exact"`` — no rewrites, historical operator order;
+        ``"logical"`` — selection pushdown only, deterministic operator order
+        (what order-sensitive domains such as provenance run on);
+        ``"optimized"`` — pushdown plus instance-driven build-side choice.
+        """
+        key = (mode, self._keys.key(expression))
         plan = self._plans.get(key)
         if plan is not None:
             self.stats["plan_hits"] += 1
             return plan
         self.stats["plan_misses"] += 1
         db = self.instance.schema
-        if exact or not self.optimize:
+        if mode == "exact" or not self.optimize:
             plan = compile_plan(expression, db)
         else:
             plan = compile_plan(optimize_expression(expression, db), db)
-            plan = choose_build_sides(plan, self.instance)
+            if mode == "optimized":
+                plan = choose_build_sides(plan, self.instance)
         self._plans[key] = plan
         return plan
 
@@ -213,7 +231,13 @@ class EngineSession:
         with self._lock:
             self._check_version()
             schema = expression.output_schema(self.instance.schema)
-            plan = self._plan(expression, exact=exact)
+            if exact:
+                mode = "exact"
+            elif domain.order_sensitive:
+                mode = "logical"
+            else:
+                mode = "optimized"
+            plan = self._plan(expression, mode=mode)
             if self.backend == "sqlite" and not exact and domain is SET_DOMAIN:
                 rows = self._run_sqlite(plan, params or {}, domain)
                 if rows is not None:
@@ -271,14 +295,17 @@ class EngineSession:
         return list(rows)
 
     def annotated_rows(
-        self, expression: RAExpression, params: ParamValues | None = None
+        self, expression: RAExpression, params: ParamValues | None = None, *, exact: bool = False
     ) -> tuple[RelationSchema, "dict[Values, Any]"]:
         """Boolean how-provenance of every candidate row (a fresh dict).
 
-        Runs in exact mode so the annotations are identical — expression by
-        expression — to the historical ``ProvenanceEvaluator``.
+        Runs on the logically optimized plan (selection pushdown, structural
+        plan/result caching) while keeping the deterministic operator order,
+        so the annotations stay identical — expression by expression — to the
+        historical ``ProvenanceEvaluator``.  ``exact=True`` forces the
+        unoptimized historical plan (kept for differential tests).
         """
-        schema, rows = self.execute(expression, PROVENANCE_DOMAIN, params, exact=True)
+        schema, rows = self.execute(expression, PROVENANCE_DOMAIN, params, exact=exact)
         return schema, dict(rows)
 
 

@@ -13,9 +13,12 @@ and no row outside the candidate set ever appears in ``Q(D')``.
 Evaluation is delegated to the annotation-generic engine
 (:mod:`repro.engine`): the same physical plans that produce set-semantics
 results under :class:`~repro.engine.domains.SetDomain` produce how-provenance
-under :class:`~repro.engine.domains.ProvenanceDomain`.  The engine runs in
-exact mode here, so annotations match the historical bottom-up evaluator
-expression for expression.
+under :class:`~repro.engine.domains.ProvenanceDomain`.  Provenance runs on
+the *logically optimized* plan — selection pushdown plus the session's
+structural plan/result caches, the same machinery that speeds up grading —
+while keeping the deterministic operator order, so annotations still match
+the historical bottom-up evaluator expression for expression (the invariant
+``tests/test_provenance_engine_path.py`` checks differentially).
 
 Aggregate (GroupBy) nodes are handled by :mod:`repro.provenance.aggregate`;
 this module raises :class:`NotApplicableError` for them.

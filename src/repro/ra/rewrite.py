@@ -252,20 +252,37 @@ class ParameterizedQuery:
     original_values: dict[str, Any]
 
 
+def expression_parameters(expression: RAExpression) -> set[str]:
+    """Names of every ``@param`` referenced by the expression's predicates."""
+    names: set[str] = set()
+    for node in expression.walk():
+        predicate = getattr(node, "predicate", None)
+        if predicate is not None:
+            names |= predicate.referenced_params()
+    return names
+
+
 def parameterize_query(
     expression: RAExpression,
     db: DatabaseSchema,
     *,
     shared_names: dict[Any, str] | None = None,
+    reserved_names: set[str] | None = None,
 ) -> ParameterizedQuery:
     """Replace constants in aggregate-comparing selections by parameters.
 
     ``shared_names`` lets the caller parameterize two queries consistently:
     the same constant value maps to the same parameter name in both, which is
-    what Example 6 does with ``@numCS``.
+    what Example 6 does with ``@numCS``.  Generated names never shadow a
+    parameter the query (or ``reserved_names`` — e.g. the sibling query of a
+    grading pair, or the caller's binding) already uses: a collision would
+    silently rebind an existing ``@p1`` to the freed constant's value.
     """
     names = shared_names if shared_names is not None else {}
     original: dict[str, Any] = {}
+    reserved = set(reserved_names or ())
+    reserved |= expression_parameters(expression)
+    reserved |= set(names.values())
 
     def aggregate_aliases(node: RAExpression) -> set[str]:
         aliases: set[str] = set()
@@ -280,7 +297,9 @@ def parameterize_query(
         if isinstance(rebuilt, Selection):
             aliases = aggregate_aliases(rebuilt.child)
             if aliases:
-                new_predicate = _parameterize_predicate(rebuilt.predicate, aliases, names, original)
+                new_predicate = _parameterize_predicate(
+                    rebuilt.predicate, aliases, names, original, reserved
+                )
                 return Selection(rebuilt.child, new_predicate)
         return rebuilt
 
@@ -293,6 +312,7 @@ def _parameterize_predicate(
     aggregate_aliases: set[str],
     names: dict[Any, str],
     original: dict[str, Any],
+    reserved: set[str],
 ) -> Predicate:
     from repro.ra.predicates import And, Not, Or
 
@@ -305,33 +325,45 @@ def _parameterize_predicate(
             return predicate
         left, right = predicate.left, predicate.right
         if isinstance(left, Literal):
-            left = _literal_to_param(left, names, original)
+            left = _literal_to_param(left, names, original, reserved)
         if isinstance(right, Literal):
-            right = _literal_to_param(right, names, original)
+            right = _literal_to_param(right, names, original, reserved)
         return Comparison(predicate.op, left, right)
     if isinstance(predicate, And):
         return And(
             tuple(
-                _parameterize_predicate(p, aggregate_aliases, names, original)
+                _parameterize_predicate(p, aggregate_aliases, names, original, reserved)
                 for p in predicate.operands
             )
         )
     if isinstance(predicate, Or):
         return Or(
             tuple(
-                _parameterize_predicate(p, aggregate_aliases, names, original)
+                _parameterize_predicate(p, aggregate_aliases, names, original, reserved)
                 for p in predicate.operands
             )
         )
     if isinstance(predicate, Not):
-        return Not(_parameterize_predicate(predicate.operand, aggregate_aliases, names, original))
+        return Not(
+            _parameterize_predicate(
+                predicate.operand, aggregate_aliases, names, original, reserved
+            )
+        )
     return predicate
 
 
-def _literal_to_param(literal: Literal, names: dict[Any, str], original: dict[str, Any]) -> Param:
+def _literal_to_param(
+    literal: Literal, names: dict[Any, str], original: dict[str, Any], reserved: set[str]
+) -> Param:
     value = literal.value
     if value not in names:
-        names[value] = f"p{len(names)}"
+        index = len(names)
+        name = f"p{index}"
+        while name in reserved:
+            index += 1
+            name = f"p{index}"
+        names[value] = name
+        reserved.add(name)
     name = names[value]
     original[name] = value
     return Param(name)

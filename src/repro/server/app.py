@@ -138,6 +138,12 @@ class GradingServer:
             "repro_server_stage_seconds",
             "Per-stage latency: store_lookup, queue_wait, grade, store_write, total.",
         )
+        metrics.histogram(
+            "repro_server_explain_stage_seconds",
+            "Counterexample-pipeline phase latency (raw_eval, provenance, "
+            "solver, total), from the CounterexampleResult timings of "
+            "explanation-mode grades.",
+        )
         metrics.gauge(
             "repro_server_queue_depth",
             "Requests currently in flight in the worker pool.",
@@ -330,6 +336,25 @@ class GradingServer:
     def _observe(self, stage: str, seconds: float) -> None:
         self.metrics.observe("repro_server_stage_seconds", seconds, {"stage": stage})
 
+    def _observe_explain_stages(self, timings: Mapping[str, Any] | None) -> None:
+        """Record the counterexample pipeline's own phase breakdown.
+
+        Explanation-mode grades ship the solver's wall-clock split
+        (``raw_eval``/``provenance``/``solver``/``total``) alongside the
+        deterministic envelope (like ``grade_time``, it never enters the
+        store); scraping it per stage makes "the solver is the bottleneck on
+        this workload" visible in Prometheus instead of buried in payloads.
+        """
+        if not timings:
+            return
+        for stage, seconds in timings.items():
+            if isinstance(seconds, (int, float)):
+                self.metrics.observe(
+                    "repro_server_explain_stage_seconds",
+                    float(seconds),
+                    {"stage": str(stage)},
+                )
+
     def _grade_one(
         self, request: SubmissionRequest, *, wait_for_slot: bool
     ) -> tuple[int, dict[str, Any]]:
@@ -433,6 +458,7 @@ class GradingServer:
         grade_time = float(reply.pop("grade_time", 0.0))
         self._observe("grade", grade_time)
         self._observe("queue_wait", max(0.0, perf_counter() - enqueued - grade_time))
+        self._observe_explain_stages(reply.pop("explain_timings", None))
         error_kind = (reply.get("outcome") or {}).get("error_kind")
         if error_kind in _CACHEABLE_ERROR_KINDS:
             # The submitter's id is routing, not grade content — strip it so

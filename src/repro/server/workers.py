@@ -142,6 +142,12 @@ def _worker_main(worker_id: int, config: WorkerConfig, tasks: Any, results: Any)
                 graded = service.submit(payload)
                 reply = grade_envelope(graded)
                 reply["grade_time"] = perf_counter() - started
+                # The counterexample pipeline's phase split rides alongside
+                # the envelope, like grade_time: timings are non-deterministic
+                # and must never enter the stored/deduplicated grade itself.
+                report = graded.outcome.report
+                if report is not None and report.result.timings:
+                    reply["explain_timings"] = dict(report.result.timings)
         except BaseException as exc:  # noqa: BLE001 — workers must not die
             kind_label = classify_error(exc)
             reply = error_envelope(str(exc) or repr(exc), kind_label, payload)

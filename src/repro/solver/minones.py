@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Sequence
 
-from repro.errors import SolverError, UnsatisfiableError
+from repro.errors import BudgetExceededError, SolverError, UnsatisfiableError
 from repro.provenance.boolexpr import BoolExpr
 from repro.solver.cnf import CNF, assert_expression, sequential_counter
 from repro.solver.models import EnumerationResult, MinOnesResult
@@ -106,7 +106,13 @@ class MinOnesSolver:
 
     def _minimize_descend(self, time_budget: float | None) -> MinOnesResult:
         started = time.perf_counter()
+        deadline = None if time_budget is None else started + time_budget
         solver, cnf, cost_ids = self._build()
+        # The deadline is threaded into the SAT engine itself, so a single
+        # long solve aborts mid-search instead of blowing past the budget.
+        # If it fires before the *first* model there is no best-so-far to
+        # return, and the BudgetExceededError (a SolverError) propagates.
+        solver.deadline = deadline
         model = solver.solve()
         if model is None:
             raise UnsatisfiableError("provenance constraints are unsatisfiable")
@@ -126,11 +132,16 @@ class MinOnesSolver:
             if bound < 0:
                 optimal = True
                 break
-            if time_budget is not None and time.perf_counter() - started > time_budget:
+            if deadline is not None and time.perf_counter() > deadline:
                 break
             # Forbid "at least bound+1 true" => require cost <= bound.
             solver.add_clause((-outputs[bound],))
-            model = solver.solve()
+            try:
+                model = solver.solve()
+            except BudgetExceededError:
+                # Mid-solve timeout: the model found so far is still valid,
+                # just not proven minimal.
+                break
             calls += 1
             if model is None:
                 optimal = True
@@ -148,7 +159,9 @@ class MinOnesSolver:
         Used as an ablation comparator for the incremental descend strategy.
         """
         started = time.perf_counter()
+        deadline = None if time_budget is None else started + time_budget
         solver, cnf, cost_ids = self._build()
+        solver.deadline = deadline
         model = solver.solve()
         if model is None:
             raise UnsatisfiableError("provenance constraints are unsatisfiable")
@@ -157,11 +170,12 @@ class MinOnesSolver:
         low, high = 0, len(best) - 1
         optimal = True
         while low <= high:
-            if time_budget is not None and time.perf_counter() - started > time_budget:
+            if deadline is not None and time.perf_counter() > deadline:
                 optimal = False
                 break
             middle = (low + high) // 2
             probe_solver, probe_cnf, probe_ids = self._build()
+            probe_solver.deadline = deadline
             inputs = [probe_ids[name] for name in sorted(probe_ids)]
             if inputs:
                 counter_cnf = CNF(pool=probe_cnf.pool)
@@ -169,7 +183,11 @@ class MinOnesSolver:
                 probe_solver.add_clauses(counter_cnf.clauses)
                 if middle < len(inputs):
                     probe_solver.add_clause((-outputs[middle],))
-            model = probe_solver.solve()
+            try:
+                model = probe_solver.solve()
+            except BudgetExceededError:
+                optimal = False
+                break
             calls += 1
             if model is None:
                 low = middle + 1
@@ -182,20 +200,31 @@ class MinOnesSolver:
 
     # -- Naive-M: model enumeration -------------------------------------------
 
-    def enumerate_models(self, max_models: int) -> EnumerationResult:
+    def enumerate_models(
+        self, max_models: int, *, time_budget: float | None = None
+    ) -> EnumerationResult:
         """The Basic strategy (Algorithm 1): enumerate up to ``max_models`` models.
 
         Each found model is blocked on the cost variables, so subsequent calls
         return a different *witness* (the paper blocks the full model; blocking
         on tuple variables only makes the baseline slightly stronger, never
-        weaker).
+        weaker).  ``time_budget`` bounds the whole enumeration in seconds;
+        when it fires mid-solve the models found so far are returned with
+        ``exhausted=False`` (an empty-handed timeout re-raises).
         """
         if max_models <= 0:
             raise SolverError("max_models must be positive")
         solver, cnf, cost_ids = self._build()
+        if time_budget is not None:
+            solver.deadline = time.perf_counter() + time_budget
         result = EnumerationResult()
         for _ in range(max_models):
-            model = solver.solve()
+            try:
+                model = solver.solve()
+            except BudgetExceededError:
+                if result.best is None:
+                    raise
+                break
             result.solver_calls += 1
             if model is None:
                 result.exhausted = True

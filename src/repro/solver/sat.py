@@ -14,10 +14,17 @@ retained; every solve restarts the search from decision level zero.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.errors import BudgetExceededError, SolverError
+
+#: How many conflicts may pass between two deadline checks.  Conflicts are
+#: the unit of CDCL progress, so checking every few of them bounds a solve's
+#: overrun to a handful of propagation rounds while keeping ``perf_counter``
+#: off the unit-propagation hot path.
+_DEADLINE_CHECK_INTERVAL = 16
 
 
 @dataclass
@@ -41,6 +48,12 @@ class SATSolver:
     #: biases first models towards keeping few tuples, ``True`` mimics an
     #: "arbitrary model" solver (used for the Naive-* baseline of Figure 5).
     default_phase: bool = False
+    #: Absolute ``time.perf_counter()`` timestamp after which :meth:`solve`
+    #: aborts with :class:`BudgetExceededError`.  Callers that own a wall-clock
+    #: budget (the min-ones optimizer) set this so a *single* long SAT call can
+    #: no longer blow past the budget — previously the budget was only checked
+    #: between models.  Checked every few conflicts and at every decision.
+    deadline: float | None = None
 
     _clauses: list[list[int]] = field(default_factory=list)
     _watches: dict[int, list[int]] = field(default_factory=lambda: defaultdict(list))
@@ -125,6 +138,12 @@ class SATSolver:
                     raise BudgetExceededError(
                         f"SAT solver exceeded {self.max_conflicts_per_solve} conflicts"
                     )
+                if (
+                    self.deadline is not None
+                    and conflicts_this_call % _DEADLINE_CHECK_INTERVAL == 0
+                    and time.perf_counter() > self.deadline
+                ):
+                    raise BudgetExceededError("SAT solve exceeded its time budget")
                 if self._decision_level() == 0:
                     self._unsat = True
                     return None
@@ -135,6 +154,8 @@ class SATSolver:
                 if self._unsat:
                     return None
             else:
+                if self.deadline is not None and time.perf_counter() > self.deadline:
+                    raise BudgetExceededError("SAT solve exceeded its time budget")
                 literal = self._pick_branch_literal()
                 if literal is None:
                     return dict(self._assign)

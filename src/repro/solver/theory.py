@@ -52,10 +52,21 @@ class AggregateProblem:
     cost_variables: set[str] = field(default_factory=set)
     foreign_keys: list[ForeignKeyClause] = field(default_factory=list)
     parameters: set[str] = field(default_factory=set)
+    #: Known good values per parameter (the original constants / the caller's
+    #: binding).  Always tried as candidates; for non-numeric parameters they
+    #: are the *only* trustworthy candidates, since breakpoint synthesis is
+    #: integer arithmetic.
+    parameter_seeds: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.cost_variables |= self.constraint.variables()
         self.parameters |= self.constraint.parameters()
+
+    def seed_parameters(self, values: Mapping[str, Any]) -> None:
+        """Record known-good values for any of the constraint's parameters."""
+        for name, value in values.items():
+            if name in self.parameters:
+                self.parameter_seeds[name] = value
 
     def add_foreign_key(self, child: str, parents: Iterable[str]) -> None:
         parents = tuple(parents)
@@ -79,9 +90,17 @@ class AggregateSolver:
         self.problem = problem
         self.config = config or AggregateSolverConfig()
         self._variables = sorted(problem.cost_variables)
-        self._fk_children: dict[str, tuple[str, ...]] = {
-            fk.child: fk.parents for fk in problem.foreign_keys if fk.child in problem.cost_variables
-        }
+        # One clause per (child, foreign key): a child relation may carry
+        # several foreign keys (Likes.drinker → Drinker *and* Likes.beer →
+        # Beer), and each must hold independently — keying by child alone
+        # would keep only the last clause.  A clause with no parents means the
+        # child's reference is dangling in the full instance; such a tuple can
+        # never be part of a witness (the min-ones encoding adds ``¬child``).
+        self._fk_clauses: list[tuple[str, tuple[str, ...]]] = [
+            (fk.child, fk.parents)
+            for fk in problem.foreign_keys
+            if fk.child in problem.cost_variables
+        ]
 
     # -- public API -----------------------------------------------------------
 
@@ -162,8 +181,8 @@ class AggregateSolver:
         return sorted(self._variables, key=lambda name: (-weights[name], name))
 
     def _respects_foreign_keys(self, included: frozenset[str]) -> bool:
-        for child, parents in self._fk_children.items():
-            if child in included and parents and not any(p in included for p in parents):
+        for child, parents in self._fk_clauses:
+            if child in included and not any(p in included for p in parents):
                 return False
         return True
 
@@ -173,16 +192,42 @@ class AggregateSolver:
             return None
         assignment = assignment_from_true_set(included)
         if not self.problem.parameters:
-            return {} if self.problem.constraint.evaluate(assignment, {}) else None
+            return {} if self._constraint_holds(assignment, {}) else None
         for candidate in self._parameter_candidates(included):
-            if self.problem.constraint.evaluate(assignment, candidate):
+            if self._constraint_holds(assignment, candidate):
                 return candidate
         return None
 
+    def _constraint_holds(self, assignment, parameter_values) -> bool:
+        """Evaluate the constraint; ill-typed candidates simply do not satisfy it.
+
+        Synthesised parameter candidates are integers (breakpoints ± 1); when
+        the parameter actually ranges over strings the comparison raises
+        ``TypeError``, which means "this candidate value is no good", not
+        "abort the search".
+        """
+        try:
+            return bool(self.problem.constraint.evaluate(assignment, parameter_values))
+        except TypeError:
+            return False
+
     def _parameter_candidates(self, included: frozenset[str]) -> Iterable[dict[str, Any]]:
-        """Candidate parameter assignments derived from aggregate breakpoints."""
+        """Candidate parameter assignments derived from aggregate breakpoints.
+
+        Every parameter's known-good seed value (the original constant) is
+        always among the candidates; the integer probes 0/1 are only added
+        when nothing suggests the parameter is non-numeric.
+        """
         assignment = assignment_from_true_set(included)
-        per_parameter: dict[str, set[Any]] = {name: {0, 1} for name in self.problem.parameters}
+        per_parameter: dict[str, set[Any]] = {}
+        for name in self.problem.parameters:
+            seed = self.problem.parameter_seeds.get(name)
+            if seed is not None and not isinstance(seed, (int, float)):
+                per_parameter[name] = {seed}
+            elif seed is not None:
+                per_parameter[name] = {0, 1, seed}
+            else:
+                per_parameter[name] = {0, 1}
         for comparison in _comparisons(self.problem.constraint):
             sides = [comparison.left, comparison.right]
             for this, other in (sides, sides[::-1]):
@@ -193,7 +238,12 @@ class AggregateSolver:
                     base = int(value)
                     per_parameter[this.name].update({base - 1, base, base + 1})
         names = sorted(per_parameter)
-        value_lists = [sorted(per_parameter[name]) for name in names]
+        # Candidate sets may mix types (integer probes next to a string seed);
+        # order deterministically without relying on cross-type comparison.
+        value_lists = [
+            sorted(per_parameter[name], key=lambda v: (type(v).__name__, str(v)))
+            for name in names
+        ]
         for combination in itertools.product(*value_lists):
             yield dict(zip(names, combination))
 

@@ -2,8 +2,9 @@
 
 The SQLite backend claims bit-for-bit agreement with the in-process engine;
 that claim is only worth something if it is checked on queries nobody wrote
-by hand.  This module provides the three pieces the differential suite
-(``tests/test_fuzz_differential.py``) is built from:
+by hand.  This module provides the pieces the differential suites
+(``tests/test_fuzz_differential.py`` and the counterexample mode of
+``tests/test_fuzz_counterexamples.py``) are built from:
 
 * :class:`QueryFuzzer` — a schema-aware, depth-bounded random generator
   covering the full SPJUDA language (selection, projection, theta/natural
@@ -17,6 +18,14 @@ by hand.  This module provides the three pieces the differential suite
   parseable DSL text.  Failures print this text as the reproduction
   one-liner, and round-tripping through :func:`~repro.parser.ra_parser.parse_query`
   is itself part of what the fuzz suite checks.
+* :class:`CounterexampleFuzzer` / :func:`run_counterexample_fuzz` — the
+  **counterexample mode**: generated queries are turned into wrong-query
+  pairs with the mutation operators of :mod:`repro.workload.mutations`, every
+  applicable algorithm from :data:`repro.core.finder.ALGORITHMS` is run on
+  each pair, and every returned witness is machine-verified
+  (:func:`repro.core.verify.verify_counterexample`) — valid, FK-closed and,
+  where ``optimal`` was claimed, cross-checked minimal.  A failure prints a
+  ``seed`` + DSL reproduction one-liner.
 
 Generated queries are deliberately *boring* in two respects: literals are
 drawn from values that actually occur in the instance (so selections and
@@ -546,3 +555,269 @@ class QueryFuzzer:
             params[name] = value
             right = Param(name)
         return Comparison(op, ColumnRef(attribute.name), right)
+
+
+# ---------------------------------------------------------------------------
+# Counterexample mode: wrong-query pairs, all algorithms, verified witnesses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WrongQueryPair:
+    """A generated (reference, wrong submission) pair that differs on the data."""
+
+    seed: int
+    correct: RAExpression
+    mutant: RAExpression
+    correct_dsl: str
+    mutant_dsl: str
+    mutation: str
+    params: "dict[str, Any]" = field(default_factory=dict)
+
+    def repro(self) -> str:
+        """Reproduction one-liner: regenerate with ``CounterexampleFuzzer.pair(seed)``."""
+        text = (
+            f"seed={self.seed} correct: {self.correct_dsl} || "
+            f"mutant ({self.mutation}): {self.mutant_dsl}"
+        )
+        if self.params:
+            text += f" params={self.params!r}"
+        return text
+
+
+@dataclass
+class CounterexampleOutcome:
+    """One (pair, algorithm) trial: the witness and its verification report."""
+
+    pair: WrongQueryPair
+    algorithm: str
+    result: "Any | None" = None  # CounterexampleResult
+    report: "Any | None" = None  # VerificationReport
+    skipped: str | None = None  # reason the algorithm did not produce a witness
+    error: str | None = None  # unexpected failure (a bug)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and (self.report is None or self.report.valid)
+
+    def repro(self) -> str:
+        detail = self.error or (
+            "; ".join(self.report.issues) if self.report is not None else ""
+        )
+        return f"[{self.algorithm}] {self.pair.repro()} -> {detail}"
+
+
+class CounterexampleFuzzer:
+    """Seeded wrong-query pairs: a generated reference plus one of its mutants.
+
+    Deterministic per ``(instance contents, seed)``: the reference query comes
+    from :class:`QueryFuzzer`, the wrong submission from the mutation
+    operators the course workload uses (``repro.workload.mutations``), chosen
+    by the same seed.  Only pairs that actually *differ* on the instance are
+    produced — a mutant that happens to be equivalent on the data is not a
+    wrong query in the paper's sense.
+    """
+
+    #: How many mutants of one reference query are probed before giving up.
+    MUTANTS_PER_SEED = 8
+
+    def __init__(
+        self,
+        instance: DatabaseInstance,
+        *,
+        max_depth: int = 3,
+        allow_aggregates: bool = True,
+        allow_params: bool = True,
+        session: "Any | None" = None,
+    ) -> None:
+        from repro.engine.session import EngineSession
+
+        self.instance = instance
+        self.session = session if session is not None else EngineSession(instance)
+        self.fuzzer = QueryFuzzer(
+            instance.schema,
+            instance=instance,
+            max_depth=max_depth,
+            allow_aggregates=allow_aggregates,
+            allow_params=allow_params,
+        )
+        pools = self.fuzzer._pools
+        self._constant_pool = [pool[0] for pool in pools.values() if pool]
+
+    def pair(self, seed: int) -> WrongQueryPair | None:
+        """The wrong-query pair for ``seed`` (None when no mutant differs)."""
+        from repro.errors import ReproError
+        from repro.parser.ra_parser import parse_query
+        from repro.workload.mutations import generate_mutants
+
+        fuzz_query = self.fuzzer.query(seed)
+        try:
+            reference_schema = fuzz_query.expression.output_schema(self.instance.schema)
+            reference_rows = self.session.evaluate(fuzz_query.expression, fuzz_query.params)
+        except ReproError:
+            return None  # the reference query itself does not evaluate
+        mutants = generate_mutants(
+            fuzz_query.expression, constant_pool=self._constant_pool
+        )
+        rng = random.Random(f"repro-cexfuzz-{seed}")
+        rng.shuffle(mutants)
+        for mutant in mutants[: self.MUTANTS_PER_SEED]:
+            try:
+                mutant_dsl = to_dsl(mutant.query)
+            except ValueError:
+                continue  # not expressible in the DSL — no reproduction line
+            try:
+                mutant_schema = mutant.query.output_schema(self.instance.schema)
+                mutant_rows = self.session.evaluate(mutant.query, fuzz_query.params)
+            except ReproError:
+                continue
+            if not reference_schema.union_compatible(mutant_schema):
+                # A grader rejects schema-incompatible submissions outright
+                # (``error_kind="schema_error"``); no counterexample exists.
+                continue
+            if mutant_rows.same_rows(reference_rows):
+                continue
+            # The pair must reproduce from DSL text alone; a mutant whose
+            # rendering does not parse back cannot carry a repro line, so it
+            # is skipped here (DSL round-trip fidelity itself is covered by
+            # the differential suite, not this mode).
+            try:
+                reparsed = parse_query(mutant_dsl)
+            except ReproError:
+                continue
+            return WrongQueryPair(
+                seed=seed,
+                correct=fuzz_query.expression,
+                mutant=reparsed,
+                correct_dsl=fuzz_query.dsl,
+                mutant_dsl=mutant_dsl,
+                mutation=mutant.description,
+                params=fuzz_query.params,
+            )
+        return None
+
+    def pairs(
+        self, count: int, *, start: int = 0, max_seeds: int | None = None
+    ) -> Iterator[WrongQueryPair]:
+        """``count`` wrong pairs, advancing seeds from ``start`` until found."""
+        produced = 0
+        seed = start
+        limit = max_seeds if max_seeds is not None else max(50 * count, 1000)
+        while produced < count and seed < start + limit:
+            pair = self.pair(seed)
+            seed += 1
+            if pair is not None:
+                produced += 1
+                yield pair
+
+
+def applicable_algorithms(q1: RAExpression, q2: RAExpression) -> tuple[str, ...]:
+    """The :data:`repro.core.finder.ALGORITHMS` entries worth running on a pair.
+
+    Aggregate pairs route to the aggregate algorithms; SPJUD pairs run the
+    general solvers plus the poly-time specialisations where their query
+    classes allow (the specialised entries may still raise
+    ``NotApplicableError`` on inspection — callers treat that as a skip, which
+    keeps this routing an over-approximation rather than a filter to trust).
+    """
+    from repro.core.aggregates import is_aggregate_pair
+    from repro.ra.analysis import profile
+
+    if is_aggregate_pair(q1, q2):
+        return ("agg-opt", "agg-basic")
+    names = ["optsigma", "basic"]
+    if profile(q1).is_monotone and profile(q2).is_monotone:
+        names.append("polytime-dnf")
+    names.append("spjud-star")
+    return tuple(names)
+
+
+#: Per-algorithm option overrides keeping fuzz trials bounded: the point is
+#: verifying many witnesses, not stress-testing solver scalability.
+_FUZZ_ALGORITHM_OPTIONS: "dict[str, dict[str, Any]]" = {
+    "basic": {"max_rows": 12},
+    "spjud-star": {"max_witnesses_per_terminal": 16, "max_combinations": 2000},
+}
+
+
+def run_counterexample_fuzz(
+    instance: DatabaseInstance,
+    *,
+    pairs: int,
+    start: int = 0,
+    max_depth: int = 3,
+    allow_aggregates: bool = True,
+    verify: bool = True,
+    bruteforce_budget: int = 5_000,
+    enumeration_budget: int = 32,
+) -> "list[CounterexampleOutcome]":
+    """Counterexample mode: generate, solve with every applicable algorithm, verify.
+
+    Returns one outcome per (wrong pair, algorithm) trial.  ``skipped``
+    outcomes are expected (specialised algorithms refusing a query class, the
+    aggregate solver exhausting its budget, dirty fuzz data making the FK
+    clauses unsatisfiable); ``error`` outcomes and invalid verification
+    reports are bugs, and ``CounterexampleOutcome.repro()`` prints the seeded
+    DSL one-liner that reproduces them.
+    """
+    from repro.core.aggregates import is_aggregate_pair
+    from repro.core.finder import find_smallest_counterexample
+    from repro.core.verify import verify_counterexample
+    from repro.errors import (
+        CounterexampleError,
+        NotApplicableError,
+        QueryEvaluationError,
+        UnsatisfiableError,
+    )
+    from repro.solver.theory import AggregateSolverConfig
+
+    fuzzer = CounterexampleFuzzer(
+        instance, max_depth=max_depth, allow_aggregates=allow_aggregates
+    )
+    outcomes: list[CounterexampleOutcome] = []
+    for pair in fuzzer.pairs(pairs, start=start):
+        for algorithm in applicable_algorithms(pair.correct, pair.mutant):
+            options: dict[str, Any] = dict(_FUZZ_ALGORITHM_OPTIONS.get(algorithm, {}))
+            if is_aggregate_pair(pair.correct, pair.mutant) and algorithm == "agg-basic":
+                options["solver_config"] = AggregateSolverConfig(
+                    max_nodes=20_000, time_budget=2.0
+                )
+            outcome = CounterexampleOutcome(pair=pair, algorithm=algorithm)
+            try:
+                result = find_smallest_counterexample(
+                    pair.correct,
+                    pair.mutant,
+                    instance,
+                    algorithm=algorithm,
+                    params=pair.params,
+                    session=fuzzer.session,
+                    **options,
+                )
+            except (NotApplicableError, CounterexampleError, UnsatisfiableError) as exc:
+                outcome.skipped = f"{type(exc).__name__}: {exc}"
+                outcomes.append(outcome)
+                continue
+            except QueryEvaluationError as exc:
+                # Mutants may divide by zero or compare incompatible types on
+                # rows only the counterexample search evaluates.
+                outcome.skipped = f"QueryEvaluationError: {exc}"
+                outcomes.append(outcome)
+                continue
+            except Exception as exc:  # noqa: BLE001 — a fuzz finding, reported as such
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                outcomes.append(outcome)
+                continue
+            outcome.result = result
+            if verify:
+                outcome.report = verify_counterexample(
+                    pair.correct,
+                    pair.mutant,
+                    instance,
+                    result,
+                    params=pair.params,
+                    session=fuzzer.session,
+                    bruteforce_budget=bruteforce_budget,
+                    enumeration_budget=enumeration_budget,
+                )
+            outcomes.append(outcome)
+    return outcomes

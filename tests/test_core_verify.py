@@ -1,0 +1,212 @@
+"""The verification layer must catch every way a counterexample can be wrong.
+
+Positive paths (real results verify clean) are covered here and, at scale, by
+``tests/test_fuzz_counterexamples.py``; the heart of this suite is negative:
+each test forges a defect — a non-distinguishing witness, a broken FK chain,
+an inflated size, a false minimality claim — and asserts the corresponding
+check fails with that check named in the report.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core import find_smallest_counterexample
+from repro.core.results import CounterexampleResult, witness_cardinality
+from repro.core.verify import (
+    VerificationFailure,
+    verify_counterexample,
+)
+from repro.datagen import toy_university_instance
+from repro.engine.session import EngineSession
+from repro.parser import parse_query
+from repro.ra.evaluator import evaluate
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return toy_university_instance()
+
+
+@pytest.fixture(scope="module")
+def session(instance):
+    return EngineSession(instance)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    q1 = parse_query("\\select_{dept = 'CS'} Registration")
+    q2 = parse_query("\\select_{dept = 'EE'} Registration")
+    return q1, q2
+
+
+@pytest.fixture(scope="module")
+def good_result(instance, session, queries):
+    q1, q2 = queries
+    return find_smallest_counterexample(q1, q2, instance, session=session)
+
+
+class TestValidResults:
+    def test_genuine_result_verifies_clean(self, instance, session, queries, good_result):
+        q1, q2 = queries
+        report = verify_counterexample(q1, q2, instance, good_result, session=session)
+        assert report.valid, report.issues
+        assert report.checks["distinguishes"] == "ok"
+        assert report.checks["fk_closed"] == "ok"
+        assert report.checks["size"] == "ok"
+
+    def test_minimality_oracles_run_on_optimal_claims(
+        self, instance, session, queries, good_result
+    ):
+        q1, q2 = queries
+        assert good_result.optimal
+        report = verify_counterexample(q1, q2, instance, good_result, session=session)
+        assert report.minimality_method in (
+            "bruteforce",
+            "enumeration",
+            "bruteforce+enumeration",
+        )
+
+    def test_raise_if_invalid_is_a_no_op_on_valid(self, instance, session, queries, good_result):
+        q1, q2 = queries
+        report = verify_counterexample(q1, q2, instance, good_result, session=session)
+        assert report.raise_if_invalid() is report
+
+    def test_non_optimal_results_skip_minimality(self, instance, session, queries, good_result):
+        q1, q2 = queries
+        humbled = dataclasses.replace(good_result, optimal=False)
+        report = verify_counterexample(q1, q2, instance, humbled, session=session)
+        assert report.valid
+        assert report.minimality_method == "not_claimed"
+
+    def test_every_algorithm_round_trips_through_verification(self, instance, session):
+        q1 = parse_query("\\project_{name} (Registration \\join Student)")
+        q2 = parse_query("\\project_{name} (\\select_{dept = 'ECON'} (Registration) \\join Student)")
+        for algorithm in ("optsigma", "basic", "polytime-dnf", "spjud-star"):
+            result = find_smallest_counterexample(
+                q1, q2, instance, algorithm=algorithm, session=session
+            )
+            report = verify_counterexample(q1, q2, instance, result, session=session)
+            assert report.valid, (algorithm, report.issues)
+
+
+class TestForgedDefects:
+    def test_non_distinguishing_witness_fails(self, instance, session, queries, good_result):
+        q1, q2 = queries
+        # Swap the two recorded result sets: the witness no longer reproduces them.
+        forged = dataclasses.replace(
+            good_result, q1_rows=good_result.q2_rows, q2_rows=good_result.q1_rows
+        )
+        report = verify_counterexample(q1, q2, instance, forged, session=session)
+        assert not report.valid
+        assert report.checks["distinguishes"] == "failed"
+
+    def test_identical_queries_never_verify(self, instance, session, queries, good_result):
+        q1, _ = queries
+        report = verify_counterexample(q1, q1, instance, good_result, session=session)
+        assert not report.valid
+
+    def test_tampered_tid_set_fails(self, instance, session, queries, good_result):
+        q1, q2 = queries
+        extra = next(
+            tid for tid in sorted(instance.all_tids()) if tid not in good_result.tids
+        )
+        forged = dataclasses.replace(
+            good_result, tids=good_result.tids | {extra}
+        )
+        report = verify_counterexample(q1, q2, instance, forged, session=session)
+        assert not report.valid
+        assert report.checks["witness_tuples"] == "failed"
+
+    def test_unknown_tid_fails(self, instance, session, queries, good_result):
+        q1, q2 = queries
+        forged = dataclasses.replace(
+            good_result,
+            tids=good_result.tids | {"Student:9999"},
+            counterexample=good_result.counterexample,
+        )
+        report = verify_counterexample(q1, q2, instance, forged, session=session)
+        assert not report.valid
+        assert report.checks["witness_tuples"] == "failed"
+
+    def test_broken_fk_chain_fails(self, instance, session):
+        # Registration rows reference Student rows; keep a Registration tuple
+        # and forge a witness that drops its Student parent.
+        q1 = parse_query("\\project_{name} (Registration \\join Student)")
+        q2 = parse_query("\\project_{name} (\\select_{dept = 'ECON'} (Registration) \\join Student)")
+        result = find_smallest_counterexample(q1, q2, instance, session=session)
+        child = next(tid for tid in result.tids if tid.startswith("Registration:"))
+        orphaned_tids = frozenset({child})
+        forged = dataclasses.replace(
+            result,
+            tids=orphaned_tids,
+            counterexample=instance.subinstance(orphaned_tids),
+        )
+        report = verify_counterexample(q1, q2, instance, forged, session=session)
+        assert not report.valid
+        assert report.checks["fk_closed"] == "failed"
+
+    def test_false_minimality_claim_fails(self, instance, session):
+        q1 = parse_query("\\project_{name} (Registration \\join Student)")
+        q2 = parse_query("\\project_{name} (\\select_{dept = 'ECON'} (Registration) \\join Student)")
+        result = find_smallest_counterexample(q1, q2, instance, session=session)
+        # Inflate the witness with an unrelated-but-valid tuple while keeping
+        # the optimal flag: the minimality oracles must call the bluff.
+        padding = next(
+            tid
+            for tid in sorted(instance.all_tids())
+            if tid.startswith("Student:") and tid not in result.tids
+        )
+        inflated_tids = result.tids | {padding}
+        inflated_sub = instance.subinstance(inflated_tids)
+        forged = dataclasses.replace(
+            result,
+            tids=inflated_tids,
+            counterexample=inflated_sub,
+            q1_rows=evaluate(q1, inflated_sub),
+            q2_rows=evaluate(q2, inflated_sub),
+            optimal=True,
+        )
+        report = verify_counterexample(q1, q2, instance, forged, session=session)
+        assert not report.valid
+        assert report.checks["minimality"] == "failed"
+
+    def test_raise_if_invalid_raises_with_report(self, instance, session, queries, good_result):
+        q1, q2 = queries
+        forged = dataclasses.replace(
+            good_result, q1_rows=good_result.q2_rows, q2_rows=good_result.q1_rows
+        )
+        report = verify_counterexample(q1, q2, instance, forged, session=session)
+        with pytest.raises(VerificationFailure) as excinfo:
+            report.raise_if_invalid()
+        assert excinfo.value.report is report
+
+
+class TestSizeReconciliation:
+    def test_size_counts_distinct_tuples(self):
+        assert witness_cardinality(["Student:1", "Student:1", "Registration:2"]) == 2
+        assert witness_cardinality([]) == 0
+
+    def test_result_size_report_and_serialization_agree(
+        self, instance, session, queries, good_result
+    ):
+        from repro.ratest.report import RATestReport
+
+        assert good_result.size == witness_cardinality(good_result.tids)
+        assert good_result.size == good_result.counterexample.total_size()
+        report = RATestReport(
+            correct_query_text="q1", test_query_text="q2", result=good_result
+        )
+        assert report.counterexample_size == good_result.size
+        round_tripped = CounterexampleResult.from_dict(good_result.to_dict())
+        assert round_tripped.size == good_result.size
+
+    def test_size_mismatch_is_detected(self, instance, session, queries, good_result):
+        q1, q2 = queries
+        forged = dataclasses.replace(
+            good_result, tids=good_result.tids | {"Student:1"} | {"Student:2"}
+        )
+        report = verify_counterexample(q1, q2, instance, forged, session=session)
+        assert not report.valid

@@ -1,0 +1,191 @@
+"""Foreign-key closure of witnesses — every algorithm, chained references.
+
+Satellite of the counterexample-hardening PR: every algorithm registered in
+:data:`repro.core.finder.ALGORITHMS` must return witnesses closed under the
+instance's FK constraints, *including chains* (keeping an Enrollment drags in
+its Course, which drags in its Department).  The schema here is built so the
+smallest evaluation-only witness would violate referential integrity — only
+FK-aware solving produces the right answer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog.constraints import ForeignKeyConstraint
+from repro.catalog.instance import DatabaseInstance
+from repro.catalog.schema import Attribute, DatabaseSchema, RelationSchema
+from repro.catalog.types import DataType
+from repro.core.finder import ALGORITHMS
+from repro.core.verify import verify_counterexample
+from repro.engine.session import EngineSession
+from repro.errors import NotApplicableError
+from repro.parser import parse_query
+
+
+def _chained_schema() -> DatabaseSchema:
+    return DatabaseSchema.of(
+        [
+            RelationSchema.of("Department", [Attribute("dname", DataType.STRING)]),
+            RelationSchema.of(
+                "Course",
+                [
+                    Attribute("cid", DataType.STRING),
+                    Attribute("dname", DataType.STRING),
+                ],
+            ),
+            RelationSchema.of(
+                "Enrollment",
+                [
+                    Attribute("student", DataType.STRING),
+                    Attribute("cid", DataType.STRING),
+                    Attribute("credits", DataType.INT),
+                ],
+            ),
+        ],
+        [
+            ForeignKeyConstraint("Course", ("dname",), "Department", ("dname",)),
+            ForeignKeyConstraint("Enrollment", ("cid",), "Course", ("cid",)),
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def chained_instance() -> DatabaseInstance:
+    instance = DatabaseInstance(_chained_schema())
+    instance.relation("Department").insert_all([("CS",), ("ECON",)])
+    instance.relation("Course").insert_all(
+        [("216", "CS"), ("230", "CS"), ("208D", "ECON")]
+    )
+    instance.relation("Enrollment").insert_all(
+        [
+            ("Mary", "216", 4),
+            ("Mary", "208D", 3),
+            ("John", "230", 4),
+            ("Jesse", "216", 3),
+        ]
+    )
+    assert instance.satisfies_constraints()
+    return instance
+
+
+def _spjud_pair():
+    q1 = parse_query("\\project_{student} (\\select_{credits >= 4} Enrollment)")
+    q2 = parse_query("\\project_{student} (Enrollment)")
+    return q1, q2
+
+
+def _aggregate_pair():
+    q1 = parse_query(
+        "\\select_{n >= 2} (\\aggr_{group: student ; count(*) -> n} (Enrollment))"
+    )
+    q2 = parse_query(
+        "\\select_{n >= 1} (\\aggr_{group: student ; count(*) -> n} (Enrollment))"
+    )
+    return q1, q2
+
+
+def _fk_closed(instance: DatabaseInstance, tids: frozenset[str]) -> bool:
+    for constraint in instance.schema.constraints:
+        if not isinstance(constraint, ForeignKeyConstraint):
+            continue
+        implications = constraint.implications(instance)
+        for child in tids:
+            parents = implications.get(child)
+            if parents is not None and not any(p in tids for p in parents):
+                return False
+    return True
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_every_algorithm_returns_fk_closed_witnesses(name, chained_instance):
+    session = EngineSession(chained_instance)
+    q1, q2 = _aggregate_pair() if name.startswith("agg-") else _spjud_pair()
+    try:
+        result = ALGORITHMS[name](q1, q2, chained_instance, session=session)
+    except NotApplicableError:
+        pytest.skip(f"{name} does not apply to this pair")
+    assert result.verified, name
+    assert _fk_closed(chained_instance, result.tids), (
+        f"{name} returned a witness violating FK closure: {sorted(result.tids)}"
+    )
+    report = verify_counterexample(
+        q1, q2, chained_instance, result, session=session
+    )
+    assert report.valid, (name, report.issues)
+    assert report.checks["fk_closed"] == "ok"
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+def test_chained_references_are_followed_to_the_root(name, chained_instance):
+    """Any witness keeping an Enrollment keeps a Course *and* its Department."""
+    session = EngineSession(chained_instance)
+    q1, q2 = _aggregate_pair() if name.startswith("agg-") else _spjud_pair()
+    try:
+        result = ALGORITHMS[name](q1, q2, chained_instance, session=session)
+    except NotApplicableError:
+        pytest.skip(f"{name} does not apply to this pair")
+    kept_enrollments = {t for t in result.tids if t.startswith("Enrollment:")}
+    assert kept_enrollments, f"{name} found a witness without any Enrollment tuple"
+    assert any(t.startswith("Course:") for t in result.tids), name
+    assert any(t.startswith("Department:") for t in result.tids), name
+
+
+def test_closure_prefers_supportable_parents_over_dangling_ones():
+    """A dangling parent must not poison the closure when a clean twin exists.
+
+    ``P`` holds two rows with the same key ``v`` — one whose own reference is
+    dangling, one supported — and the child references ``v``.  The greedy
+    closure used to pick the first parent unconditionally, making the
+    enumeration-based algorithms reject (or mis-rank) witnesses the solver
+    happily proves admissible through the clean parent.
+    """
+    from repro.catalog.constraints import close_under_foreign_keys
+
+    schema = DatabaseSchema.of(
+        [
+            RelationSchema.of("G", [Attribute("g", DataType.STRING)]),
+            RelationSchema.of(
+                "P", [Attribute("p", DataType.STRING), Attribute("g", DataType.STRING)]
+            ),
+            RelationSchema.of(
+                "C", [Attribute("c", DataType.STRING), Attribute("p", DataType.STRING)]
+            ),
+        ],
+        [
+            ForeignKeyConstraint("C", ("p",), "P", ("p",)),
+            ForeignKeyConstraint("P", ("g",), "G", ("g",)),
+        ],
+    )
+    instance = DatabaseInstance(schema)
+    instance.relation("G").insert_all([("g1",)])
+    instance.relation("P").insert_all([("v", "DEAD"), ("v", "g1")])  # P:1 dangling
+    instance.relation("C").insert_all([("c1", "v")])
+
+    closed = close_under_foreign_keys(instance, {"C:1"})
+    assert "P:2" in closed and "P:1" not in closed
+
+    session = EngineSession(instance)
+    q1 = parse_query("\\project_{c} (C)")
+    q2 = parse_query("\\project_{c} (\\select_{c = 'nope'} (C))")
+    for name in ("optsigma", "basic", "polytime-dnf", "spjud-star"):
+        result = ALGORITHMS[name](q1, q2, instance, session=session)
+        assert result.tids == frozenset({"C:1", "P:2", "G:1"}), (name, result.tids)
+        report = verify_counterexample(q1, q2, instance, result, session=session)
+        assert report.valid, (name, report.issues)
+
+
+def test_verifier_rejects_witness_with_broken_chain(chained_instance):
+    import dataclasses
+
+    session = EngineSession(chained_instance)
+    q1, q2 = _spjud_pair()
+    result = ALGORITHMS["optsigma"](q1, q2, chained_instance, session=session)
+    # Drop the Department root of the chain: Course keeps a dangling reference.
+    broken = frozenset(t for t in result.tids if not t.startswith("Department:"))
+    forged = dataclasses.replace(
+        result, tids=broken, counterexample=chained_instance.subinstance(broken)
+    )
+    report = verify_counterexample(q1, q2, chained_instance, forged, session=session)
+    assert not report.valid
+    assert report.checks["fk_closed"] == "failed"

@@ -1,0 +1,131 @@
+"""Counterexample-mode fuzzing: every witness machine-verified.
+
+Seeded wrong-query pairs (a generated reference plus a mutated submission,
+see :class:`repro.workload.fuzz.CounterexampleFuzzer`) are solved by every
+applicable algorithm from :data:`repro.core.finder.ALGORITHMS`; each returned
+witness is verified by :func:`repro.core.verify.verify_counterexample` —
+it must distinguish the queries on the witness sub-instance, be closed under
+foreign keys (dangling references inadmissible), agree on the size metric
+and, where the solver claimed ``optimal``, survive both the brute-force and
+the Naive-M/Opt minimality oracles.
+
+On failure the assertion message lists seeded DSL reproduction one-liners:
+paste the seed into ``CounterexampleFuzzer(instance).pair(seed)`` to replay.
+
+``REPRO_FUZZ_BUDGET`` scales the pair budget (default 220 wrong pairs across
+the instance mix — the acceptance floor is 200); the ``slow``-marked extended
+sweep only runs with ``REPRO_FUZZ_EXTENDED`` set.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen import toy_beers_instance, toy_university_instance
+from repro.workload.fuzz import (
+    CounterexampleFuzzer,
+    applicable_algorithms,
+    perturb_instance,
+    run_counterexample_fuzz,
+)
+
+pytestmark = pytest.mark.fuzz
+
+
+def _budget(default: int = 220) -> int:
+    return int(os.environ.get("REPRO_FUZZ_BUDGET", default))
+
+
+def _instances():
+    return [
+        ("university", toy_university_instance()),
+        ("university-dirty", perturb_instance(toy_university_instance(), seed=42)),
+        ("beers", toy_beers_instance()),
+        ("beers-dirty", perturb_instance(toy_beers_instance(), seed=43)),
+    ]
+
+
+def _run(instance, pairs: int, *, start: int = 0) -> tuple[int, int, list]:
+    outcomes = run_counterexample_fuzz(instance, pairs=pairs, start=start)
+    witnesses = [o for o in outcomes if o.result is not None]
+    failures = [o for o in outcomes if not o.ok]
+    return len(outcomes), len(witnesses), failures
+
+
+@pytest.mark.parametrize(
+    "label,instance", _instances(), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_counterexample_fuzz(label, instance):
+    """Every witness any algorithm returns on seeded wrong pairs verifies clean."""
+    pairs = max(1, _budget() // len(_instances()))
+    trials, witnesses, failures = _run(instance, pairs)
+    assert not failures, (
+        f"{len(failures)} verification failure(s) on {label} — reproduce with:\n"
+        + "\n".join(o.repro() for o in failures[:10])
+    )
+    # The mode must actually produce witnesses, not just skip everything.
+    assert witnesses >= pairs, f"only {witnesses} witnesses from {trials} trials"
+
+
+def test_budget_covers_the_acceptance_floor():
+    """The default budget runs at least 200 wrong-query pairs overall."""
+    assert _budget() >= 200 or "REPRO_FUZZ_BUDGET" in os.environ
+
+
+def test_pair_generation_is_deterministic_and_reproducible():
+    instance = toy_university_instance()
+    first = CounterexampleFuzzer(instance)
+    second = CounterexampleFuzzer(instance)
+    produced = 0
+    for seed in range(120):
+        a, b = first.pair(seed), second.pair(seed)
+        assert (a is None) == (b is None)
+        if a is None:
+            continue
+        produced += 1
+        assert (a.correct_dsl, a.mutant_dsl, a.mutation) == (
+            b.correct_dsl,
+            b.mutant_dsl,
+            b.mutation,
+        )
+    assert produced > 10
+
+
+def test_pairs_really_differ_and_are_schema_compatible():
+    instance = toy_university_instance()
+    fuzzer = CounterexampleFuzzer(instance)
+    for pair in fuzzer.pairs(20):
+        reference = fuzzer.session.evaluate(pair.correct, pair.params)
+        mutant = fuzzer.session.evaluate(pair.mutant, pair.params)
+        assert not reference.same_rows(mutant)
+        assert pair.correct.output_schema(instance.schema).union_compatible(
+            pair.mutant.output_schema(instance.schema)
+        )
+
+
+def test_algorithm_routing_covers_both_families():
+    """The seeded mix exercises aggregate and SPJUD routing."""
+    instance = toy_university_instance()
+    fuzzer = CounterexampleFuzzer(instance)
+    routed = set()
+    for pair in fuzzer.pairs(60):
+        routed.update(applicable_algorithms(pair.correct, pair.mutant))
+    assert {"optsigma", "basic", "spjud-star"} <= routed
+    assert "agg-opt" in routed or "agg-basic" in routed
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    "REPRO_FUZZ_EXTENDED" not in os.environ,
+    reason="extended counterexample fuzz only with REPRO_FUZZ_EXTENDED set",
+)
+@pytest.mark.parametrize(
+    "label,instance", _instances(), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_counterexample_fuzz_extended(label, instance):
+    """A deeper sweep over a fresh seed range for nightly/extended runs."""
+    pairs = max(100, _budget() // 2)
+    _, _, failures = _run(instance, pairs, start=50_000)
+    assert not failures, "\n".join(o.repro() for o in failures[:10])

@@ -64,6 +64,14 @@ class TestOperationalEndpoints:
         assert 'version="' + repro.__version__ + '"' in text
         # Worker engine-cache counters are scraped over the task queues.
         assert 'repro_worker_cache{counter="sessions_plan_hits",worker="0"}' in text
+        # A fresh wrong submission (store misses skip no stage) graded with
+        # explain=True populates the counterexample pipeline's own breakdown.
+        client.grade(request_payload("\\project_{name} \\select_{grade > 80} Registration"))
+        text = client.metrics_text()
+        assert "# TYPE repro_server_explain_stage_seconds histogram" in text
+        assert 'repro_server_explain_stage_seconds_bucket{stage="solver"' in text
+        assert 'repro_server_explain_stage_seconds_bucket{stage="provenance"' in text
+        assert 'repro_server_explain_stage_seconds_count{stage="total"}' in text
 
     def test_unknown_path_is_404(self, client):
         with pytest.raises(ServerError) as err:

@@ -191,3 +191,107 @@ def _problem(expression) -> MinOnesProblem:
     problem = MinOnesProblem()
     problem.add_constraint(expression)
     return problem
+
+
+class TestTimeBudget:
+    """The wall-clock budget must bound *single* SAT calls, not just the gaps.
+
+    The deadline is threaded into :class:`repro.solver.sat.SATSolver`; a call
+    that outlives it aborts with :class:`BudgetExceededError`, and the
+    min-ones layer turns a mid-descent abort into "best model so far,
+    ``optimal=False``" instead of overrunning or raising.
+    """
+
+    def _expression(self):
+        return bor(
+            band(var("a"), var("b"), var("c")),
+            band(var("d"), var("e")),
+            band(var("f"), var("g"), var("h"), var("i")),
+        )
+
+    def test_sat_solver_aborts_on_expired_deadline(self):
+        from repro.solver.sat import SATSolver
+        from repro.errors import BudgetExceededError
+
+        solver = SATSolver(deadline=-1.0)  # perf_counter() is always positive
+        solver.add_clauses([(1, 2), (-1, 2), (1, -2)])
+        with pytest.raises(BudgetExceededError):
+            solver.solve()
+
+    def test_deadline_is_threaded_into_the_sat_engine(self, monkeypatch):
+        import repro.solver.minones as minones_module
+
+        seen: list = []
+
+        class Spy(minones_module.SATSolver):
+            def solve(self):
+                seen.append(self.deadline)
+                return super().solve()
+
+        monkeypatch.setattr(minones_module, "SATSolver", Spy)
+        MinOnesSolver(_problem(self._expression())).minimize(time_budget=30.0)
+        assert seen and all(deadline is not None for deadline in seen)
+
+    def test_descend_returns_best_so_far_on_mid_solve_timeout(self, monkeypatch):
+        import repro.solver.minones as minones_module
+        from repro.errors import BudgetExceededError
+
+        calls = {"n": 0}
+
+        class FlakyAfterFirst(minones_module.SATSolver):
+            def solve(self):
+                calls["n"] += 1
+                if calls["n"] > 1:
+                    raise BudgetExceededError("SAT solve exceeded its time budget")
+                return super().solve()
+
+        monkeypatch.setattr(minones_module, "SATSolver", FlakyAfterFirst)
+        outcome = MinOnesSolver(_problem(self._expression())).minimize(time_budget=30.0)
+        assert not outcome.optimal
+        assert outcome.true_variables  # the first model survives as best-so-far
+        assert self._expression().evaluate({name: True for name in outcome.true_variables})
+
+    def test_binary_strategy_survives_mid_probe_timeout(self, monkeypatch):
+        import repro.solver.minones as minones_module
+        from repro.errors import BudgetExceededError
+
+        calls = {"n": 0}
+
+        class FlakyAfterFirst(minones_module.SATSolver):
+            def solve(self):
+                calls["n"] += 1
+                if calls["n"] > 1:
+                    raise BudgetExceededError("SAT solve exceeded its time budget")
+                return super().solve()
+
+        monkeypatch.setattr(minones_module, "SATSolver", FlakyAfterFirst)
+        outcome = MinOnesSolver(_problem(self._expression())).minimize(
+            strategy="binary", time_budget=30.0
+        )
+        assert not outcome.optimal
+        assert outcome.true_variables
+
+    def test_enumeration_returns_partial_models_on_timeout(self, monkeypatch):
+        import repro.solver.minones as minones_module
+        from repro.errors import BudgetExceededError
+
+        calls = {"n": 0}
+
+        class FlakyAfterSecond(minones_module.SATSolver):
+            def solve(self):
+                calls["n"] += 1
+                if calls["n"] > 2:
+                    raise BudgetExceededError("SAT solve exceeded its time budget")
+                return super().solve()
+
+        monkeypatch.setattr(minones_module, "SATSolver", FlakyAfterSecond)
+        outcome = MinOnesSolver(_problem(self._expression())).enumerate_models(
+            10, time_budget=30.0
+        )
+        assert len(outcome.models) == 2
+        assert not outcome.exhausted
+
+    def test_generous_budget_still_proves_optimality(self):
+        outcome = MinOnesSolver(_problem(self._expression())).minimize(time_budget=60.0)
+        assert outcome.optimal
+        assert outcome.cost == 2
