@@ -26,7 +26,14 @@ Five subcommands cover the common workflows:
 
 ``serve``
     Run the grading daemon: an HTTP frontend over a pool of worker processes
-    and a persistent SQLite result store (see :mod:`repro.server`).
+    and a persistent SQLite result store (see :mod:`repro.server`).  With
+    ``--cluster-self NAME`` and repeated ``--peer NAME=URL`` flags the daemon
+    joins a shared-nothing cluster: requests for ``(dataset, seed)`` keys it
+    does not own are proxied to the owning peer (see :mod:`repro.cluster`).
+
+``cluster``
+    Boot and supervise N ``serve`` daemons on this host as one cluster —
+    the one-command way to run a multi-shard grading service locally.
 
 ``experiments``
     Re-run the paper's tables and figures at a chosen scale profile and write
@@ -41,6 +48,7 @@ Examples::
     python -m repro.cli serve --port 8080 --workers 4 --store grades.sqlite3
     python -m repro.cli batch --server http://127.0.0.1:8080 \
         --input submissions.jsonl
+    python -m repro.cli cluster --shards 4 --base-port 9000 --workers 2
     python -m repro.cli experiments --profile quick --output results.md
 """
 
@@ -204,6 +212,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.server import GradingServer, ServerConfig
 
+    if bool(args.cluster_self) != bool(args.peer):
+        raise ReproError("--cluster-self and --peer must be used together")
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -215,16 +225,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         warm_datasets=tuple(args.warm),
         max_queue=args.max_queue,
         verbose=args.verbose,
+        cluster_self=args.cluster_self,
+        cluster_peers=tuple(args.peer),
+        cluster_virtual_nodes=args.virtual_nodes,
+        cluster_heartbeat_interval=args.heartbeat_interval,
+        cluster_forward=not args.no_forward,
     )
     server = GradingServer(config)
+    cluster_note = (
+        f", cluster={args.cluster_self}/{len(args.peer)} peers" if args.cluster_self else ""
+    )
     print(
         f"repro-serve {__version__} listening on http://{server.host}:{server.port} "
-        f"(workers={config.workers}, backend={config.backend}, store={args.store})",
+        f"(workers={config.workers}, backend={config.backend}, store={args.store}"
+        f"{cluster_note})",
         file=sys.stderr,
         flush=True,
     )
     server.serve_forever(install_signal_handlers=True)
     print("repro-serve drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.cluster.supervisor import ClusterSupervisor
+
+    ports = None
+    if args.base_port:
+        ports = [args.base_port + index for index in range(args.shards)]
+    supervisor = ClusterSupervisor(
+        args.shards,
+        host=args.host,
+        ports=ports,
+        workers=args.workers,
+        backend=args.backend,
+        store_dir=args.store_dir,
+        warm_datasets=tuple(args.warm),
+        max_queue=args.max_queue,
+        restart=not args.no_restart,
+        verbose=args.verbose,
+    )
+    print(
+        f"repro-cluster {__version__}: booting {args.shards} shard(s) "
+        f"({', '.join(supervisor.peer_specs)})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        supervisor.start(wait_healthy=True, timeout=args.boot_timeout)
+    except ReproError:
+        supervisor.stop()
+        raise
+    print("repro-cluster: all shards healthy", file=sys.stderr, flush=True)
+    # SIGTERM must tear the shards down too — the supervisor's children are
+    # independent process trees and would outlive a killed supervisor.
+    # (Background jobs in shell scripts ignore SIGINT, so TERM is the signal
+    # deployment scripts actually send.)
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    try:
+        while not stop.wait(timeout=1.0):
+            pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        supervisor.stop()
+        print("repro-cluster stopped", file=sys.stderr)
     return 0
 
 
@@ -327,7 +397,78 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request to stderr"
     )
+    serve.add_argument(
+        "--cluster-self",
+        default=None,
+        metavar="NAME",
+        help="this daemon's logical peer name (e.g. shard-0); enables clustering",
+    )
+    serve.add_argument(
+        "--peer",
+        action="append",
+        default=[],
+        metavar="NAME=URL",
+        help="a cluster peer (repeatable; must include --cluster-self and be "
+        "identical on every peer)",
+    )
+    serve.add_argument(
+        "--virtual-nodes", type=int, default=64, help="ring points per peer"
+    )
+    serve.add_argument(
+        "--heartbeat-interval", type=float, default=0.5, help="peer probe period (s)"
+    )
+    serve.add_argument(
+        "--no-forward",
+        action="store_true",
+        help="grade non-owned keys locally instead of proxying to their owner "
+        "(the cross-shard store tier stays active)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = subparsers.add_parser(
+        "cluster", help="boot and supervise N grading daemons on this host"
+    )
+    cluster.add_argument("--shards", type=int, default=3, help="number of daemons")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument(
+        "--base-port",
+        type=int,
+        default=9000,
+        metavar="PORT",
+        help="shard i listens on PORT+i (0 picks free ephemeral ports)",
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=2, help="grading worker processes per shard"
+    )
+    cluster.add_argument(
+        "--backend", default="python", choices=list(BACKEND_NAMES),
+        help="execution backend for set-semantics evaluation",
+    )
+    cluster.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for per-shard SQLite stores (omit for in-memory stores)",
+    )
+    cluster.add_argument(
+        "--warm", action="append", default=[], metavar="SPEC",
+        help="extra dataset spec each worker warms at startup (repeatable)",
+    )
+    cluster.add_argument(
+        "--max-queue", type=int, default=64,
+        help="per-shard in-flight requests before answering 429",
+    )
+    cluster.add_argument(
+        "--boot-timeout", type=float, default=60.0,
+        help="seconds to wait for every shard to become healthy",
+    )
+    cluster.add_argument(
+        "--no-restart", action="store_true", help="do not respawn shards that die"
+    )
+    cluster.add_argument(
+        "--verbose", action="store_true", help="pass --verbose to every shard"
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     experiments = subparsers.add_parser("experiments", help="re-run the paper's tables and figures")
     experiments.add_argument("--profile", default="quick", choices=["quick", "paper"])

@@ -1,0 +1,55 @@
+"""Shared-nothing horizontal scale-out of the grading daemon.
+
+The cluster subsystem turns N independent ``repro serve`` daemons into one
+logical grading service:
+
+* :mod:`repro.cluster.ring` — deterministic consistent-hash placement of
+  ``(dataset, seed)`` keys onto logical peer names.
+* :mod:`repro.cluster.eventloop` — the ``selectors``-based single-reactor
+  HTTP server that replaced the thread-per-connection accept loop.
+* :mod:`repro.cluster.membership` — static peer map + heartbeat liveness
+  (alive / suspect / down) and the live ring that routes around dead peers.
+* :mod:`repro.cluster.forward` — owner forwarding, cross-shard single-flight
+  by composition, and the remote store tier.
+* :mod:`repro.cluster.client` — the owner-routing, failover-capable client.
+* :mod:`repro.cluster.supervisor` — boots and supervises N shards on one
+  host; also the SIGKILL harness for failure drills.
+
+See the "Cluster" section of the README for topology, failure modes and the
+metrics reference.
+"""
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.eventloop import EventLoopHTTPServer, HTTPRequest, HTTPResponse
+from repro.cluster.forward import FORWARDED_HEADER, ForwardError, Forwarder
+from repro.cluster.membership import (
+    ALIVE,
+    DOWN,
+    STATE_CODES,
+    SUSPECT,
+    ClusterMembership,
+    parse_peer_specs,
+)
+from repro.cluster.ring import HashRing, placement_key
+from repro.cluster.supervisor import ClusterSupervisor, ShardSpec, free_port
+
+__all__ = [
+    "ALIVE",
+    "DOWN",
+    "FORWARDED_HEADER",
+    "STATE_CODES",
+    "SUSPECT",
+    "ClusterClient",
+    "ClusterMembership",
+    "ClusterSupervisor",
+    "EventLoopHTTPServer",
+    "ForwardError",
+    "Forwarder",
+    "HTTPRequest",
+    "HTTPResponse",
+    "HashRing",
+    "ShardSpec",
+    "parse_peer_specs",
+    "placement_key",
+    "free_port",
+]

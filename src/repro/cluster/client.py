@@ -1,0 +1,134 @@
+"""A topology-aware grading client: route to the owner, fail over on death.
+
+:class:`ClusterClient` is the "smart client" of the cluster: it fetches the
+peer map and ring parameters from any live daemon (``/v1/cluster/health``),
+rebuilds the same consistent-hash ring locally (placement is SHA-256-derived
+and therefore identical in every process), and sends each request straight
+to the peer owning its ``(dataset, seed)`` key — zero forwarding hops on the
+hot path, which is what makes cluster throughput scale with shard count.
+
+Any peer still answers correctly for any key (daemons forward or fall back
+internally), so client-side routing is an optimisation, never a correctness
+requirement: a stale ring just costs one extra hop.  On a transport error
+the client walks the key's ring preference order (then every remaining
+peer), refreshing its topology along the way, so killing a shard costs the
+requests in flight to it at most a retry, never a failure.
+
+Like :class:`~repro.server.client.GradingClient`, one instance is not
+thread-safe; closed-loop load generators give each thread its own.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.cluster.ring import HashRing, placement_key
+from repro.errors import ReproError
+from repro.server.client import GradingClient, ServerError
+
+
+class ClusterClient:
+    """Owner-routed client for a ``repro cluster`` of grading daemons."""
+
+    def __init__(
+        self,
+        seed_urls: Iterable[str],
+        *,
+        default_dataset: str = "toy-university",
+        default_seed: int = 0,
+        timeout: float = 300.0,
+        retries: int = 8,
+        backoff: float = 0.05,
+    ) -> None:
+        self.seed_urls = [url for url in seed_urls]
+        if not self.seed_urls:
+            raise ReproError("ClusterClient needs at least one seed URL")
+        self.default_dataset = default_dataset
+        self.default_seed = default_seed
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._clients: dict[str, GradingClient] = {}
+        self._topology: dict[str, str] = {}  # peer name -> URL
+        self._ring = HashRing()
+        self.refresh()
+
+    # -- topology ------------------------------------------------------------
+
+    def refresh(self) -> dict[str, str]:
+        """Re-fetch the peer map and live ring from any reachable daemon."""
+        last_error: Exception | None = None
+        for url in (*self._topology.values(), *self.seed_urls):
+            try:
+                health = self._client(url).cluster_health()
+            except ServerError as exc:
+                last_error = exc
+                continue
+            peers = health.get("peers", {})
+            live = health.get("live", list(peers))
+            self._topology = {name: info["url"] for name, info in peers.items()}
+            self._ring = HashRing(
+                live, virtual_nodes=int(health.get("virtual_nodes", 64))
+            )
+            return dict(self._topology)
+        raise ServerError(
+            f"no cluster peer reachable via {self.seed_urls}: {last_error}"
+        )
+
+    def _client(self, url: str) -> GradingClient:
+        client = self._clients.get(url)
+        if client is None:
+            client = self._clients[url] = GradingClient(
+                url, timeout=self.timeout, retries=self.retries, backoff=self.backoff
+            )
+        return client
+
+    def _route(self, dataset: str, seed: int) -> list[str]:
+        """Candidate URLs for a key: owner first, then failover order."""
+        preference = self._ring.preference(placement_key(dataset, seed))
+        urls = [self._topology[name] for name in preference if name in self._topology]
+        for url in self._topology.values():  # peers outside the live ring, last
+            if url not in urls:
+                urls.append(url)
+        return urls if urls else list(self.seed_urls)
+
+    # -- requests ------------------------------------------------------------
+
+    def grade(self, request: Mapping[str, Any] | Any) -> dict[str, Any]:
+        """Grade one submission on the shard owning its (dataset, seed) key."""
+        payload = dict(request.to_dict() if hasattr(request, "to_dict") else request)
+        dataset = payload.get("dataset") or self.default_dataset
+        seed = payload.get("seed")
+        seed = self.default_seed if seed is None else int(seed)
+        last_error: ServerError | None = None
+        refreshed = False
+        for url in self._route(dataset, seed):
+            try:
+                return self._client(url).grade(payload)
+            except ServerError as exc:
+                if exc.status is not None:
+                    raise  # a real HTTP answer (4xx/5xx) — not a dead peer
+                last_error = exc
+                if not refreshed:  # drop the dead peer from our ring once
+                    refreshed = True
+                    try:
+                        self.refresh()
+                    except ServerError:
+                        pass
+        raise last_error if last_error is not None else ServerError(
+            "no cluster peer available"
+        )
+
+    def close(self) -> None:
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+__all__ = ["ClusterClient"]

@@ -1,0 +1,424 @@
+"""A ``selectors``-based event loop and non-blocking HTTP/1.1 frontend.
+
+PR 4's daemon served HTTP with ``ThreadingHTTPServer``: one OS thread per
+connection, blocking reads and writes.  Under the closed-loop load benchmark
+that design *lost* throughput going from 16 to 64 keep-alive clients — with
+every connection owning a thread, the scheduler (not grading) becomes the
+bottleneck, and each idle keep-alive client still costs a blocked thread.
+
+:class:`EventLoopHTTPServer` replaces it with the classic single-reactor
+shape, stdlib only:
+
+* one event-loop thread owns every socket: it accepts, reads, parses and
+  writes, all non-blocking, multiplexed through :mod:`selectors`;
+* each connection is a small state machine (:class:`_Connection`): bytes
+  accumulate in ``inbuf`` until one full HTTP/1.1 request (request line,
+  headers, ``Content-Length`` body) is available, responses accumulate in
+  ``outbuf`` until the kernel accepts them;
+* complete requests are dispatched to a *bounded* handler pool (application
+  handlers block on worker-pool futures and the result store, so they cannot
+  run on the loop thread); finished responses travel back over a self-pipe
+  (``socketpair``) that wakes the loop from ``select``.
+
+Hundreds of keep-alive connections therefore cost a few file descriptors and
+buffers each — not a thread each — and the number of runnable threads stays
+``handler_threads`` no matter how many clients connect.
+
+The HTTP surface is intentionally the slice the grading protocol uses:
+``GET``/``POST``, ``Content-Length`` bodies (no chunked requests), keep-alive
+with in-order responses per connection (at most one request per connection
+is in flight at a time, so pipelined requests queue in ``inbuf`` and are
+answered strictly in order).
+"""
+
+from __future__ import annotations
+
+import json
+import selectors
+import socket
+import threading
+from collections import deque
+from http.client import responses as _REASON_PHRASES
+from time import monotonic
+from typing import Callable, Mapping
+
+#: Refuse pathological requests instead of buffering them forever.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 256 * 1024 * 1024  # grade_batch bodies can be large
+_RECV_SIZE = 64 * 1024
+
+
+class HTTPRequest:
+    """One parsed request: method, target, lower-cased headers, raw body."""
+
+    __slots__ = ("method", "target", "headers", "body")
+
+    def __init__(self, method: str, target: str, headers: Mapping[str, str], body: bytes) -> None:
+        self.method = method
+        self.target = target
+        self.headers = headers
+        self.body = body
+
+    @property
+    def path(self) -> str:
+        return self.target.split("?", 1)[0]
+
+    def header(self, name: str, default: str | None = None) -> str | None:
+        return self.headers.get(name.lower(), default)
+
+
+class HTTPResponse:
+    """What a dispatch callable returns; rendered to bytes by the loop."""
+
+    __slots__ = ("status", "body", "content_type", "headers")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes = b"",
+        *,
+        content_type: str = "application/json",
+        headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = headers
+
+
+Dispatch = Callable[[HTTPRequest], HTTPResponse]
+
+
+class _BadRequest(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class _Connection:
+    __slots__ = ("sock", "inbuf", "outbuf", "busy", "close_after_flush", "defunct")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.inbuf = b""
+        self.outbuf = b""
+        #: One request is being handled; responses stay in order because the
+        #: next request is not parsed until this one's response is queued.
+        self.busy = False
+        self.close_after_flush = False
+        self.defunct = False
+
+
+class EventLoopHTTPServer:
+    """Non-blocking HTTP frontend: one reactor thread + a bounded handler pool."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        dispatch: Dispatch,
+        *,
+        handler_threads: int = 32,
+        backlog: int = 512,
+        server_name: str = "repro-serve",
+    ) -> None:
+        # Import here keeps this module dependency-free for the loop itself.
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._dispatch = dispatch
+        self._server_name = server_name
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(address)
+        self._listener.listen(backlog)
+        self._listener.setblocking(False)
+        self.server_address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, "listener")
+        self._selector.register(self._waker_r, selectors.EVENT_READ, "waker")
+        self._executor = ThreadPoolExecutor(
+            max_workers=handler_threads, thread_name_prefix="repro-http"
+        )
+        self._completions: deque[tuple[_Connection, bytes, bool]] = deque()
+        self._connections: dict[socket.socket, _Connection] = {}
+        self._stop = threading.Event()
+        self._abort = False
+        self._done = threading.Event()
+        self._started = threading.Event()
+        self._teardown_lock = threading.Lock()
+        self._torn_down = False
+        self.drain_timeout = 10.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the reactor until :meth:`shutdown` (graceful) or :meth:`close_now`."""
+        if self._torn_down:
+            self._done.set()
+            return
+        self._started.set()
+        accepting = True
+        drain_deadline: float | None = None
+        try:
+            while True:
+                if self._abort:
+                    break
+                if self._stop.is_set():
+                    if accepting:
+                        # Stop taking new connections; existing ones drain.
+                        self._selector.unregister(self._listener)
+                        accepting = False
+                        drain_deadline = monotonic() + self.drain_timeout
+                    busy = any(
+                        conn.busy or conn.outbuf for conn in self._connections.values()
+                    )
+                    if not busy or monotonic() >= drain_deadline:
+                        break
+                for key, _mask in self._selector.select(timeout=0.2):
+                    if key.data == "listener":
+                        self._accept()
+                    elif key.data == "waker":
+                        self._drain_waker()
+                    else:
+                        conn = key.data
+                        if _mask & selectors.EVENT_READ:
+                            self._on_read(conn)
+                        if _mask & selectors.EVENT_WRITE and not conn.defunct:
+                            self._on_write(conn)
+                self._drain_completions()
+        finally:
+            self._teardown()
+            self._done.set()
+
+    def shutdown(self) -> None:
+        """Graceful stop: no new connections, in-flight responses flushed."""
+        self._stop.set()
+        self._wake()
+        if self._started.is_set():
+            self._done.wait(timeout=self.drain_timeout + 5.0)
+        else:
+            self._teardown()
+
+    def close_now(self) -> None:
+        """Abrupt stop (≈ SIGKILL for drills): drop everything immediately."""
+        self._abort = True
+        self._stop.set()
+        self._wake()
+        if self._started.is_set():
+            self._done.wait(timeout=2.0)
+        else:
+            self._teardown()
+
+    def server_close(self) -> None:
+        """Idempotent final cleanup (mirrors the socketserver API)."""
+        self._teardown()
+
+    def _teardown(self) -> None:
+        with self._teardown_lock:
+            if self._torn_down:
+                return
+            self._torn_down = True
+        for conn in list(self._connections.values()):
+            conn.defunct = True
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        self._connections.clear()
+        for sock in (self._listener, self._waker_r, self._waker_w):
+            try:
+                sock.close()
+            except OSError:
+                pass
+        try:
+            self._selector.close()
+        except (OSError, RuntimeError):
+            pass
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- reactor steps -------------------------------------------------------
+
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            # Small request/response pairs are latency-bound: without
+            # TCP_NODELAY, Nagle + delayed ACK costs ~40ms per round trip.
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            conn = _Connection(sock)
+            self._connections[sock] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _on_read(self, conn: _Connection) -> None:
+        if conn.defunct:
+            return
+        try:
+            data = conn.sock.recv(_RECV_SIZE)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop(conn)
+            return
+        if not data:  # peer closed; any in-flight response is undeliverable
+            self._drop(conn)
+            return
+        conn.inbuf += data
+        self._maybe_dispatch(conn)
+
+    def _maybe_dispatch(self, conn: _Connection) -> None:
+        if conn.busy or conn.close_after_flush or conn.defunct:
+            return
+        if self._stop.is_set():
+            return  # draining: finish in-flight work, take nothing new
+        header_end = conn.inbuf.find(b"\r\n\r\n")
+        if header_end < 0:
+            if len(conn.inbuf) > MAX_HEADER_BYTES:
+                self._queue_error(conn, 431, "request headers too large")
+            return
+        try:
+            request, consumed = self._parse(conn.inbuf, header_end)
+        except _BadRequest as exc:
+            self._queue_error(conn, exc.status, str(exc))
+            return
+        if request is None:
+            return  # body not complete yet
+        conn.inbuf = conn.inbuf[consumed:]
+        keep_alive = request.header("connection", "").lower() != "close"
+        conn.busy = True
+        self._executor.submit(self._run_handler, conn, request, keep_alive)
+
+    @staticmethod
+    def _parse(inbuf: bytes, header_end: int) -> tuple[HTTPRequest | None, int]:
+        head = inbuf[:header_end].decode("latin-1")
+        lines = head.split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(400, f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise _BadRequest(400, f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        raw_length = headers.get("content-length", "0") or "0"
+        try:
+            content_length = int(raw_length)
+        except ValueError:
+            raise _BadRequest(400, f"invalid Content-Length: {raw_length!r}") from None
+        if content_length < 0 or content_length > MAX_BODY_BYTES:
+            raise _BadRequest(413, f"request body of {content_length} bytes refused")
+        total = header_end + 4 + content_length
+        if len(inbuf) < total:
+            return None, 0
+        body = inbuf[header_end + 4 : total]
+        return HTTPRequest(method, target, headers, body), total
+
+    def _run_handler(self, conn: _Connection, request: HTTPRequest, keep_alive: bool) -> None:
+        """Executor side: run the application dispatch, ship the response back."""
+        try:
+            response = self._dispatch(request)
+        except Exception as exc:  # noqa: BLE001 — the frontend must answer
+            body = json.dumps(
+                {"error": f"internal error: {exc}", "error_kind": "internal_error"}
+            ).encode("utf-8")
+            response = HTTPResponse(500, body)
+        raw = self._render(response, keep_alive)
+        self._completions.append((conn, raw, not keep_alive))
+        self._wake()
+
+    def _render(self, response: HTTPResponse, keep_alive: bool) -> bytes:
+        reason = _REASON_PHRASES.get(response.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Server: {self._server_name}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in response.headers)
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + response.body
+
+    def _wake(self) -> None:
+        try:
+            self._waker_w.send(b"x")
+        except OSError:
+            pass  # torn down; the completion will be discarded
+
+    def _drain_waker(self) -> None:
+        try:
+            while self._waker_r.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    def _drain_completions(self) -> None:
+        while self._completions:
+            conn, raw, close = self._completions.popleft()
+            if conn.defunct:
+                continue
+            conn.outbuf += raw
+            conn.busy = False
+            conn.close_after_flush = conn.close_after_flush or close
+            self._on_write(conn)  # opportunistic: usually flushes in one call
+
+    def _on_write(self, conn: _Connection) -> None:
+        while conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._drop(conn)
+                return
+            conn.outbuf = conn.outbuf[sent:]
+        if conn.outbuf:
+            self._set_interest(conn, selectors.EVENT_READ | selectors.EVENT_WRITE)
+            return
+        if conn.close_after_flush:
+            self._drop(conn)
+            return
+        self._set_interest(conn, selectors.EVENT_READ)
+        self._maybe_dispatch(conn)  # pipelined request already buffered?
+
+    def _queue_error(self, conn: _Connection, status: int, message: str) -> None:
+        body = json.dumps({"error": message, "error_kind": "invalid_request"}).encode("utf-8")
+        conn.outbuf += self._render(HTTPResponse(status, body), keep_alive=False)
+        conn.close_after_flush = True
+        self._on_write(conn)
+
+    def _set_interest(self, conn: _Connection, events: int) -> None:
+        try:
+            self._selector.modify(conn.sock, events, conn)
+        except (KeyError, ValueError, OSError):
+            pass
+
+    def _drop(self, conn: _Connection) -> None:
+        conn.defunct = True
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        self._connections.pop(conn.sock, None)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+
+__all__ = [
+    "EventLoopHTTPServer",
+    "HTTPRequest",
+    "HTTPResponse",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+]

@@ -1,0 +1,172 @@
+"""Request forwarding and the cross-shard store tier.
+
+A daemon that receives a grading request it does not own proxies it to the
+owner over the existing :class:`~repro.server.client.GradingClient` wire
+protocol — the owner's warm engine sessions, persistent store slice and
+in-flight coalescing map then do their job exactly as for a direct request.
+Forwarded requests carry the ``X-Repro-Forwarded`` header so the owner never
+re-forwards (no routing loops, even while two peers briefly disagree about
+ring membership).
+
+Cluster-wide single-flight falls out of composition rather than a new
+mechanism: identical concurrent requests at one non-owner coalesce in that
+daemon's in-flight map *before* forwarding (one wire call), and identical
+requests arriving via different peers all land on the owner, whose in-flight
+map coalesces them onto one grade.  Net effect: an identical submission in
+flight anywhere in the cluster grades exactly once.
+
+Failure handling is correctness-first: a forward that cannot reach the owner
+reports the failure to membership (accelerating suspect/down detection) and
+returns ``None``, telling the caller to grade *locally* — locality is lost,
+the grade is not.  Before grading locally and cold, the **store tier** probes
+the key's static preference peers for an already-persisted grade
+(``POST /v1/store/lookup``): one loopback round trip against re-running a
+counterexample search is an easy trade, and it heals both outage directions
+(a fallback grader finds the owner's old rows; a recovered owner finds rows
+graded by its successors while it was down).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Mapping
+
+from repro.cluster.membership import ClusterMembership
+from repro.errors import ReproError
+from repro.server.client import GradingClient, ServerError
+from repro.server.store import StoreKey
+
+FORWARDED_HEADER = "X-Repro-Forwarded"
+
+
+class ForwardError(ReproError):
+    """The owner could not be reached (or failed mid-request); grade locally."""
+
+    def __init__(self, message: str, *, peer: str) -> None:
+        super().__init__(message)
+        self.peer = peer
+
+
+class Forwarder:
+    """Proxies grades and store lookups to peers over pooled keep-alive clients."""
+
+    def __init__(
+        self,
+        membership: ClusterMembership,
+        *,
+        timeout: float = 300.0,
+        retries: int = 2,
+        store_probe_timeout: float = 2.0,
+        store_probes: int = 2,
+    ) -> None:
+        self.membership = membership
+        self.timeout = timeout
+        self.retries = retries
+        self.store_probe_timeout = store_probe_timeout
+        self.store_probes = store_probes
+        # GradingClient instances are not thread-safe; keep a checkout pool
+        # so concurrent handler threads never share a socket.  Pool entries
+        # are keyed by (url, timeout, retries) — grade forwards and store
+        # probes use very different timeouts and must never swap clients.
+        self._pool: dict[tuple[str, float, int], list[GradingClient]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- client pool ---------------------------------------------------------
+
+    def _checkout(self, url: str, *, timeout: float, retries: int) -> GradingClient:
+        pool_key = (url, timeout, retries)
+        with self._lock:
+            clients = self._pool.get(pool_key)
+            if clients:
+                return clients.pop()
+        return GradingClient(url, timeout=timeout, retries=retries)
+
+    def _checkin(self, url: str, client: GradingClient) -> None:
+        pool_key = (url, client.timeout, client.retries)
+        with self._lock:
+            if not self._closed:
+                self._pool.setdefault(pool_key, []).append(client)
+                return
+        client.close()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            clients = [c for pool in self._pool.values() for c in pool]
+            self._pool.clear()
+        for client in clients:
+            client.close()
+
+    # -- forwarding ----------------------------------------------------------
+
+    def forward_grade(
+        self, peer: str, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any]]:
+        """Grade ``payload`` on ``peer``; returns ``(status, envelope)``.
+
+        A 429 from the owner (its queue is full) is a *protocol* answer and is
+        propagated — the end client owns the retry/backoff decision.  Anything
+        transport-shaped (unreachable, reset, 5xx) raises :class:`ForwardError`
+        after feeding the failure into membership, so the caller falls back to
+        grading locally.
+        """
+        url = self.membership.url(peer)
+        client = self._checkout(url, timeout=self.timeout, retries=self.retries)
+        try:
+            envelope = client.grade(payload, headers={FORWARDED_HEADER: "1"})
+        except ServerError as exc:
+            self._checkin(url, client)
+            if exc.status == 429:
+                body = exc.payload if isinstance(exc.payload, dict) else {
+                    "error": str(exc),
+                    "error_kind": "overloaded",
+                }
+                return 429, body
+            self.membership.report_failure(peer)
+            raise ForwardError(
+                f"forward to {peer} ({url}) failed: {exc}", peer=peer
+            ) from exc
+        except BaseException:
+            # Unknown failure mid-request: the connection state is suspect,
+            # drop the client rather than pooling it.
+            client.close()
+            self.membership.report_failure(peer)
+            raise ForwardError(f"forward to {peer} ({url}) failed", peer=peer)
+        self._checkin(url, client)
+        self.membership.report_alive(peer)
+        return 200, envelope
+
+    # -- the store tier ------------------------------------------------------
+
+    def remote_store_lookup(self, key: StoreKey) -> dict[str, Any] | None:
+        """Ask the key's static preference peers for an already-stored grade."""
+        candidates = self.membership.store_probe_candidates(
+            key.dataset, key.seed, self.store_probes
+        )
+        payload = key.to_dict()
+        for peer in candidates:
+            url = self.membership.url(peer)
+            client = self._checkout(
+                url, timeout=self.store_probe_timeout, retries=0
+            )
+            try:
+                reply = client.store_lookup(payload)
+            except ServerError:
+                self._checkin(url, client)
+                self.membership.report_failure(peer)
+                continue
+            except BaseException:
+                client.close()
+                self.membership.report_failure(peer)
+                continue
+            self._checkin(url, client)
+            self.membership.report_alive(peer)
+            if isinstance(reply, Mapping) and reply.get("found"):
+                envelope = reply.get("envelope")
+                if isinstance(envelope, dict):
+                    return envelope
+        return None
+
+
+__all__ = ["FORWARDED_HEADER", "ForwardError", "Forwarder"]

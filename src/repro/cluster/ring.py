@@ -1,0 +1,125 @@
+"""Consistent-hash placement of ``(dataset, seed)`` grading keys.
+
+The cluster's only coordination mechanism is *where a key lives*: every
+grading request hashes its ``(dataset spec, seed)`` pair onto a ring shared
+by all peers, and the peer owning the next point clockwise is responsible
+for grading it (and for the hot rows of its result-store slice).  Because
+grading is deterministic (PR 4's result store makes every grade replayable
+bit-identically), any peer *can* grade any key — ownership is purely a
+cache-locality and dedup optimisation — so the ring needs no consensus, no
+leases and no handoff protocol.
+
+Two properties matter and are tested:
+
+* **Stability** — adding or removing one peer from an N-peer ring moves only
+  ≈ K/N of K keys (the removed peer's slice); every other key keeps its
+  owner, so a membership change never invalidates the whole cluster's warm
+  state.  ``virtual_nodes`` points per peer keep the slices balanced.
+* **Determinism** — placement is derived from SHA-256 over the peer name and
+  key text, never from Python's per-process ``hash()``, so every peer (and
+  every client) computes the identical ring regardless of process, platform
+  or ``PYTHONHASHSEED``.
+
+Peers are identified by *logical names* (``shard-0``, ``shard-1``, …), not
+addresses: placement survives a peer restarting on a new port, and a bench
+or test can predict ownership before any process is booted.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator
+
+
+def _point(text: str) -> int:
+    """A deterministic 64-bit ring position for ``text``."""
+    return int.from_bytes(hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+def placement_key(dataset: str, seed: int) -> str:
+    """The routing key of one grading shard: the dataset spec and seed."""
+    return f"{dataset}#{seed}"
+
+
+class HashRing:
+    """A consistent-hash ring over logical peer names with virtual nodes."""
+
+    def __init__(self, peers: Iterable[str] = (), *, virtual_nodes: int = 64) -> None:
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.virtual_nodes = virtual_nodes
+        self._peers: set[str] = set()
+        #: Sorted ``(point, peer)`` pairs; the pair ordering (not insertion
+        #: order) breaks the astronomically-unlikely point collision, keeping
+        #: placement independent of the order peers were added in.
+        self._ring: list[tuple[int, str]] = []
+        for peer in peers:
+            self.add(peer)
+
+    # -- membership ----------------------------------------------------------
+
+    def add(self, peer: str) -> None:
+        if not peer:
+            raise ValueError("peer name must be non-empty")
+        if peer in self._peers:
+            return
+        self._peers.add(peer)
+        for vnode in range(self.virtual_nodes):
+            entry = (_point(f"{peer}\x00{vnode}"), peer)
+            bisect.insort(self._ring, entry)
+
+    def remove(self, peer: str) -> None:
+        if peer not in self._peers:
+            return
+        self._peers.discard(peer)
+        self._ring = [entry for entry in self._ring if entry[1] != peer]
+
+    @property
+    def peers(self) -> frozenset[str]:
+        return frozenset(self._peers)
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+    def __contains__(self, peer: str) -> bool:
+        return peer in self._peers
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._peers))
+
+    # -- placement -----------------------------------------------------------
+
+    def owner(self, key: str) -> str | None:
+        """The peer owning ``key``: the first ring point at or after its hash."""
+        if not self._ring:
+            return None
+        index = bisect.bisect_left(self._ring, (_point(key), ""))
+        return self._ring[index % len(self._ring)][1]
+
+    def owner_for(self, dataset: str, seed: int) -> str | None:
+        return self.owner(placement_key(dataset, seed))
+
+    def preference(self, key: str, count: int | None = None) -> list[str]:
+        """Distinct peers in ring order from ``key``'s position.
+
+        The first entry is the owner; the rest are its natural successors —
+        the peers that take over (and that fallback grades land on) when
+        peers ahead of them in the list are down.  This is the probe order of
+        the cluster store tier.
+        """
+        if not self._ring:
+            return []
+        limit = len(self._peers) if count is None else min(count, len(self._peers))
+        start = bisect.bisect_left(self._ring, (_point(key), ""))
+        found: list[str] = []
+        for offset in range(len(self._ring)):
+            peer = self._ring[(start + offset) % len(self._ring)][1]
+            if peer not in found:
+                found.append(peer)
+                if len(found) >= limit:
+                    break
+        return found
+
+
+__all__ = ["HashRing", "placement_key"]

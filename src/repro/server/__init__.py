@@ -25,7 +25,7 @@ Wire payloads reuse :mod:`repro.api.serialization` — the versioned JSON
 result schema — unchanged; the server adds only a routing envelope.
 """
 
-from repro.server.app import GradingServer, ServerConfig
+from repro.server.app import GradingServer, ServerConfig, compute_retry_after
 from repro.server.client import GradingClient, ServerError
 from repro.server.store import ResultStore, StoreKey
 from repro.server.workers import WorkerConfig, WorkerPool
@@ -39,4 +39,5 @@ __all__ = [
     "StoreKey",
     "WorkerConfig",
     "WorkerPool",
+    "compute_retry_after",
 ]

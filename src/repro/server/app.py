@@ -6,6 +6,11 @@ Request lifecycle for ``POST /v1/grade``::
       → persistent-store lookup ..................... hit → serve from disk
       → in-flight coalescing ........ identical request already grading →
                                       share its result ("store": "coalesced")
+      → cluster routing (when clustered) ... another peer owns this
+                                      (dataset, seed) → proxy to it
+                                      ("store": "forwarded"); owner down →
+                                      grade locally after probing peers'
+                                      stores ("store": "remote_hit")
       → bounded queue check (429 Retry-After on overload, 503 while draining)
       → route to the worker owning this dataset (cache locality)
       → store the deterministic envelope, respond ("store": "miss")
@@ -14,25 +19,36 @@ Request lifecycle for ``POST /v1/grade``::
 with intra-batch deduplication falling out of the coalescing map, and opts
 into *waiting* for queue slots instead of failing item-by-item.
 
+The HTTP frontend is the :class:`~repro.cluster.eventloop.EventLoopHTTPServer`
+reactor — one event-loop thread multiplexing every connection, handlers on a
+bounded pool — which replaced the earlier thread-per-connection
+``ThreadingHTTPServer`` (whose throughput *fell* from 16 to 64 keep-alive
+clients; see ``benchmarks/bench_cluster_load.py``).
+
 Shutdown (SIGTERM/SIGINT under ``repro serve``, or :meth:`GradingServer.shutdown`)
 drains gracefully: new grading work is refused with 503, in-flight grades
 finish and are stored, then workers, the HTTP listener and the store close.
+:meth:`GradingServer.kill` is the opposite on purpose — an abrupt stop used
+by failure drills to stand in for SIGKILL.
 
 Everything observable is exported on ``/metrics`` in Prometheus text format:
 request counts by endpoint/status, store and coalescing hit counts,
 per-stage latency histograms (store lookup, queue wait, grading, store
-write, total), queue depth, and each worker's engine-cache counters.
+write, total), queue depth, watchdog health, and — when clustered —
+forward/fallback/coalesce counters, live-ring size and per-peer states.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import math
 import signal
+import sys
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from time import monotonic, perf_counter
 from typing import Any, Mapping
@@ -41,6 +57,13 @@ import repro
 from repro.api.registry import default_registry
 from repro.api.serialization import SCHEMA_VERSION
 from repro.api.service import SubmissionRequest, display_text
+from repro.cluster.eventloop import EventLoopHTTPServer, HTTPRequest, HTTPResponse
+from repro.cluster.forward import FORWARDED_HEADER, ForwardError, Forwarder
+from repro.cluster.membership import (
+    STATE_CODES,
+    ClusterMembership,
+    parse_peer_specs,
+)
 from repro.errors import ReproError
 from repro.server.metrics import MetricsRegistry, label_key
 from repro.server.store import ResultStore, StoreKey
@@ -51,12 +74,27 @@ from repro.server.workers import (
     error_envelope,
 )
 
+log = logging.getLogger(__name__)
+
 #: ``error_kind`` values that are deterministic properties of the submission
 #: and therefore safe to persist.  Operational failures (overload, solver
 #: budget, worker crash) must be retried, never remembered.
 _CACHEABLE_ERROR_KINDS = frozenset(
     {None, "parse_error", "schema_error", "evaluation_error", "no_counterexample"}
 )
+
+
+def compute_retry_after(depth: int, workers: int, grade_seconds: float) -> int:
+    """Retry-After (seconds) for a 429: when should a queue slot exist?
+
+    A Little's-law drain estimate — ``depth`` requests ahead, ``workers``
+    servers, ``grade_seconds`` observed per grade — clamped to [1, 60] so a
+    cold estimate never tells clients "now" and a pathological one never
+    parks them for minutes.
+    """
+    per_grade = grade_seconds if grade_seconds > 0 else 0.5
+    eta = (depth / max(1, workers)) * per_grade
+    return max(1, min(60, math.ceil(eta)))
 
 
 @dataclass(frozen=True)
@@ -86,8 +124,30 @@ class ServerConfig:
     #: Hard bound on items per batch request.
     max_batch_size: int = 10_000
     mp_context: str = "spawn"
+    #: Bound on concurrently *running* request handlers (connections are
+    #: cheap under the event loop; handler threads are the real resource).
+    http_threads: int = 32
     #: Log one line per request to stderr (quiet by default: tests/benchmarks).
     verbose: bool = False
+
+    # -- cluster membership (all inert unless ``cluster_self`` is set) -------
+
+    #: This daemon's logical peer name (e.g. ``shard-0``); enables clustering.
+    cluster_self: str | None = None
+    #: The full static peer map, as ``name=http://host:port`` specs.  Must
+    #: include ``cluster_self`` and be identical on every peer.
+    cluster_peers: tuple[str, ...] = ()
+    cluster_virtual_nodes: int = 64
+    cluster_heartbeat_interval: float = 0.5
+    cluster_suspect_after: int = 1
+    cluster_down_after: int = 3
+    cluster_probe_timeout: float = 1.0
+    #: Proxy non-owned keys to their owner (off → every peer grades locally
+    #: but the cross-shard store tier still deduplicates work).
+    cluster_forward: bool = True
+    cluster_forward_retries: int = 2
+    cluster_store_probes: int = 2
+    cluster_store_probe_timeout: float = 2.0
 
 
 class GradingServer:
@@ -109,16 +169,42 @@ class GradingServer:
             max_queue=self.config.max_queue,
             mp_context=self.config.mp_context,
         )
+        self.membership: ClusterMembership | None = None
+        self.forwarder: Forwarder | None = None
+        if self.config.cluster_self is not None:
+            self.membership = ClusterMembership(
+                self.config.cluster_self,
+                parse_peer_specs(self.config.cluster_peers),
+                virtual_nodes=self.config.cluster_virtual_nodes,
+                heartbeat_interval=self.config.cluster_heartbeat_interval,
+                suspect_after=self.config.cluster_suspect_after,
+                down_after=self.config.cluster_down_after,
+                probe_timeout=self.config.cluster_probe_timeout,
+            ).start()
+            self.forwarder = Forwarder(
+                self.membership,
+                timeout=self.config.request_timeout,
+                retries=self.config.cluster_forward_retries,
+                store_probe_timeout=self.config.cluster_store_probe_timeout,
+                store_probes=self.config.cluster_store_probes,
+            )
         self._started = monotonic()
         self._draining = threading.Event()
         self._shutdown_done = threading.Event()
         self._inflight: dict[StoreKey, Future] = {}
         self._inflight_lock = threading.Lock()
+        #: EWMA of observed grade seconds, feeding Retry-After estimates.
+        self._grade_ewma = 0.0
         self._batch_pool = ThreadPoolExecutor(
             max_workers=self.config.batch_threads, thread_name_prefix="repro-batch"
         )
         self.metrics = self._build_metrics()
-        self._httpd = _HTTPServer((self.config.host, self.config.port), _Handler, app=self)
+        self._httpd = EventLoopHTTPServer(
+            (self.config.host, self.config.port),
+            self._dispatch,
+            handler_threads=self.config.http_threads,
+            server_name=f"repro-serve/{repro.__version__}",
+        )
         self.host, self.port = self._httpd.server_address[:2]
         self._serve_thread: threading.Thread | None = None
 
@@ -132,7 +218,9 @@ class GradingServer:
         metrics.counter(
             "repro_server_grades_total",
             'Grades served, by source ("hit": persistent store, "miss": computed, '
-            '"coalesced": shared with an identical in-flight request).',
+            '"coalesced": shared with an identical in-flight request, '
+            '"forwarded": proxied to the owning cluster peer, '
+            '"remote_hit": found in a peer\'s store before grading cold).',
         )
         metrics.histogram(
             "repro_server_stage_seconds",
@@ -178,11 +266,57 @@ class GradingServer:
             callback=lambda: self.pool.restarts,
         )
         metrics.gauge(
+            "repro_server_watchdog_errors",
+            "Watchdog sweeps that raised and were survived — nonzero means "
+            "worker liveness checking is degraded.",
+            callback=lambda: self.pool.watchdog_errors,
+        )
+        metrics.gauge(
             "repro_worker_cache",
             "Per-worker engine/registry cache counters (plan and result "
             "hits/misses/evictions, dataset handle churn), by worker and counter.",
             callback=self._worker_cache_series,
         )
+        if self.membership is not None:
+            membership = self.membership
+            metrics.counter(
+                "repro_cluster_forwarded_total",
+                "Grades proxied to their owning peer, by peer.",
+            )
+            metrics.counter(
+                "repro_cluster_fallback_total",
+                "Grades computed locally because the owning peer was "
+                "unreachable, by (attempted) peer.",
+            )
+            metrics.counter(
+                "repro_cluster_local_total",
+                "Grades computed locally on the worker pool while clustered "
+                "(owned keys and fallbacks).",
+            )
+            metrics.counter(
+                "repro_cluster_coalesced_total",
+                "Requests coalesced onto an identical in-flight grade while "
+                "clustered (cluster-wide single-flight composes from these).",
+            )
+            metrics.counter(
+                "repro_cluster_store_proxy_total",
+                "Cross-shard store-tier probes before grading cold, by result.",
+            )
+            metrics.gauge(
+                "repro_cluster_ring_size",
+                "Peers currently in the live routing ring.",
+                callback=lambda: len(membership.live_peers()),
+            )
+            metrics.gauge(
+                "repro_cluster_peers",
+                "Peers in the configured (static) cluster.",
+                callback=lambda: len(membership.peer_urls()),
+            )
+            metrics.gauge(
+                "repro_cluster_peer_state",
+                "Per-peer liveness state: 0 alive, 1 suspect, 2 down.",
+                callback=self._peer_state_series,
+            )
         return metrics
 
     def _worker_cache_series(self) -> Mapping[tuple, float]:
@@ -194,6 +328,13 @@ class GradingServer:
                     labels = label_key({"worker": worker, "counter": f"{scope}_{name}"})
                     series[labels] = float(value)
         return series
+
+    def _peer_state_series(self) -> Mapping[tuple, float]:
+        assert self.membership is not None
+        return {
+            label_key({"peer": name}): float(STATE_CODES[state])
+            for name, state in self.membership.states().items()
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -230,11 +371,35 @@ class GradingServer:
             return
         self._draining.set()
         self.metrics.set("repro_server_draining", 1.0)
+        if self.membership is not None:
+            self.membership.stop()
         self.pool.drain(timeout=self.config.drain_timeout)
         self._batch_pool.shutdown(wait=True, cancel_futures=False)
-        self._httpd.shutdown()  # stops serve_forever; in-flight handlers finish
+        self._httpd.shutdown()  # stops the reactor; in-flight handlers finish
         self._httpd.server_close()
+        if self.forwarder is not None:
+            self.forwarder.close()
         self.pool.close()
+        self.store.close()
+        self._shutdown_done.set()
+
+    def kill(self) -> None:
+        """Abrupt stop — the in-process stand-in for SIGKILL in drills.
+
+        No drain, no goodbyes: connections are dropped mid-flight and worker
+        processes are torn down at once, so peers experience exactly what a
+        killed daemon looks like (resets and refused connections).
+        """
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        if self.membership is not None:
+            self.membership.stop()
+        self._httpd.close_now()
+        self._batch_pool.shutdown(wait=False, cancel_futures=True)
+        if self.forwarder is not None:
+            self.forwarder.close()
+        self.pool.close(timeout=1.0)
         self.store.close()
         self._shutdown_done.set()
 
@@ -242,7 +407,7 @@ class GradingServer:
 
     def handle_healthz(self) -> tuple[int, dict[str, Any]]:
         status = "draining" if self._draining.is_set() else "ok"
-        return 200, {
+        payload: dict[str, Any] = {
             "status": status,
             "version": repro.__version__,
             "schema_version": SCHEMA_VERSION,
@@ -253,6 +418,13 @@ class GradingServer:
             "uptime_seconds": monotonic() - self._started,
             "store": self.store.info(),
         }
+        if self.membership is not None:
+            payload["cluster"] = {
+                "name": self.membership.self_name,
+                "peers": self.membership.states(),
+                "live": self.membership.live_peers(),
+            }
+        return 200, payload
 
     def handle_datasets(self) -> tuple[int, dict[str, Any]]:
         return 200, {
@@ -262,14 +434,43 @@ class GradingServer:
             "backend": self.config.backend,
         }
 
-    def handle_grade(self, payload: Any) -> tuple[int, dict[str, Any]]:
+    def handle_cluster_health(self) -> tuple[int, dict[str, Any]]:
+        if self.membership is None:
+            return 200, {
+                "cluster": False,
+                "name": None,
+                "virtual_nodes": 0,
+                "peers": {},
+                "live": [],
+            }
+        return 200, {"cluster": True, **self.membership.describe()}
+
+    def handle_store_lookup(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        """The cluster store tier's wire endpoint: one key, local store only.
+
+        Deliberately *not* recursive — a lookup never forwards or grades, so
+        two peers probing each other can never create work or loops.
+        """
+        if not isinstance(payload, Mapping):
+            return 400, {
+                "error": "store lookup body must be a JSON object",
+                "error_kind": "invalid_request",
+            }
+        try:
+            key = StoreKey.from_dict(payload)
+        except ReproError as exc:
+            return 400, {"error": str(exc), "error_kind": "invalid_request"}
+        envelope = self.store.get(key)
+        return 200, {"found": envelope is not None, "envelope": envelope}
+
+    def handle_grade(self, payload: Any, *, forwarded: bool = False) -> tuple[int, dict[str, Any]]:
         try:
             request = SubmissionRequest.from_dict(payload)
         except ReproError as exc:
             return 400, {"error": str(exc), "error_kind": "invalid_request"}
-        return self._grade_one(request, wait_for_slot=False)
+        return self._grade_one(request, wait_for_slot=False, forwarded=forwarded)
 
-    def handle_grade_batch(self, payload: Any) -> tuple[int, dict[str, Any]]:
+    def handle_grade_batch(self, payload: Any, *, forwarded: bool = False) -> tuple[int, dict[str, Any]]:
         if not isinstance(payload, Mapping) or not isinstance(payload.get("requests"), list):
             return 400, {
                 "error": "grade_batch body must be {\"requests\": [...]}",
@@ -291,7 +492,9 @@ class GradingServer:
                 requests.append(None)
                 errors[index] = error_envelope(str(exc), "invalid_request", item if isinstance(item, Mapping) else None)
         futures = {
-            index: self._batch_pool.submit(self._grade_one, request, wait_for_slot=True)
+            index: self._batch_pool.submit(
+                self._grade_one, request, wait_for_slot=True, forwarded=forwarded
+            )
             for index, request in enumerate(requests)
             if request is not None
         }
@@ -356,9 +559,9 @@ class GradingServer:
                 )
 
     def _grade_one(
-        self, request: SubmissionRequest, *, wait_for_slot: bool
+        self, request: SubmissionRequest, *, wait_for_slot: bool, forwarded: bool = False
     ) -> tuple[int, dict[str, Any]]:
-        """Grade one validated request: store → coalesce → worker pool."""
+        """Grade one validated request: store → coalesce → route → worker pool."""
         started = perf_counter()
         spec, seed = self._normalize(request)
         key = self._store_key(request, spec, seed)
@@ -381,7 +584,10 @@ class GradingServer:
 
         # Coalesce identical concurrent requests onto one grading future —
         # the common closed-loop pattern where a whole class submits the
-        # same wrong query within one scrape interval.
+        # same wrong query within one scrape interval.  In a cluster this
+        # sits *before* routing, so a non-owner makes one wire call for N
+        # identical submissions, and the owner coalesces arrivals from
+        # different peers: cluster-wide single-flight by composition.
         with self._inflight_lock:
             shared = self._inflight.get(key)
             owner = shared is None
@@ -398,6 +604,8 @@ class GradingServer:
                 }
             if status == 200:
                 self.metrics.inc("repro_server_grades_total", {"store": "coalesced"})
+                if self.membership is not None:
+                    self.metrics.inc("repro_cluster_coalesced_total")
                 envelope = {
                     **envelope,
                     "id": request.id,
@@ -408,8 +616,8 @@ class GradingServer:
             return status, envelope
 
         try:
-            status, envelope, grade_time = self._grade_via_pool(
-                request, key, spec, seed, wait_for_slot
+            status, envelope, grade_time, source = self._compute(
+                request, key, spec, seed, wait_for_slot, forwarded
             )
             shared.set_result((status, dict(envelope), grade_time))
         except BaseException as exc:
@@ -419,15 +627,97 @@ class GradingServer:
             with self._inflight_lock:
                 self._inflight.pop(key, None)
         if status == 200:
-            self.metrics.inc("repro_server_grades_total", {"store": "miss"})
+            self.metrics.inc("repro_server_grades_total", {"store": source})
             envelope = {
                 **envelope,
                 "id": request.id,
-                "store": "miss",
+                "store": source,
                 "wall_time": perf_counter() - started,
             }
         self._observe("total", perf_counter() - started)
         return status, envelope
+
+    def _compute(
+        self,
+        request: SubmissionRequest,
+        key: StoreKey,
+        spec: str,
+        seed: int,
+        wait_for_slot: bool,
+        forwarded: bool,
+    ) -> tuple[int, dict[str, Any], float, str]:
+        """Route one cold, non-coalesced grade; returns (status, envelope,
+        grade_time, store-source label)."""
+        if (
+            self.membership is not None
+            and self.forwarder is not None
+            and self.config.cluster_forward
+            and not forwarded
+        ):
+            peer = self.membership.owner(spec, seed)
+            if not self.membership.is_self(peer):
+                try:
+                    status, envelope = self.forwarder.forward_grade(
+                        peer, request.to_dict()
+                    )
+                except ForwardError:
+                    # Owner unreachable: grade locally.  Correctness is
+                    # preserved (grading is deterministic everywhere); only
+                    # cache locality is lost until the peer recovers.
+                    self.metrics.inc(
+                        "repro_cluster_fallback_total", {"peer": peer}
+                    )
+                else:
+                    if status != 200:  # the owner's backpressure (429) is ours
+                        return status, dict(envelope), 0.0, "forwarded"
+                    self.metrics.inc(
+                        "repro_cluster_forwarded_total", {"peer": peer}
+                    )
+                    envelope = self._clean_envelope(envelope)
+                    self._maybe_persist(key, envelope)
+                    return 200, envelope, 0.0, "forwarded"
+
+        if self.membership is not None and self.forwarder is not None:
+            # The store tier: before grading cold, ask the key's static
+            # preference peers whether anyone already holds this grade.
+            remote = self.forwarder.remote_store_lookup(key)
+            self.metrics.inc(
+                "repro_cluster_store_proxy_total",
+                {"result": "hit" if remote is not None else "miss"},
+            )
+            if remote is not None:
+                envelope = self._clean_envelope(remote)
+                self._maybe_persist(key, envelope)
+                return 200, envelope, 0.0, "remote_hit"
+
+        status, envelope, grade_time = self._grade_via_pool(
+            request, key, spec, seed, wait_for_slot
+        )
+        if self.membership is not None and status == 200:
+            self.metrics.inc("repro_cluster_local_total")
+        return status, envelope, grade_time, "miss"
+
+    @staticmethod
+    def _clean_envelope(envelope: Mapping[str, Any]) -> dict[str, Any]:
+        """Strip the non-deterministic routing fields another daemon added."""
+        clean = dict(envelope)
+        clean.pop("store", None)
+        clean.pop("wall_time", None)
+        return clean
+
+    def _maybe_persist(self, key: StoreKey, envelope: Mapping[str, Any]) -> None:
+        """Replicate-on-forward: keep remote grades in the local store slice.
+
+        The next identical submission here is then a plain local hit, and the
+        grade survives the remote peer's death — the cluster's only form of
+        replication, and all it needs (grades are deterministic, so any copy
+        is as authoritative as any other).
+        """
+        error_kind = (envelope.get("outcome") or {}).get("error_kind")
+        if error_kind in _CACHEABLE_ERROR_KINDS:
+            write_started = perf_counter()
+            self.store.put(key, {**envelope, "id": None})
+            self._observe("store_write", perf_counter() - write_started)
 
     def _grade_via_pool(
         self,
@@ -457,6 +747,14 @@ class GradingServer:
             }, 0.0
         grade_time = float(reply.pop("grade_time", 0.0))
         self._observe("grade", grade_time)
+        if grade_time > 0:
+            # Racy float update is fine: this is a smoothing estimate feeding
+            # Retry-After, not an exact statistic.
+            self._grade_ewma = (
+                grade_time
+                if self._grade_ewma == 0.0
+                else 0.8 * self._grade_ewma + 0.2 * grade_time
+            )
         self._observe("queue_wait", max(0.0, perf_counter() - enqueued - grade_time))
         self._observe_explain_stages(reply.pop("explain_timings", None))
         error_kind = (reply.get("outcome") or {}).get("error_kind")
@@ -468,105 +766,101 @@ class GradingServer:
             self._observe("store_write", perf_counter() - write_started)
         return 200, reply, grade_time
 
+    # -- the HTTP dispatcher (runs on the event loop's handler pool) ---------
 
-class _HTTPServer(ThreadingHTTPServer):
-    daemon_threads = True
-    allow_reuse_address = True
-    # A closed-loop load generator opens its connections all at once; the
-    # socketserver default backlog of 5 resets the rest.
-    request_queue_size = 128
+    def retry_after_hint(self) -> int:
+        return compute_retry_after(
+            self.pool.queue_depth(), self.config.workers, self._grade_ewma
+        )
 
-    def __init__(self, address: tuple[str, int], handler: type, *, app: GradingServer) -> None:
-        self.app = app
-        super().__init__(address, handler)
-
-
-class _Handler(BaseHTTPRequestHandler):
-    server_version = f"repro-serve/{repro.__version__}"
-    protocol_version = "HTTP/1.1"
-    # Nagle + delayed ACK turns every small request/response pair into a
-    # ~40ms round trip; grading answers are small and latency-bound.
-    disable_nagle_algorithm = True
-
-    @property
-    def app(self) -> GradingServer:
-        return self.server.app  # type: ignore[attr-defined]
-
-    # -- plumbing ------------------------------------------------------------
-
-    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
-        if self.app.config.verbose:
-            super().log_message(format, *args)
-
-    def _send_json(self, status: int, payload: Mapping[str, Any], *, endpoint: str) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
-        self._send_bytes(status, body, "application/json", endpoint=endpoint)
-
-    def _send_bytes(
-        self, status: int, body: bytes, content_type: str, *, endpoint: str
-    ) -> None:
-        self.app.metrics.inc(
+    def _json_response(
+        self, status: int, payload: Mapping[str, Any], *, endpoint: str
+    ) -> HTTPResponse:
+        self.metrics.inc(
             "repro_server_requests_total",
             {"endpoint": endpoint, "status": str(status)},
         )
-        try:
-            self.send_response(status)
-            if status == 429:
-                self.send_header("Retry-After", "1")
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
-        except (BrokenPipeError, ConnectionResetError):  # client went away
-            self.close_connection = True
+        headers: tuple[tuple[str, str], ...] = ()
+        if status == 429:
+            headers = (("Retry-After", str(self.retry_after_hint())),)
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        return HTTPResponse(status, body, headers=headers)
 
-    def _read_json_body(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
-        if not raw:
+    def _read_json_body(self, request: HTTPRequest) -> Any:
+        if not request.body:
             raise ReproError("request body is empty; expected a JSON object")
         try:
-            return json.loads(raw)
+            return json.loads(request.body)
         except json.JSONDecodeError as exc:
             raise ReproError(f"request body is not valid JSON: {exc}") from None
 
-    # -- routes --------------------------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 — http.server API
-        path = self.path.split("?", 1)[0]
-        if path == "/healthz":
-            status, payload = self.app.handle_healthz()
-            self._send_json(status, payload, endpoint="/healthz")
-        elif path == "/metrics":
-            self._send_bytes(
-                200,
-                self.app.metrics.render().encode("utf-8"),
-                "text/plain; version=0.0.4; charset=utf-8",
-                endpoint="/metrics",
+    def _dispatch(self, request: HTTPRequest) -> HTTPResponse:
+        response = self._route(request)
+        if self.config.verbose:
+            print(
+                f"{request.method} {request.target} -> {response.status}",
+                file=sys.stderr,
+                flush=True,
             )
-        elif path == "/v1/datasets":
-            status, payload = self.app.handle_datasets()
-            self._send_json(status, payload, endpoint="/v1/datasets")
-        else:
-            self._send_json(404, {"error": f"unknown path {path!r}"}, endpoint="other")
+        return response
 
-    def do_POST(self) -> None:  # noqa: N802 — http.server API
-        path = self.path.split("?", 1)[0]
-        if path not in ("/v1/grade", "/v1/grade_batch"):
-            self._send_json(404, {"error": f"unknown path {path!r}"}, endpoint="other")
-            return
-        try:
-            payload = self._read_json_body()
-        except ReproError as exc:
-            self._send_json(
-                400, {"error": str(exc), "error_kind": "invalid_request"}, endpoint=path
+    def _route(self, request: HTTPRequest) -> HTTPResponse:
+        path = request.path
+        if request.method == "GET":
+            if path == "/healthz":
+                status, payload = self.handle_healthz()
+                return self._json_response(status, payload, endpoint="/healthz")
+            if path == "/metrics":
+                self.metrics.inc(
+                    "repro_server_requests_total",
+                    {"endpoint": "/metrics", "status": "200"},
+                )
+                return HTTPResponse(
+                    200,
+                    self.metrics.render().encode("utf-8"),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            if path == "/v1/datasets":
+                status, payload = self.handle_datasets()
+                return self._json_response(status, payload, endpoint="/v1/datasets")
+            if path == "/v1/cluster/health":
+                status, payload = self.handle_cluster_health()
+                return self._json_response(
+                    status, payload, endpoint="/v1/cluster/health"
+                )
+            return self._json_response(
+                404, {"error": f"unknown path {path!r}"}, endpoint="other"
             )
-            return
-        try:
-            if path == "/v1/grade":
-                status, body = self.app.handle_grade(payload)
-            else:
-                status, body = self.app.handle_grade_batch(payload)
-        except Exception as exc:  # noqa: BLE001 — the daemon must answer
-            status, body = 500, {"error": f"internal error: {exc}", "error_kind": "internal_error"}
-        self._send_json(status, body, endpoint=path)
+        if request.method == "POST":
+            if path not in ("/v1/grade", "/v1/grade_batch", "/v1/store/lookup"):
+                return self._json_response(
+                    404, {"error": f"unknown path {path!r}"}, endpoint="other"
+                )
+            try:
+                payload = self._read_json_body(request)
+            except ReproError as exc:
+                return self._json_response(
+                    400,
+                    {"error": str(exc), "error_kind": "invalid_request"},
+                    endpoint=path,
+                )
+            forwarded = request.header(FORWARDED_HEADER.lower()) is not None
+            try:
+                if path == "/v1/grade":
+                    status, body = self.handle_grade(payload, forwarded=forwarded)
+                elif path == "/v1/grade_batch":
+                    status, body = self.handle_grade_batch(payload, forwarded=forwarded)
+                else:
+                    status, body = self.handle_store_lookup(payload)
+            except Exception as exc:  # noqa: BLE001 — the daemon must answer
+                log.exception("unhandled error handling %s", path)
+                status, body = 500, {
+                    "error": f"internal error: {exc}",
+                    "error_kind": "internal_error",
+                }
+            return self._json_response(status, body, endpoint=path)
+        return self._json_response(
+            405,
+            {"error": f"method {request.method} not allowed"},
+            endpoint="other",
+        )

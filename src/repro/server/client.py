@@ -15,7 +15,9 @@ instead of failing.
 from __future__ import annotations
 
 import http.client
+import itertools
 import json
+import random
 import socket
 import time
 from typing import Any, Iterable, Mapping
@@ -25,6 +27,12 @@ from repro.api.service import SubmissionRequest
 from repro.errors import ReproError
 
 RequestLike = SubmissionRequest | Mapping[str, Any]
+
+#: Never trust a server-suggested Retry-After beyond this many seconds — a
+#: busy daemon estimating its queue drain must not park clients for minutes.
+MAX_HONORED_RETRY_AFTER = 5.0
+
+_client_counter = itertools.count()
 
 
 class ServerError(ReproError):
@@ -46,6 +54,7 @@ class GradingClient:
         timeout: float = 300.0,
         retries: int = 8,
         backoff: float = 0.05,
+        jitter_seed: int | None = None,
     ) -> None:
         parts = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
         if parts.scheme not in ("http", ""):
@@ -57,6 +66,13 @@ class GradingClient:
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        # Jittered backoff needs *different* sequences per client or every
+        # retrying client re-stampedes in lockstep; mixing in a process-wide
+        # counter guarantees that even same-endpoint clients diverge, while
+        # an explicit jitter_seed keeps tests reproducible.
+        if jitter_seed is None:
+            jitter_seed = hash((self.host, self.port, next(_client_counter)))
+        self._jitter = random.Random(jitter_seed)
         self._conn: http.client.HTTPConnection | None = None
 
     # -- transport -----------------------------------------------------------
@@ -76,8 +92,16 @@ class GradingClient:
             self._conn.close()
             self._conn = None
 
-    def _once(self, method: str, path: str, body: bytes | None) -> tuple[int, Any, str]:
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None,
+        extra_headers: Mapping[str, str] | None = None,
+    ) -> tuple[int, Any, str, float | None]:
         headers = {"Content-Type": "application/json"} if body is not None else {}
+        if extra_headers:
+            headers.update(extra_headers)
         conn = self._connection()
         try:
             conn.request(method, path, body=body, headers=headers)
@@ -98,20 +122,45 @@ class GradingClient:
         text = raw.decode("utf-8", errors="replace")
         content_type = response.headers.get("Content-Type", "")
         payload = json.loads(text) if "json" in content_type and text else None
-        return response.status, payload, text
+        retry_after: float | None = None
+        header = response.headers.get("Retry-After")
+        if header is not None:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                retry_after = None
+        return response.status, payload, text, retry_after
 
-    def _request(self, method: str, path: str, payload: Mapping[str, Any] | None = None) -> Any:
+    def _retry_delay(self, attempt: int, retry_after: float | None) -> float:
+        """Backoff for one 429: max(exponential, server hint), jittered.
+
+        Full multiplicative jitter in [0.5, 1.0) keeps retrying clients from
+        re-arriving in the same instant (a retry stampede turns one overload
+        burst into many) while never more than halving the nominal delay.
+        """
+        delay = self.backoff * (2**attempt)
+        if retry_after is not None and retry_after > 0:
+            delay = max(delay, min(retry_after, MAX_HONORED_RETRY_AFTER))
+        return delay * (0.5 + 0.5 * self._jitter.random())
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> Any:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
         last: tuple[int, Any, str] | None = None
         for attempt in range(self.retries + 1):
             try:
-                status, parsed, text = self._once(method, path, body)
+                status, parsed, text, retry_after = self._once(method, path, body, headers)
             except (OSError, http.client.HTTPException) as exc:
                 raise ServerError(
                     f"cannot reach server at {self.host}:{self.port}: {exc}"
                 ) from exc
             if status == 429 and attempt < self.retries:
-                time.sleep(self.backoff * (2**attempt))
+                time.sleep(self._retry_delay(attempt, retry_after))
                 continue
             last = (status, parsed, text)
             break
@@ -137,9 +186,19 @@ class GradingClient:
     def metrics_text(self) -> str:
         return self._request("GET", "/metrics")
 
-    def grade(self, request: RequestLike) -> dict[str, Any]:
+    def cluster_health(self) -> dict[str, Any]:
+        """The daemon's cluster view: peer states, live ring, ring params."""
+        return self._request("GET", "/v1/cluster/health")
+
+    def store_lookup(self, key_payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Ask the daemon's local result store for one key (cluster store tier)."""
+        return self._request("POST", "/v1/store/lookup", dict(key_payload))
+
+    def grade(
+        self, request: RequestLike, *, headers: Mapping[str, str] | None = None
+    ) -> dict[str, Any]:
         """Grade one submission; returns the server's grade envelope."""
-        return self._request("POST", "/v1/grade", self._payload(request))
+        return self._request("POST", "/v1/grade", self._payload(request), headers=headers)
 
     def grade_batch(self, requests: Iterable[RequestLike], *, chunk_size: int = 500) -> list[dict[str, Any]]:
         """Grade many submissions, preserving order, chunked over the wire."""

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.api.serialization import SCHEMA_VERSION
+from repro.errors import ReproError
 
 _CREATE = """
 CREATE TABLE IF NOT EXISTS results (
@@ -111,6 +112,35 @@ class StoreKey:
             sub_hash=_sha256(test_query),
             options_hash=_sha256(fingerprint),
         )
+
+    # -- wire form (the cluster store tier ships keys between daemons) -------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "backend": self.backend,
+            "ref_hash": self.ref_hash,
+            "sub_hash": self.sub_hash,
+            "options_hash": self.options_hash,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "StoreKey":
+        """Parse a wire-form key, validating shape (peers may disagree on versions)."""
+        try:
+            return cls(
+                schema_version=int(payload["schema_version"]),
+                dataset=str(payload["dataset"]),
+                seed=int(payload["seed"]),
+                backend=str(payload["backend"]),
+                ref_hash=str(payload["ref_hash"]),
+                sub_hash=str(payload["sub_hash"]),
+                options_hash=str(payload["options_hash"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed store key: {exc}") from exc
 
 
 class ResultStore:

@@ -25,6 +25,7 @@ which owns a whole workload and would rather wait than fail item-by-item).
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import signal
@@ -38,6 +39,8 @@ from typing import Any, Mapping
 
 from repro.api.serialization import SCHEMA_VERSION, outcome_to_dict
 from repro.errors import ReproError
+
+log = logging.getLogger(__name__)
 
 #: Sentinel asking a worker to exit its loop after finishing queued work.
 _SHUTDOWN = None
@@ -195,6 +198,11 @@ class WorkerPool:
         self._closed = False
         self._stop = threading.Event()
         self.restarts = 0
+        #: Sweeps of the liveness watchdog that raised (and were survived).
+        #: Exposed as the ``repro_server_watchdog_errors`` gauge — a nonzero
+        #: value means liveness checking is degraded, not merely that a
+        #: worker died (that is ``restarts``).
+        self.watchdog_errors = 0
         for index in range(workers):
             self._spawn(index)
         self._collector = threading.Thread(
@@ -270,12 +278,23 @@ class WorkerPool:
         self._spawn(index)
 
     def _watch(self, interval: float = 0.5) -> None:
+        # One bad sweep must not kill the thread: an unguarded exception here
+        # (e.g. a respawn failing under fd pressure) would silently end all
+        # liveness checking, leaving future worker deaths to hang requests
+        # until the HTTP timeout.  Count and log, never die.
         while not self._stop.wait(interval):
-            with self._lock:
-                if self._closed:
-                    return
-                for index in range(self.workers):
-                    self._ensure_alive(index)
+            try:
+                with self._lock:
+                    if self._closed:
+                        return
+                    for index in range(self.workers):
+                        self._ensure_alive(index)
+            except Exception:  # noqa: BLE001
+                self.watchdog_errors += 1
+                log.exception(
+                    "worker watchdog sweep failed (%d so far); continuing",
+                    self.watchdog_errors,
+                )
 
     def _collect(self) -> None:
         while True:
@@ -423,6 +442,9 @@ class WorkerPool:
             try:
                 reply = future.result(timeout=max(0.0, deadline - monotonic()))
             except Exception:
+                # Best-effort by design (a busy worker just skips a scrape),
+                # but leave a trace instead of swallowing silently.
+                log.debug("stats probe %d timed out or failed", request_id, exc_info=True)
                 with self._lock:
                     self._pending_stats.pop(request_id, None)
                 continue

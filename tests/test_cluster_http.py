@@ -1,0 +1,302 @@
+"""End-to-end tests of a 3-shard grading cluster, in process, over real HTTP.
+
+Three :class:`GradingServer` instances with distinct worker pools and stores
+form a cluster on localhost.  Every scenario the cluster design claims is
+exercised against real sockets: owner forwarding (bit-identical envelopes),
+replicate-on-forward, the cross-shard store tier with forwarding disabled,
+and the kill-one-shard drill (abrupt :meth:`GradingServer.kill`, standing in
+for SIGKILL) where keys regain a live owner and fallback grades stay
+bit-identical to in-process grading.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import GradingService, SubmissionRequest
+from repro.cluster import ClusterClient, HashRing
+from repro.cluster.supervisor import free_port
+from repro.server import GradingClient, GradingServer, ServerConfig
+from repro.server.workers import grade_envelope
+
+REFERENCE = "\\project_{name} \\select_{dept = 'ECON'} Registration"
+WRONG = "\\project_{name} Registration"
+DATASET = "university:12"
+NAMES = ("shard-0", "shard-1", "shard-2")
+
+#: Mirrors the servers' placement ring (logical names, default virtual
+#: nodes), so tests can pick keys with a known owner before anything boots.
+STATIC_RING = HashRing(NAMES)
+
+
+def seed_owned_by(name: str, start: int = 0) -> int:
+    for seed in range(start, start + 2000):
+        if STATIC_RING.owner_for(DATASET, seed) == name:
+            return seed
+    raise AssertionError(f"no seed owned by {name} in range")
+
+
+def boot_cluster(**overrides) -> dict[str, GradingServer]:
+    ports = {name: free_port() for name in NAMES}
+    peers = tuple(f"{name}=http://127.0.0.1:{ports[name]}" for name in NAMES)
+    servers = {}
+    for name in NAMES:
+        config = ServerConfig(
+            port=ports[name],
+            workers=1,
+            cluster_self=name,
+            cluster_peers=peers,
+            cluster_heartbeat_interval=0.1,
+            cluster_suspect_after=1,
+            cluster_down_after=3,
+            cluster_probe_timeout=1.0,
+            **overrides,
+        )
+        servers[name] = GradingServer(config).start()
+    wait_cluster_stable(servers)
+    return servers
+
+
+def wait_cluster_stable(servers: dict[str, GradingServer], timeout: float = 20.0) -> None:
+    """Wait until every shard sees every peer alive."""
+    deadline = time.monotonic() + timeout
+    while True:
+        states = {
+            name: server.membership.states() for name, server in servers.items()
+        }
+        if all(
+            all(state == "alive" for state in peer_states.values())
+            for peer_states in states.values()
+        ):
+            return
+        assert time.monotonic() < deadline, f"cluster never stabilised: {states}"
+        time.sleep(0.05)
+
+
+def stop_cluster(servers: dict[str, GradingServer]) -> None:
+    for server in servers.values():
+        if not server._shutdown_done.is_set():
+            server.shutdown()
+
+
+def payload(seed: int, test_query: str = WRONG, **extra) -> dict:
+    return {
+        "id": f"student/{seed}",
+        "dataset": DATASET,
+        "seed": seed,
+        "correct": REFERENCE,
+        "test": test_query,
+        **extra,
+    }
+
+
+def strip(envelope: dict) -> dict:
+    """The deterministic part of a grade envelope (drop routing fields)."""
+    return {
+        key: value
+        for key, value in envelope.items()
+        if key not in ("store", "wall_time", "id")
+    }
+
+
+def reference_envelope(seed: int, test_query: str = WRONG) -> dict:
+    """What in-process grading (no server at all) says — the ground truth."""
+    service = GradingService(default_dataset=DATASET, default_seed=seed)
+    graded = service.submit(payload(seed, test_query))
+    return strip(grade_envelope(graded))
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    servers = boot_cluster()
+    yield servers
+    stop_cluster(servers)
+
+
+@pytest.fixture(scope="module")
+def clients(cluster):
+    clients = {
+        name: GradingClient(f"http://127.0.0.1:{server.port}")
+        for name, server in cluster.items()
+    }
+    yield clients
+    for client in clients.values():
+        client.close()
+
+
+class TestClusterHealth:
+    def test_cluster_health_endpoint(self, clients):
+        health = clients["shard-0"].cluster_health()
+        assert health["cluster"] is True
+        assert health["name"] == "shard-0"
+        assert set(health["peers"]) == set(NAMES)
+        assert health["peers"]["shard-0"]["self"] is True
+        assert sorted(health["live"]) == sorted(NAMES)
+        assert health["virtual_nodes"] == 64
+
+    def test_healthz_carries_cluster_summary(self, clients):
+        health = clients["shard-1"].health()
+        assert health["cluster"]["name"] == "shard-1"
+        assert sorted(health["cluster"]["live"]) == sorted(NAMES)
+
+    def test_uncluster_daemon_reports_cluster_false(self):
+        server = GradingServer(ServerConfig(workers=1)).start()
+        try:
+            with GradingClient(f"http://127.0.0.1:{server.port}") as client:
+                client.wait_until_healthy()
+                health = client.cluster_health()
+                assert health["cluster"] is False
+                assert health["peers"] == {}
+        finally:
+            server.shutdown()
+
+
+class TestForwarding:
+    def test_non_owner_forwards_to_owner_bit_identical(self, cluster, clients):
+        seed = seed_owned_by("shard-1")
+        envelope = clients["shard-0"].grade(payload(seed))
+        assert envelope["store"] == "forwarded"
+        assert envelope["id"] == f"student/{seed}"
+        assert strip(envelope) == reference_envelope(seed)
+        # The grade physically happened on (and was stored by) the owner.
+        owner_key = cluster["shard-1"]._store_key(
+            SubmissionRequest.from_dict(payload(seed)), DATASET, seed
+        )
+        assert cluster["shard-1"].store.get(owner_key) is not None
+
+    def test_owner_grades_locally(self, clients):
+        seed = seed_owned_by("shard-2", start=100)
+        envelope = clients["shard-2"].grade(payload(seed))
+        assert envelope["store"] == "miss"
+        assert strip(envelope) == reference_envelope(seed)
+
+    def test_replicate_on_forward_makes_next_request_local(self, clients):
+        seed = seed_owned_by("shard-1", start=200)
+        first = clients["shard-0"].grade(payload(seed))
+        assert first["store"] == "forwarded"
+        second = clients["shard-0"].grade(payload(seed))
+        assert second["store"] == "hit"  # persisted locally on the way through
+        assert strip(first) == strip(second)
+
+    def test_all_three_entry_points_agree(self, clients):
+        seed = seed_owned_by("shard-0", start=300)
+        envelopes = [clients[name].grade(payload(seed)) for name in NAMES]
+        stripped = [strip(envelope) for envelope in envelopes]
+        assert stripped[0] == stripped[1] == stripped[2] == reference_envelope(seed)
+
+    def test_forward_metrics_exported(self, cluster, clients):
+        seed = seed_owned_by("shard-2", start=400)
+        clients["shard-0"].grade(payload(seed))
+        text = clients["shard-0"].metrics_text()
+        assert "# TYPE repro_cluster_forwarded_total counter" in text
+        assert 'repro_cluster_forwarded_total{peer="shard-2"}' in text
+        assert "repro_cluster_ring_size 3" in text
+        assert 'repro_cluster_peer_state{peer="shard-1"} 0' in text
+
+    def test_store_lookup_endpoint_answers_found_and_missing(self, cluster, clients):
+        seed = seed_owned_by("shard-1", start=500)
+        clients["shard-1"].grade(payload(seed))
+        key = cluster["shard-1"]._store_key(
+            SubmissionRequest.from_dict(payload(seed)), DATASET, seed
+        )
+        reply = clients["shard-1"].store_lookup(key.to_dict())
+        assert reply["found"] is True
+        assert reply["envelope"]["dataset"] == DATASET
+        missing = clients["shard-2"].store_lookup({**key.to_dict(), "sub_hash": "0" * 64})
+        assert missing == {"found": False, "envelope": None}
+
+    def test_store_lookup_rejects_junk(self, clients):
+        from repro.server import ServerError
+
+        with pytest.raises(ServerError) as err:
+            clients["shard-0"].store_lookup({"dataset": "x"})
+        assert err.value.status == 400
+
+
+class TestStoreTierWithoutForwarding:
+    def test_remote_hit_before_grading_cold(self):
+        servers = boot_cluster(cluster_forward=False)
+        try:
+            clients = {
+                name: GradingClient(f"http://127.0.0.1:{server.port}")
+                for name, server in servers.items()
+            }
+            seed = seed_owned_by("shard-1", start=600)
+            # The static owner grades (and stores) first.
+            first = clients["shard-1"].grade(payload(seed))
+            assert first["store"] == "miss"
+            # Another shard now probes the key's static preference peers
+            # before grading cold — and finds the owner's row.
+            second = clients["shard-0"].grade(payload(seed))
+            assert second["store"] == "remote_hit"
+            assert strip(first) == strip(second)
+            # Replicated locally on the way through: third time is a hit.
+            third = clients["shard-0"].grade(payload(seed))
+            assert third["store"] == "hit"
+            for client in clients.values():
+                client.close()
+        finally:
+            stop_cluster(servers)
+
+
+class TestKillDrill:
+    def test_kill_one_shard_keys_regain_owner_and_grades_stay_identical(self):
+        servers = boot_cluster()
+        try:
+            survivor = GradingClient(f"http://127.0.0.1:{servers['shard-0'].port}")
+            victim_seed = seed_owned_by("shard-2", start=700)
+            expected = reference_envelope(victim_seed)
+
+            servers["shard-2"].kill()
+
+            # Immediately after the kill the survivor may still think the
+            # victim owns the key: the forward fails, membership learns, and
+            # the grade falls back to local computation — never an error.
+            envelope = survivor.grade(payload(victim_seed))
+            assert envelope["correct"] == expected["correct"]
+            assert strip(envelope) == expected
+            assert envelope["store"] in ("miss", "remote_hit", "hit", "forwarded")
+
+            # After heartbeats notice, every key owned by the victim has a
+            # live owner among the survivors.
+            deadline = time.monotonic() + 15.0
+            membership = servers["shard-0"].membership
+            while membership.states()["shard-2"] != "down":
+                assert time.monotonic() < deadline, membership.states()
+                time.sleep(0.05)
+            for seed in range(100):
+                owner = membership.owner(DATASET, seed)
+                assert owner in ("shard-0", "shard-1")
+            assert membership.live_peers() == ["shard-0", "shard-1"]
+
+            # Requests keep succeeding and stay bit-identical.
+            after = survivor.grade(payload(victim_seed))
+            assert strip(after) == expected
+            survivor.close()
+        finally:
+            stop_cluster(servers)
+
+    def test_cluster_client_fails_over_after_kill(self):
+        servers = boot_cluster()
+        try:
+            client = ClusterClient(
+                [f"http://127.0.0.1:{server.port}" for server in servers.values()],
+                retries=2,
+                backoff=0.05,
+            )
+            seed = seed_owned_by("shard-1", start=800)
+            expected = reference_envelope(seed)
+            before = client.grade(payload(seed))
+            assert strip(before) == expected
+
+            servers["shard-1"].kill()
+
+            # The owner is dead; the smart client walks the preference list,
+            # refreshes its topology and lands on a survivor.
+            after = client.grade(payload(seed))
+            assert strip(after) == expected
+            client.close()
+        finally:
+            stop_cluster(servers)

@@ -1,0 +1,160 @@
+"""State-machine tests for cluster membership (injected probes, no sockets)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.membership import (
+    ALIVE,
+    DOWN,
+    SUSPECT,
+    ClusterMembership,
+    parse_peer_specs,
+)
+from repro.errors import ReproError
+
+PEERS = {
+    "shard-0": "http://127.0.0.1:9000",
+    "shard-1": "http://127.0.0.1:9001",
+    "shard-2": "http://127.0.0.1:9002",
+}
+
+
+def make(probe=None, **kwargs):
+    defaults = dict(suspect_after=1, down_after=3, probe=probe or (lambda url: None))
+    defaults.update(kwargs)
+    return ClusterMembership("shard-0", PEERS, **defaults)
+
+
+def test_parse_peer_specs() -> None:
+    parsed = parse_peer_specs(["a=http://h:1", "b=http://h:2"])
+    assert parsed == {"a": "http://h:1", "b": "http://h:2"}
+    with pytest.raises(ReproError):
+        parse_peer_specs(["missing-equals"])
+    with pytest.raises(ReproError):
+        parse_peer_specs(["a=http://h:1", "a=http://h:2"])
+    with pytest.raises(ReproError):
+        parse_peer_specs(["=http://h:1"])
+
+
+def test_self_must_be_in_peer_map() -> None:
+    with pytest.raises(ReproError):
+        ClusterMembership("not-there", PEERS)
+
+
+def test_failure_escalation_and_recovery() -> None:
+    membership = make()
+    assert membership.states()["shard-1"] == ALIVE
+    membership.report_failure("shard-1")
+    assert membership.states()["shard-1"] == SUSPECT
+    membership.report_failure("shard-1")
+    assert membership.states()["shard-1"] == SUSPECT
+    membership.report_failure("shard-1")
+    assert membership.states()["shard-1"] == DOWN
+    assert "shard-1" not in membership.live_peers()
+    # One good probe brings it straight back, slice restored.
+    membership.report_alive("shard-1")
+    assert membership.states()["shard-1"] == ALIVE
+    assert "shard-1" in membership.live_peers()
+
+
+def test_down_peer_loses_ring_slice_to_survivors() -> None:
+    membership = make()
+    owned_by_1 = [
+        seed for seed in range(300)
+        if membership.owner("university:40", seed) == "shard-1"
+    ]
+    assert owned_by_1  # with 300 seeds every peer owns some
+    for _ in range(3):
+        membership.report_failure("shard-1")
+    for seed in owned_by_1:
+        assert membership.owner("university:40", seed) != "shard-1"
+    # Static placement is unchanged: the store tier still knows where the
+    # rows *should* live.
+    assert any(
+        membership.static_owner("university:40", seed) == "shard-1"
+        for seed in owned_by_1
+    )
+
+
+def test_self_never_goes_down() -> None:
+    membership = make()
+    for _ in range(10):
+        membership.report_failure("shard-0")
+    assert membership.states()["shard-0"] == ALIVE
+
+
+def test_probe_once_feeds_state_machine() -> None:
+    failing = {"http://127.0.0.1:9002"}
+
+    def probe(url: str) -> None:
+        if url in failing:
+            raise ConnectionError("unreachable")
+
+    membership = make(probe=probe, down_after=2)
+    membership.probe_once()
+    assert membership.states() == {"shard-0": ALIVE, "shard-1": ALIVE, "shard-2": SUSPECT}
+    membership.probe_once()
+    assert membership.states()["shard-2"] == DOWN
+    failing.clear()
+    membership.probe_once()
+    assert membership.states()["shard-2"] == ALIVE
+
+
+def test_heartbeat_thread_detects_dead_port() -> None:
+    """End-to-end over real sockets: a peer URL nobody listens on goes down."""
+    import socket
+
+    # Reserve a port and close it so nothing answers there.
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        dead_port = sock.getsockname()[1]
+    peers = {
+        "shard-0": "http://127.0.0.1:1",  # never probed (self)
+        "shard-1": f"http://127.0.0.1:{dead_port}",
+    }
+    membership = ClusterMembership(
+        "shard-0",
+        peers,
+        heartbeat_interval=0.05,
+        suspect_after=1,
+        down_after=2,
+        probe_timeout=0.5,
+    )
+    membership.start()
+    try:
+        deadline = 10.0
+        import time
+
+        start = time.monotonic()
+        while membership.states()["shard-1"] != DOWN:
+            assert time.monotonic() - start < deadline, membership.states()
+            time.sleep(0.05)
+    finally:
+        membership.stop()
+    assert membership.live_peers() == ["shard-0"]
+
+
+def test_store_probe_candidates_skip_self_and_down() -> None:
+    membership = make()
+    for dataset, seed in [("university:40", s) for s in range(50)]:
+        candidates = membership.store_probe_candidates(dataset, seed, 2)
+        assert "shard-0" not in candidates
+        assert len(candidates) <= 2
+    for _ in range(3):
+        membership.report_failure("shard-1")
+    for seed in range(50):
+        assert "shard-1" not in membership.store_probe_candidates("university:40", seed, 3)
+
+
+def test_describe_is_wire_complete() -> None:
+    membership = make()
+    membership.report_failure("shard-2")
+    payload = membership.describe()
+    assert payload["name"] == "shard-0"
+    assert payload["virtual_nodes"] == 64
+    assert set(payload["peers"]) == set(PEERS)
+    assert payload["peers"]["shard-0"]["self"] is True
+    assert payload["peers"]["shard-2"]["state"] == SUSPECT
+    assert payload["peers"]["shard-2"]["failures"] == 1
+    assert sorted(payload["live"]) == sorted(PEERS)  # suspect stays live

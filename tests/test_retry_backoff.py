@@ -1,0 +1,105 @@
+"""Backpressure satellites: jittered client backoff and queue-aware Retry-After."""
+
+from __future__ import annotations
+
+import http.client
+
+import pytest
+
+from repro.server import GradingClient, GradingServer, ServerConfig, compute_retry_after
+from repro.server.client import MAX_HONORED_RETRY_AFTER
+
+
+class TestComputeRetryAfter:
+    def test_clamped_to_at_least_one_second(self):
+        assert compute_retry_after(0, 4, 0.0) == 1
+        assert compute_retry_after(1, 8, 0.01) == 1
+
+    def test_scales_with_queue_depth_and_grade_time(self):
+        shallow = compute_retry_after(4, 2, 1.0)
+        deep = compute_retry_after(64, 2, 1.0)
+        assert shallow < deep
+        assert deep == 32  # 64 requests / 2 workers × 1s each
+
+    def test_clamped_to_at_most_sixty_seconds(self):
+        assert compute_retry_after(10_000, 1, 30.0) == 60
+
+    def test_cold_estimate_uses_a_default_grade_time(self):
+        # No grades observed yet (ewma 0): still a sane, nonzero answer.
+        assert 1 <= compute_retry_after(32, 2, 0.0) <= 60
+
+
+class TestClientJitter:
+    def make(self, **kwargs) -> GradingClient:
+        return GradingClient("http://127.0.0.1:1", retries=0, **kwargs)
+
+    def test_jitter_is_deterministic_under_explicit_seed(self):
+        a = self.make(jitter_seed=7)
+        b = self.make(jitter_seed=7)
+        delays_a = [a._retry_delay(attempt, None) for attempt in range(6)]
+        delays_b = [b._retry_delay(attempt, None) for attempt in range(6)]
+        assert delays_a == delays_b
+
+    def test_distinct_clients_get_distinct_sequences(self):
+        # Same endpoint, no explicit seed: the process-wide counter must
+        # de-synchronise them or retry stampedes re-form in lockstep.
+        a, b = self.make(), self.make()
+        delays_a = [a._retry_delay(attempt, None) for attempt in range(6)]
+        delays_b = [b._retry_delay(attempt, None) for attempt in range(6)]
+        assert delays_a != delays_b
+
+    def test_jitter_stays_within_half_to_full_nominal(self):
+        client = self.make(jitter_seed=3)
+        for attempt in range(8):
+            nominal = client.backoff * (2**attempt)
+            for _ in range(50):
+                delay = client._retry_delay(attempt, None)
+                assert 0.5 * nominal <= delay < nominal
+
+    def test_server_retry_after_raises_the_floor(self):
+        client = self.make(jitter_seed=3)
+        # Attempt 0 nominal is 50ms; a server hint of 2s dominates.
+        delay = client._retry_delay(0, 2.0)
+        assert 1.0 <= delay < 2.0
+
+    def test_server_retry_after_is_capped(self):
+        client = self.make(jitter_seed=3)
+        delay = client._retry_delay(0, 3600.0)
+        assert delay < MAX_HONORED_RETRY_AFTER
+        # Zero/negative hints are ignored entirely.
+        nominal = client.backoff
+        assert client._retry_delay(0, 0.0) < nominal
+        assert client._retry_delay(0, -5.0) < nominal
+
+
+@pytest.fixture(scope="module")
+def overloaded_server():
+    # max_queue=0: every cold grade answers 429 immediately — the pure
+    # backpressure path with no slow grading required.
+    server = GradingServer(ServerConfig(workers=1, max_queue=0)).start()
+    yield server
+    server.shutdown()
+
+
+class TestRetryAfterOnTheWire:
+    def test_429_carries_queue_aware_retry_after_header(self, overloaded_server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", overloaded_server.port, timeout=10.0
+        )
+        try:
+            body = (
+                b'{"correct": "Student", "test": "\\\\select_{a=1} Student", '
+                b'"dataset": "toy-university"}'
+            )
+            conn.request(
+                "POST", "/v1/grade", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 429
+            retry_after = response.headers.get("Retry-After")
+            assert retry_after is not None
+            assert 1 <= int(retry_after) <= 60
+        finally:
+            conn.close()

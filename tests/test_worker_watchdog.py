@@ -1,0 +1,54 @@
+"""The worker watchdog must survive its own failures, visibly.
+
+Before this satellite, an exception inside the watchdog sweep silently
+killed the thread — all future worker deaths would hang requests until the
+HTTP timeout with nothing in the logs.  Now a failed sweep is logged,
+counted on ``repro_server_watchdog_errors``, and the thread keeps sweeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.server.workers import WorkerConfig, WorkerPool
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(WorkerConfig(), workers=1, mp_context="spawn")
+    yield pool
+    pool.close()
+
+
+def test_watchdog_survives_a_raising_sweep(pool):
+    original = pool._ensure_alive
+    blow_ups = {"remaining": 2}
+
+    def flaky(index: int) -> None:
+        if blow_ups["remaining"] > 0:
+            blow_ups["remaining"] -= 1
+            raise RuntimeError("synthetic sweep failure")
+        original(index)
+
+    pool._ensure_alive = flaky
+    deadline = time.monotonic() + 15.0
+    while pool.watchdog_errors < 2:
+        assert time.monotonic() < deadline, "watchdog never hit the failure"
+        time.sleep(0.05)
+    # The thread survived both failures and sweeps again.
+    assert pool._watchdog.is_alive()
+    time.sleep(1.0)
+    assert pool._watchdog.is_alive()
+    # And the pool still grades.
+    reply = pool.submit(
+        {"correct": "Student", "test": "Student"},
+        dataset="toy-university",
+        seed=0,
+    ).result(timeout=60.0)
+    assert reply["correct"] is True
+
+
+def test_watchdog_errors_starts_at_zero(pool):
+    assert pool.watchdog_errors == 0
