@@ -44,6 +44,7 @@ class Relation:
         self._next_id = 1
         self._version = 0
         self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple[str, Values]]]] = {}
+        self._distinct_counts: dict[tuple[int, ...], int] = {}
 
     # -- mutation ----------------------------------------------------------
 
@@ -79,6 +80,8 @@ class Relation:
         self._version += 1
         if self._indexes:
             self._indexes.clear()
+        if self._distinct_counts:
+            self._distinct_counts.clear()
         return tid
 
     def insert_all(self, rows: Iterable[Sequence[Any]]) -> list[str]:
@@ -127,6 +130,29 @@ class Relation:
                 index.setdefault(key, []).append((tid, values))
             self._indexes[key_indexes] = index
         return index
+
+    def distinct_count(self, key_indexes: tuple[int, ...]) -> int:
+        """Number of distinct values at ``key_indexes`` (optimizer statistics).
+
+        Served from the cached hash index when one already exists (equi-joins
+        build those anyway); otherwise counted with a set — cheaper than
+        materialising an index nobody will probe — and cached until the next
+        mutation.
+        """
+        index = self._indexes.get(key_indexes)
+        if index is not None:
+            return len(index)
+        count = self._distinct_counts.get(key_indexes)
+        if count is None:
+            if len(key_indexes) == 1:
+                i = key_indexes[0]
+                count = len({values[i] for values in self._rows.values()})
+            else:
+                count = len(
+                    {tuple(values[i] for i in key_indexes) for values in self._rows.values()}
+                )
+            self._distinct_counts[key_indexes] = count
+        return count
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """Rows as attribute-name dictionaries (handy for display and tests)."""

@@ -52,6 +52,7 @@ from repro.engine.logical import (
     PlanNode,
     ProjectOp,
     ScanOp,
+    SemiJoinOp,
     UnionOp,
 )
 from repro.errors import QueryEvaluationError
@@ -261,6 +262,8 @@ class _PlanCompiler:
             return self._project(plan)
         if isinstance(plan, JoinOp):
             return self._join(plan)
+        if isinstance(plan, SemiJoinOp):
+            return self._semi_join(plan)
         if isinstance(plan, CrossOp):
             return self._cross(plan)
         if isinstance(plan, (UnionOp, DifferenceOp, IntersectOp)):
@@ -326,6 +329,26 @@ class _PlanCompiler:
             body += f" WHERE {residual}"
         dtypes = left_types + tuple(right_types[j] for j in keep)
         return self._add_cte(body, len(dtypes)), dtypes
+
+    def _semi_join(self, plan: SemiJoinOp) -> tuple[str, tuple[DataType, ...]]:
+        left, left_types = self.emit(plan.left)
+        right, right_types = self.emit(plan.right)
+        for a, b in zip(plan.left_key, plan.right_key):
+            if not comparable_in_sql(left_types[a], right_types[b]):
+                raise BackendUnsupportedError(
+                    "semijoin key types diverge from dict-key equality in SQLite"
+                )
+        # IS, not =: the semijoin's key-set membership test goes through dict
+        # equality, where NULL == NULL holds.
+        condition = " AND ".join(
+            f"R.c{b + 1} IS L.c{a + 1}" for a, b in zip(plan.left_key, plan.right_key)
+        )
+        columns = ", ".join(f"L.c{i + 1}" for i in range(len(left_types)))
+        body = (
+            f"SELECT {columns} FROM {left} AS L "
+            f"WHERE EXISTS (SELECT 1 FROM {right} AS R WHERE {condition})"
+        )
+        return self._add_cte(body, len(left_types)), left_types
 
     def _cross(self, plan: CrossOp) -> tuple[str, tuple[DataType, ...]]:
         left, left_types = self.emit(plan.left)

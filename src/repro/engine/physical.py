@@ -34,6 +34,7 @@ from repro.engine.logical import (
     PlanNode,
     ProjectOp,
     ScanOp,
+    SemiJoinOp,
     UnionOp,
 )
 from repro.ra.ast import AggregateFunction
@@ -182,6 +183,9 @@ def apply_aggregate(func: AggregateFunction, values: Sequence[Any]) -> Any:
 # Executor
 # ---------------------------------------------------------------------------
 
+#: Plan nodes with a columnar lowering (see :mod:`repro.engine.columnar`).
+_COLUMNAR_NODES = (ScanOp, FilterOp, ProjectOp, JoinOp, SemiJoinOp)
+
 
 def referenced_params(
     plan: PlanNode, cache: MutableMapping[PlanNode, frozenset]
@@ -254,6 +258,7 @@ class PlanExecutor:
         param_refs: MutableMapping[PlanNode, frozenset] | None = None,
         *,
         use_index: bool = True,
+        columnar: bool = False,
     ) -> None:
         self.instance = instance
         self.params = params
@@ -261,12 +266,21 @@ class PlanExecutor:
         self.memo = memo
         self.param_refs = {} if param_refs is None else param_refs
         self.use_index = use_index
+        # Columnar batches carry no annotation structure, so the lowering is
+        # restricted to the Set domain regardless of what the caller asked.
+        self.columnar = columnar and domain.name == "set"
 
     def _referenced_params(self, plan: PlanNode) -> frozenset:
         """Names of the query parameters the subplan's predicates read."""
         return referenced_params(plan, self.param_refs)
 
     def run(self, plan: PlanNode) -> "dict[Values, Any]":
+        """Annotated row dict for ``plan`` (memo entries may be columnar)."""
+        result = self.run_cached(plan)
+        return result if isinstance(result, dict) else result.to_mapping()
+
+    def run_cached(self, plan: PlanNode):
+        """Memoized execution returning a dict or a ``ColumnBatch``."""
         key = plan_memo_key(plan, self.params, self.param_refs)
         if key is None:  # unhashable literal/parameter value: skip caching
             return self._execute(plan)
@@ -278,7 +292,11 @@ class PlanExecutor:
 
     # -- dispatch ------------------------------------------------------------
 
-    def _execute(self, plan: PlanNode) -> "dict[Values, Any]":
+    def _execute(self, plan: PlanNode):
+        if self.columnar and isinstance(plan, _COLUMNAR_NODES):
+            from repro.engine.columnar import execute_columnar
+
+            return execute_columnar(self, plan)
         if isinstance(plan, ScanOp):
             return self._scan(plan)
         if isinstance(plan, FilterOp):
@@ -287,6 +305,8 @@ class PlanExecutor:
             return self._project(plan)
         if isinstance(plan, JoinOp):
             return self._hash_join(plan)
+        if isinstance(plan, SemiJoinOp):
+            return self._semi_join(plan)
         if isinstance(plan, CrossOp):
             return self._cross(plan)
         if isinstance(plan, UnionOp):
@@ -392,6 +412,24 @@ class PlanExecutor:
                     annotation if existing is None else domain.plus(existing, annotation)
                 )
         return out
+
+    def _semi_join(self, plan: SemiJoinOp) -> "dict[Values, Any]":
+        """Keep left rows (annotations untouched) with a match on the right.
+
+        The right side contributes nothing but a key set, so a bare scan is
+        answered straight from the relation's cached hash index.
+        """
+        if self.use_index and isinstance(plan.right, ScanOp):
+            keys = self.instance.relation(plan.right.relation).hash_index(plan.right_key)
+        else:
+            extract_right = key_function(plan.right_key)
+            keys = {extract_right(row) for row in self.run(plan.right)}
+        extract = key_function(plan.left_key)
+        return {
+            row: annotation
+            for row, annotation in self.run(plan.left).items()
+            if extract(row) in keys
+        }
 
     def _cross(self, plan: CrossOp) -> "dict[Values, Any]":
         domain = self.domain

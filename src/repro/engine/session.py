@@ -58,9 +58,19 @@ from repro.engine.domains import (
     SET_DOMAIN,
     AnnotationDomain,
 )
+from repro.engine.columnar import as_mapping
 from repro.engine.logical import PlanNode, compile_plan
-from repro.engine.optimizer import choose_build_sides, optimize_expression
+from repro.engine.optimizer import (
+    DEFAULT_OPTIMIZER_CONFIG,
+    CardinalityEstimator,
+    OptimizerConfig,
+    apply_semijoin_reduction,
+    choose_build_sides,
+    optimize_expression,
+    reorder_joins,
+)
 from repro.engine.physical import PlanExecutor, plan_memo_key
+from repro.engine.stats import StatsCatalog
 from repro.engine.structural import KeyCache, StructuralKey
 from repro.errors import ReproError
 from repro.lru import LRUCache
@@ -80,6 +90,7 @@ class EngineSession:
         use_index: bool = True,
         backend: str = "python",
         max_cached_results: int | None = None,
+        config: OptimizerConfig | None = None,
     ) -> None:
         if backend not in BACKEND_NAMES:
             raise ReproError(
@@ -90,6 +101,8 @@ class EngineSession:
         self.optimize = optimize
         self.use_index = use_index
         self.backend = backend
+        self.config = config if config is not None else DEFAULT_OPTIMIZER_CONFIG
+        self._stats = StatsCatalog(instance)
         if max_cached_results is not None:
             self.max_cached_results = max_cached_results
         self._sqlite: Any = None  # lazily created SqliteBackend
@@ -157,7 +170,10 @@ class EngineSession:
         ``"exact"`` — no rewrites, historical operator order;
         ``"logical"`` — selection pushdown only, deterministic operator order
         (what order-sensitive domains such as provenance run on);
-        ``"optimized"`` — pushdown plus instance-driven build-side choice.
+        ``"optimized"`` — the full cost-based pipeline over the bound
+        instance's statistics: join reordering, semijoin reduction of FK
+        joins, and the hash-join build-side choice (each gated by the
+        session's :class:`~repro.engine.optimizer.OptimizerConfig`).
         """
         key = (mode, self._keys.key(expression))
         plan = self._plans.get(key)
@@ -166,14 +182,37 @@ class EngineSession:
             return plan
         self.stats["plan_misses"] += 1
         db = self.instance.schema
+        config = self.config
         if mode == "exact" or not self.optimize:
             plan = compile_plan(expression, db)
         else:
-            plan = compile_plan(optimize_expression(expression, db), db)
+            expression_ = (
+                optimize_expression(expression, db) if config.pushdown else expression
+            )
+            plan = compile_plan(expression_, db)
             if mode == "optimized":
-                plan = choose_build_sides(plan, self.instance)
+                estimator = CardinalityEstimator(self.instance, self._stats)
+                if config.reorder_joins:
+                    plan = reorder_joins(plan, self.instance, estimator)
+                if config.semijoin_reduction:
+                    plan = apply_semijoin_reduction(
+                        plan, self.instance, estimator, factor=config.semijoin_factor
+                    )
+                if config.choose_build_sides:
+                    plan = choose_build_sides(plan, self.instance, estimator)
         self._plans[key] = plan
         return plan
+
+    def clear_cached_results(self) -> None:
+        """Drop every cached result set while keeping compiled plans.
+
+        Benchmark hook: re-timing *warm evaluation* (plans compiled, indexes
+        and statistics hot, results cold) requires emptying the result memo
+        between passes — otherwise a warm pass measures pure memo lookups.
+        """
+        with self._lock:
+            for memo in self._results.values():
+                memo.clear()
 
     def cache_info(self) -> dict[str, int]:
         """Plan/result cache statistics (used by tests, benchmarks, /metrics)."""
@@ -249,6 +288,7 @@ class EngineSession:
                 self._memo(domain),
                 self._param_refs,
                 use_index=self.use_index,
+                columnar=self.config.columnar and mode == "optimized",
             )
             return schema, executor.run(plan)
 
@@ -271,7 +311,7 @@ class EngineSession:
         if key is not None:
             cached = memo.get(key)
             if cached is not None:
-                return cached
+                return as_mapping(cached)  # the Python path may cache batches
         if self._sqlite is None:
             self._sqlite = SqliteBackend(self.instance)
         try:

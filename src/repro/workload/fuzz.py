@@ -10,7 +10,10 @@ by hand.  This module provides the pieces the differential suites
   covering the full SPJUDA language (selection, projection, theta/natural
   join, union, difference, intersection, rename, group-by/aggregate) plus
   optional ``@parameter`` bindings.  Every query is derived from one integer
-  seed, so any failure reproduces from ``(schema, seed)`` alone.
+  seed, so any failure reproduces from ``(schema, seed)`` alone.  The
+  ``join_heavy`` flag re-weights generation toward deep join trees whose
+  equi-join keys follow declared foreign keys — the shapes the cost-based
+  optimizer rewrites — without disturbing the default mode's seed streams.
 * :func:`perturb_instance` — seeded random instance mutations (tuple
   deletions and synthesized insertions), so backends are compared on data
   they were not tuned for, including NULLs in nullable columns.
@@ -278,11 +281,14 @@ class QueryFuzzer:
         max_depth: int = 4,
         allow_aggregates: bool = True,
         allow_params: bool = True,
+        join_heavy: bool = False,
     ) -> None:
         self.schema = schema
         self.max_depth = max_depth
         self.allow_aggregates = allow_aggregates
         self.allow_params = allow_params
+        self.join_heavy = join_heavy
+        self._foreign_keys = tuple(schema.foreign_keys())
         self._pools = self._value_pools(instance)
 
     def _value_pools(self, instance: DatabaseInstance | None) -> dict[DataType, list[Any]]:
@@ -341,16 +347,31 @@ class QueryFuzzer:
     def _expression(
         self, rng: random.Random, depth: int, params: "dict[str, Any]"
     ) -> RAExpression:
-        if depth <= 0 or rng.random() < 0.25:
+        if depth <= 0 or rng.random() < (0.1 if self.join_heavy else 0.25):
             return self._base(rng)
-        generators = [
-            (self._gen_selection, 5),
-            (self._gen_projection, 4),
-            (self._gen_rename, 2),
-            (self._gen_theta_join, 4),
-            (self._gen_natural_join, 2),
-            (self._gen_set_op, 4),
-        ]
+        if self.join_heavy:
+            # Join-heavy mode: deeper, mostly-join trees whose equi-join keys
+            # follow declared foreign keys — the shape the cost-based
+            # reorder/semijoin passes and the columnar join path optimize.
+            # A separate branch so the default mode's random streams (and
+            # therefore every historical seed) are untouched.
+            generators = [
+                (self._gen_selection, 3),
+                (self._gen_projection, 2),
+                (self._gen_fk_join, 8),
+                (self._gen_theta_join, 5),
+                (self._gen_natural_join, 2),
+                (self._gen_set_op, 1),
+            ]
+        else:
+            generators = [
+                (self._gen_selection, 5),
+                (self._gen_projection, 4),
+                (self._gen_rename, 2),
+                (self._gen_theta_join, 4),
+                (self._gen_natural_join, 2),
+                (self._gen_set_op, 4),
+            ]
         if self.allow_aggregates:
             generators.append((self._gen_group_by, 3))
         makers = [g for g, _ in generators]
@@ -429,6 +450,71 @@ class QueryFuzzer:
                 conjuncts.append(extra)
         predicate: Predicate = conjuncts[0] if len(conjuncts) == 1 else And(tuple(conjuncts))
         return Join(left, right, predicate)
+
+    def _gen_fk_join(
+        self, rng: random.Random, depth: int, params: "dict[str, Any]"
+    ) -> RAExpression | None:
+        """A left-deep chain of equi-joins following declared foreign keys.
+
+        Each hop joins the chain's most recent relation to a neighbour in the
+        schema's FK graph (either direction), on exactly the FK columns —
+        the join shape semijoin reduction looks for.  Hops get distinct
+        rename prefixes (``f{tag}r{i}``) so self-joins stay unambiguous, and
+        an occasional extra selective filter rides along.
+        """
+        if not self._foreign_keys:
+            return None
+        fk = rng.choice(self._foreign_keys)
+        tag = rng.randint(1, 9)
+        last_rel = fk.child if rng.random() < 0.5 else fk.parent
+        current: RAExpression = Rename(RelationRef(last_rel), prefix=f"f{tag}r0")
+        last_offset = 0
+        hops = rng.randint(1, max(1, min(depth, 3)))
+        joined = 0
+        for i in range(1, hops + 1):
+            neighbours = [
+                c for c in self._foreign_keys if last_rel in (c.child, c.parent)
+            ]
+            if not neighbours:
+                break
+            hop = rng.choice(neighbours)
+            if hop.child == last_rel:
+                next_rel = hop.parent
+                my_attrs, their_attrs = hop.child_attributes, hop.parent_attributes
+            else:
+                next_rel = hop.child
+                my_attrs, their_attrs = hop.parent_attributes, hop.child_attributes
+            right = Rename(RelationRef(next_rel), prefix=f"f{tag}r{i}")
+            current_schema = self._schema_of(current)
+            right_schema = self._schema_of(right)
+            last_base = self.schema.relations[last_rel]
+            next_base = self.schema.relations[next_rel]
+            conjuncts: list[Predicate] = [
+                Comparison(
+                    "=",
+                    ColumnRef(
+                        current_schema.attributes[
+                            last_offset + last_base.index_of(a)
+                        ].name
+                    ),
+                    ColumnRef(right_schema.attributes[next_base.index_of(b)].name),
+                )
+                for a, b in zip(my_attrs, their_attrs)
+            ]
+            predicate: Predicate = (
+                conjuncts[0] if len(conjuncts) == 1 else And(tuple(conjuncts))
+            )
+            last_offset = current_schema.arity
+            current = Join(current, right, predicate)
+            last_rel = next_rel
+            joined += 1
+        if not joined:
+            return None
+        if rng.random() < 0.3:
+            extra = self._comparison(rng, self._schema_of(current), params)
+            if extra is not None:
+                current = Selection(current, extra)
+        return current
 
     def _gen_natural_join(
         self, rng: random.Random, depth: int, params: "dict[str, Any]"

@@ -295,6 +295,222 @@ class TestOptimizer:
         assert list(evaluate(query, instance).rows) == expected == []
 
 
+class TestCardinalityMemoization:
+    def test_deep_join_chain_estimates_each_node_once(self, instance, monkeypatch):
+        """A 12-deep join chain is estimated in one pass per distinct node.
+
+        The regression: estimates recomputed per parent made optimization
+        O(n^2)-to-exponential in join depth.  The memo must bound ``_compute``
+        calls by the number of structurally distinct plan nodes.
+        """
+        from repro.engine import CardinalityEstimator
+
+        query = rename_prefix(relation("Student"), "s")
+        for i in range(12):
+            query = theta_join(
+                query,
+                rename_prefix(relation("Registration"), f"r{i}"),
+                eq("s.name", f"r{i}.name"),
+            )
+        plan = compile_plan(query, instance.schema)
+        distinct_nodes = len(set(plan_operators(plan)))
+
+        calls = 0
+        original = CardinalityEstimator._compute
+
+        def counting(self, node):
+            nonlocal calls
+            calls += 1
+            return original(self, node)
+
+        monkeypatch.setattr(CardinalityEstimator, "_compute", counting)
+        estimator = CardinalityEstimator(instance)
+        estimator.estimate(plan)
+        assert calls <= distinct_nodes
+        # Re-estimating any subtree is a pure memo hit.
+        calls = 0
+        estimator.estimate(plan)
+        assert calls == 0
+
+    def test_estimator_rejects_unknown_plan_nodes(self, instance):
+        """Dispatch is exhaustive: an unhandled node type raises instead of
+        silently estimating 1.0 (the bug that made every new operator's
+        subtree look free)."""
+        from dataclasses import dataclass
+
+        from repro.engine import CardinalityEstimator, PlanNode
+
+        @dataclass(frozen=True)
+        class MysteryOp(PlanNode):
+            def children(self):
+                return ()
+
+        with pytest.raises(TypeError, match="no cardinality estimate"):
+            CardinalityEstimator(instance).estimate(MysteryOp())
+
+
+class TestScopedPushdown:
+    def test_pushdown_scoped_to_raising_subtree(self, instance):
+        """A raising predicate disables pushdown only for its own subtree.
+
+        The regression: one division predicate anywhere used to veto pushdown
+        for the *whole* expression; now the sibling union branch is still
+        optimized while the raising branch keeps its original shape.
+        """
+        from repro.engine import optimize_expression
+        from repro.ra.ast import union
+        from repro.ra.predicates import Arithmetic, ColumnRef, Comparison, Literal
+
+        join = theta_join(
+            rename_prefix(relation("Student"), "s"),
+            rename_prefix(relation("Registration"), "r"),
+            eq("s.name", "r.name"),
+        )
+        risky = select(
+            join,
+            Comparison(">", Arithmetic("/", Literal(100), ColumnRef("r.grade")), Literal(1)),
+        )
+        safe = select(join, equals_constant("s.major", "CS"))
+        query = union(risky, safe)
+        optimized = optimize_expression(query, instance.schema)
+        # Raising branch untouched; sibling branch rewritten (selection pushed).
+        assert optimized.left == risky
+        assert optimized.right != safe
+        fast = EngineSession(instance, optimize=True)
+        exact = EngineSession(instance, optimize=False)
+        assert fast.evaluate(query).rows == exact.evaluate(query).rows
+
+
+class TestJoinReordering:
+    def _three_way_instance(self):
+        from repro.catalog.schema import DatabaseSchema, RelationSchema
+        from repro.catalog.types import DataType
+
+        schema = DatabaseSchema.of(
+            [
+                RelationSchema.of("Big", [("k", DataType.INT), ("v", DataType.INT)]),
+                RelationSchema.of("Mid", [("k", DataType.INT)]),
+                RelationSchema.of("Tiny", [("k", DataType.INT)]),
+            ]
+        )
+        instance = DatabaseInstance(schema)
+        for i in range(200):
+            instance.insert("Big", (i, i * 2))
+        for i in range(50):
+            instance.insert("Mid", (i,))
+        instance.insert("Tiny", (0,))
+        instance.insert("Tiny", (1,))
+        return instance
+
+    def _three_way_query(self):
+        return theta_join(
+            theta_join(
+                rename_prefix(relation("Big"), "a"),
+                rename_prefix(relation("Mid"), "b"),
+                eq("a.k", "b.k"),
+            ),
+            rename_prefix(relation("Tiny"), "c"),
+            eq("a.k", "c.k"),
+        )
+
+    def test_reorder_starts_from_the_cheapest_pair(self):
+        from repro.engine import ProjectOp, reorder_joins
+
+        instance = self._three_way_instance()
+        plan = compile_plan(self._three_way_query(), instance.schema)
+        reordered = reorder_joins(plan, instance)
+        assert reordered != plan
+        # The deepest (first-executed) join must involve Tiny, not Big ⋈ Mid.
+        node = reordered
+        while isinstance(node.children()[0], (JoinOp, ProjectOp)):
+            node = node.children()[0]
+        assert isinstance(node, JoinOp)
+        first_scans = {
+            op.relation for op in plan_operators(node) if isinstance(op, ScanOp)
+        }
+        assert "Tiny" in first_scans
+
+    def test_reordered_plans_return_the_same_rows(self):
+        instance = self._three_way_instance()
+        query = self._three_way_query()
+        fast = EngineSession(instance, optimize=True)
+        exact = EngineSession(instance, optimize=False)
+        rows = fast.evaluate(query).rows
+        assert rows == exact.evaluate(query).rows
+        assert rows  # non-degenerate: the join actually produces tuples
+
+
+class TestSemijoinReduction:
+    def _fk_instance(self):
+        from repro.catalog.constraints import ForeignKeyConstraint
+        from repro.catalog.schema import DatabaseSchema, RelationSchema
+        from repro.catalog.types import DataType
+
+        schema = DatabaseSchema.of(
+            [
+                RelationSchema.of("Child", [("k", DataType.INT), ("v", DataType.INT)]),
+                RelationSchema.of("Parent", [("k", DataType.INT)]),
+            ]
+        )
+        schema.add_constraint(ForeignKeyConstraint("Child", ("k",), "Parent", ("k",)))
+        instance = DatabaseInstance(schema)
+        for i in range(100):
+            instance.insert("Child", (i % 50, i))
+        for i in range(5):
+            instance.insert("Parent", (i,))
+        return instance
+
+    def test_fk_join_gains_a_semijoin_filter(self):
+        from repro.engine import SemiJoinOp, apply_semijoin_reduction
+        from repro.ra import gt
+        from repro.ra.predicates import col, lit
+
+        instance = self._fk_instance()
+        query = theta_join(
+            select(rename_prefix(relation("Child"), "c"), gt(col("c.v"), lit(10))),
+            rename_prefix(relation("Parent"), "p"),
+            eq("c.k", "p.k"),
+        )
+        plan = compile_plan(query, instance.schema)
+        reduced = apply_semijoin_reduction(plan, instance)
+        semis = [op for op in plan_operators(reduced) if isinstance(op, SemiJoinOp)]
+        assert len(semis) == 1
+        fast = EngineSession(instance, optimize=True)
+        exact = EngineSession(instance, optimize=False)
+        rows = fast.evaluate(query).rows
+        assert rows == exact.evaluate(query).rows
+        assert rows
+
+
+class TestColumnarExecution:
+    def test_hot_operators_return_column_batches(self, instance):
+        from repro.engine import ColumnBatch
+        from repro.engine.domains import SET_DOMAIN
+        from repro.engine.physical import PlanExecutor
+
+        plan = compile_plan(_cs_students(), instance.schema)
+        executor = PlanExecutor(instance, {}, SET_DOMAIN, {}, columnar=True)
+        assert isinstance(executor.run_cached(plan), ColumnBatch)
+
+    def test_columnar_rows_match_dict_path_in_order(self, instance):
+        from repro.engine.domains import SET_DOMAIN
+        from repro.engine.physical import PlanExecutor
+
+        plan = compile_plan(_cs_students(), instance.schema)
+        dict_rows = PlanExecutor(instance, {}, SET_DOMAIN, {}).run(plan)
+        col_rows = PlanExecutor(instance, {}, SET_DOMAIN, {}, columnar=True).run(plan)
+        # Same rows *and* the same first-seen order: downstream consumers
+        # (and the provenance bit-compatibility story) rely on it.
+        assert list(dict_rows.items()) == list(col_rows.items())
+
+    def test_provenance_domain_is_never_lowered(self, instance):
+        from repro.engine.domains import PROVENANCE_DOMAIN
+        from repro.engine.physical import PlanExecutor
+
+        executor = PlanExecutor(instance, {}, PROVENANCE_DOMAIN, {}, columnar=True)
+        assert executor.columnar is False
+
+
 class TestProvenanceDomainViaEngine:
     def test_group_by_still_rejected_with_same_message(self, instance):
         query = group_by(relation("Registration"), ["name"], [count(None, "n")])

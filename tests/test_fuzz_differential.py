@@ -27,6 +27,8 @@ from repro.catalog.instance import DatabaseInstance
 from repro.catalog.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.catalog.types import DataType
 from repro.datagen import toy_beers_instance, toy_university_instance
+from repro.datagen.tpch import tpch_instance
+from repro.engine.optimizer import LEGACY_OPTIMIZER_CONFIG
 from repro.engine.reference import ReferenceEvaluator
 from repro.engine.session import EngineSession
 from repro.parser import parse_query
@@ -115,6 +117,72 @@ def test_differential_fuzz(label, instance):
     # The suite must actually exercise SQLite, not silently fall back.
     assert stats["sqlite_statements"] > 0
     assert stats["sqlite_fallbacks"] == 0
+
+
+def _join_heavy_instances() -> list[tuple[str, DatabaseInstance]]:
+    # Beers and TPC-H carry FK graphs deep enough for multi-hop chains;
+    # perturbation leaves dangling references behind on purpose, so the
+    # optimized plans must agree on dirty data too.
+    return [
+        ("beers", perturb_instance(toy_beers_instance(), seed=45)),
+        ("tpch", perturb_instance(tpch_instance(scale=0.02), seed=46)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "label,instance", _join_heavy_instances(), ids=lambda v: v if isinstance(v, str) else ""
+)
+def test_differential_fuzz_join_heavy(label, instance):
+    """Reordered + columnar plans stay bit-identical on deep FK join trees.
+
+    The join-heavy generator feeds the exact shapes the cost-based pipeline
+    rewrites (commutative equi-join regions, FK joins eligible for semijoin
+    reduction) through four evaluators: the fully optimized Python engine,
+    the engine with stage-2 passes disabled (``LEGACY_OPTIMIZER_CONFIG``),
+    SQLite, and the reference interpreter — plus a DSL re-parse.
+    """
+    budget = _budget()
+    fuzzer = QueryFuzzer(
+        instance.schema, instance=instance, max_depth=5, join_heavy=True
+    )
+    optimized = EngineSession(instance)
+    legacy = EngineSession(instance, config=LEGACY_OPTIMIZER_CONFIG)
+    sqlite = EngineSession(instance, backend="sqlite")
+    for fuzz_query in fuzzer.queries(budget):
+        reference = frozenset(
+            ReferenceEvaluator(instance, fuzz_query.params).rows(fuzz_query.expression)
+        )
+        fast = optimized.evaluate(fuzz_query.expression, fuzz_query.params).rows
+        slow = legacy.evaluate(fuzz_query.expression, fuzz_query.params).rows
+        via_sqlite = sqlite.evaluate(fuzz_query.expression, fuzz_query.params).rows
+        reparsed = optimized.evaluate(
+            parse_query(fuzz_query.dsl), fuzz_query.params
+        ).rows
+        assert reference == fast == slow == via_sqlite == reparsed, (
+            f"optimized plans diverge — reproduce with: {fuzz_query.repro()}\n"
+            f"  reference: {len(reference)} rows\n"
+            f"  optimized: {len(fast)} rows\n"
+            f"  legacy:    {len(slow)} rows\n"
+            f"  sqlite:    {len(via_sqlite)} rows\n"
+            f"  reparsed:  {len(reparsed)} rows"
+        )
+
+
+def test_join_heavy_mode_reaches_deep_fk_joins():
+    """Join-heavy generation actually produces multi-join FK trees."""
+    from repro.ra.ast import Join
+
+    instance = perturb_instance(toy_beers_instance(), seed=45)
+    fuzzer = QueryFuzzer(
+        instance.schema, instance=instance, max_depth=5, join_heavy=True
+    )
+    max_joins = 0
+    for fuzz_query in fuzzer.queries(100):
+        joins = sum(
+            1 for node in fuzz_query.expression.walk() if isinstance(node, Join)
+        )
+        max_joins = max(max_joins, joins)
+    assert max_joins >= 3
 
 
 def test_fuzzer_is_deterministic():
