@@ -1,0 +1,49 @@
+"""Machine-readable benchmark summaries: ``BENCH_<name>.json`` files.
+
+Every benchmark's ``main()`` calls :func:`write_summary` with its result
+dict, so CI (and anyone bisecting a regression locally) gets a structured
+artifact next to the human-readable table instead of having to scrape
+stdout.  Files land in ``$REPRO_BENCH_OUT`` when set, else the current
+working directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+
+def write_summary(name: str, result: Mapping[str, Any]) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The payload wraps the benchmark's own result dict with reproducibility
+    context: wall-clock timestamp, Python/platform versions, and every
+    ``REPRO_BENCH_*`` environment knob in effect.  Values that are not JSON
+    types are serialized with ``repr`` rather than failing the run — a
+    benchmark must never die on its reporting step.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_OUT", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "created_at_unix": time.time(),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "env": {
+            key: value
+            for key, value in sorted(os.environ.items())
+            if key.startswith("REPRO_BENCH_")
+        },
+        "result": dict(result),
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=repr) + "\n")
+    return path
+
+
+__all__ = ["write_summary"]

@@ -542,4 +542,7 @@ def test_cluster_load_smoke():
 
 
 if __name__ == "__main__":
-    run_benchmark()
+    _result = run_benchmark()
+    from _summary import write_summary
+
+    print(f"wrote {write_summary('cluster_load', _result)}")

@@ -112,6 +112,9 @@ def main() -> None:
           f"({result['speedup_cold']:.2f}x)")
     print(f"  engine (session)    : {result['engine_session_s']:8.3f} s   "
           f"({result['speedup_session']:.2f}x)")
+    from _summary import write_summary
+
+    print(f"wrote {write_summary('engine_speedup', result)}")
 
 
 if __name__ == "__main__":

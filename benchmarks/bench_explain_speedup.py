@@ -127,6 +127,9 @@ def main() -> None:
         f"  warm session  : {result['warm_s']:8.3f} s   "
         f"({result['speedup_warm']:.2f}x, {result['result_hits']} result-cache hits)"
     )
+    from _summary import write_summary
+
+    print(f"wrote {write_summary('explain_speedup', result)}")
 
 
 if __name__ == "__main__":

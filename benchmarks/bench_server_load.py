@@ -222,4 +222,7 @@ def test_server_load_smoke():
 
 
 if __name__ == "__main__":
-    run_benchmark()
+    _result = run_benchmark()
+    from _summary import write_summary
+
+    print(f"wrote {write_summary('server_load', _result)}")

@@ -149,6 +149,9 @@ def main() -> None:
         f"  submit_batch(workers={WORKERS})           : {result['pooled_s']:7.3f} s   "
         f"{result['pooled_rate']:7.2f} subs/s   ({result['speedup_pooled']:.2f}x)"
     )
+    from _summary import write_summary
+
+    print(f"wrote {write_summary('service_throughput', result)}")
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from repro.api.serialization import (
 from repro.catalog.instance import DatabaseInstance
 from repro.core.finder import find_smallest_counterexample
 from repro.engine.session import EngineSession
+from repro.obs.trace import span as obs_span
 from repro.errors import (
     CounterexampleError,
     NotApplicableError,
@@ -165,19 +166,23 @@ def grade_queries(
     counterexample (the auto-grader's screening mode).
     """
     try:
-        expr1 = _parse(correct_query)
+        with obs_span("grade.parse", query="reference"):
+            expr1 = _parse(correct_query)
     except Exception as exc:
         return _error_outcome(exc, reference=True)
     try:
-        expr2 = _parse(test_query)
+        with obs_span("grade.parse", query="submission"):
+            expr2 = _parse(test_query)
     except Exception as exc:
         return _error_outcome(exc)
     try:
-        reference = session.evaluate(expr1, params)
+        with obs_span("grade.reference_eval"):
+            reference = session.evaluate(expr1, params)
     except Exception as exc:
         return _error_outcome(exc, reference=True)
     try:
-        submitted = session.evaluate(expr2, params)
+        with obs_span("grade.submission_eval"):
+            submitted = session.evaluate(expr2, params)
     except Exception as exc:
         return _error_outcome(exc)
     if submitted.same_rows(reference):
@@ -185,16 +190,19 @@ def grade_queries(
     if not explain:
         return SubmissionOutcome(correct=False)
     try:
-        report = explain_queries(
-            session,
-            expr1,
-            expr2,
-            algorithm=algorithm,
-            params=params,
-            correct_text=display_text(correct_query),
-            test_text=display_text(test_query),
-            **options,
-        )
+        # The counterexample span: the SAT solver's per-solve counters land
+        # here ambiently (see repro.solver.sat.SATSolver.solve).
+        with obs_span("grade.explain", algorithm=algorithm):
+            report = explain_queries(
+                session,
+                expr1,
+                expr2,
+                algorithm=algorithm,
+                params=params,
+                correct_text=display_text(correct_query),
+                test_text=display_text(test_query),
+                **options,
+            )
     except Exception as exc:
         return _error_outcome(exc)
     return SubmissionOutcome(correct=False, report=report)

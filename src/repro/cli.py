@@ -105,11 +105,31 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     tool = RATest(instance, backend=args.backend)
     correct = _read_query(args.correct)
     test = _read_query(args.test)
+    analyses: dict[str, object] = {}
+    if args.analyze:
+        # Analyze before grading: the session memo is still cold, so the
+        # operator tree shows real per-operator rows and timings instead of
+        # one cached root.  Queries that fail to parse or validate are
+        # reported by the grade outcome below, not here.
+        for label, text in (("reference", correct), ("submission", test)):
+            try:
+                analyses[label] = tool.session.explain_analyze(tool.parse(text))
+            except Exception as exc:  # noqa: BLE001 — keep grading anyway
+                analyses[label] = f"not analyzable: {exc}"
     outcome = tool.check(correct, test, algorithm=args.algorithm)
     if args.json:
-        print(json.dumps(outcome.to_dict(), indent=2))
+        payload = outcome.to_dict()
+        if args.analyze:
+            payload["analyze"] = {
+                label: analysis.to_dict() if hasattr(analysis, "to_dict") else str(analysis)
+                for label, analysis in analyses.items()
+            }
+        print(json.dumps(payload, indent=2))
     else:
         print(outcome.render())
+        for label, analysis in analyses.items():
+            print(f"\nEXPLAIN ANALYZE ({label} query):")
+            print(analysis.render() if hasattr(analysis, "render") else f"  {analysis}")
     if outcome.correct:
         return 0
     return 1 if outcome.report is not None else 2
@@ -214,6 +234,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if bool(args.cluster_self) != bool(args.peer):
         raise ReproError("--cluster-self and --peer must be used together")
+    if args.log_json:
+        from repro.obs.logging import configure_json_logging
+
+        configure_json_logging()
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -230,6 +254,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cluster_virtual_nodes=args.virtual_nodes,
         cluster_heartbeat_interval=args.heartbeat_interval,
         cluster_forward=not args.no_forward,
+        slow_request_seconds=args.slow_request,
     )
     server = GradingServer(config)
     cluster_note = (
@@ -335,6 +360,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(BACKEND_NAMES),
         help="execution backend for set-semantics evaluation",
     )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="also print EXPLAIN ANALYZE for both queries: per-operator actual "
+        "vs estimated rows (q-error), wall time and cache/index attribution",
+    )
     explain.add_argument("--json", action="store_true", help="print the outcome as JSON instead of ASCII")
     explain.set_defaults(func=_cmd_explain)
 
@@ -396,6 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log one line per HTTP request to stderr"
+    )
+    serve.add_argument(
+        "--slow-request",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="requests slower than this land in the slow-request log "
+        "(GET /v1/debug/traces)",
+    )
+    serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON log lines (with trace/span ids) to stderr",
     )
     serve.add_argument(
         "--cluster-self",

@@ -101,7 +101,7 @@ class Forwarder:
     # -- forwarding ----------------------------------------------------------
 
     def forward_grade(
-        self, peer: str, payload: Mapping[str, Any]
+        self, peer: str, payload: Mapping[str, Any], *, trace: bool = False
     ) -> tuple[int, dict[str, Any]]:
         """Grade ``payload`` on ``peer``; returns ``(status, envelope)``.
 
@@ -110,11 +110,15 @@ class Forwarder:
         transport-shaped (unreachable, reset, 5xx) raises :class:`ForwardError`
         after feeding the failure into membership, so the caller falls back to
         grading locally.
+
+        ``trace=True`` requests the owner's span block in the envelope; the
+        ambient trace context travels in the ``traceparent`` header the client
+        injects automatically, so the owner's spans join the caller's trace.
         """
         url = self.membership.url(peer)
         client = self._checkout(url, timeout=self.timeout, retries=self.retries)
         try:
-            envelope = client.grade(payload, headers={FORWARDED_HEADER: "1"})
+            envelope = client.grade(payload, headers={FORWARDED_HEADER: "1"}, trace=trace)
         except ServerError as exc:
             self._checkin(url, client)
             if exc.status == 429:

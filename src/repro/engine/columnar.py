@@ -271,6 +271,8 @@ def _build_table(
 ) -> "dict[tuple, list[Values]]":
     """Build-side hash table: key tuple → distinct rows in first-seen order."""
     if executor.use_index and isinstance(plan, ScanOp):
+        if executor.analyzer is not None:
+            executor.analyzer.note(from_index=True)
         index = executor.instance.relation(plan.relation).hash_index(key)
         return {
             key_values: list(dict.fromkeys(values for _, values in entries))
@@ -324,6 +326,8 @@ def _hash_join(executor: "PlanExecutor", plan: JoinOp) -> ColumnBatch:
 def _semi_join(executor: "PlanExecutor", plan: SemiJoinOp) -> ColumnBatch:
     left = _child_batch(executor, plan.left)
     if executor.use_index and isinstance(plan.right, ScanOp):
+        if executor.analyzer is not None:
+            executor.analyzer.note(from_index=True)
         keys = executor.instance.relation(plan.right.relation).hash_index(plan.right_key)
     else:
         extract_right = key_function(plan.right_key)

@@ -259,6 +259,7 @@ class PlanExecutor:
         *,
         use_index: bool = True,
         columnar: bool = False,
+        analyzer=None,
     ) -> None:
         self.instance = instance
         self.params = params
@@ -269,6 +270,10 @@ class PlanExecutor:
         # Columnar batches carry no annotation structure, so the lowering is
         # restricted to the Set domain regardless of what the caller asked.
         self.columnar = columnar and domain.name == "set"
+        # Optional EXPLAIN ANALYZE hook (repro.obs.analyze.PlanAnalyzer): when
+        # attached, run_cached routes through it so every operator execution
+        # is timed and row-counted with identical memo semantics.
+        self.analyzer = analyzer
 
     def _referenced_params(self, plan: PlanNode) -> frozenset:
         """Names of the query parameters the subplan's predicates read."""
@@ -281,6 +286,8 @@ class PlanExecutor:
 
     def run_cached(self, plan: PlanNode):
         """Memoized execution returning a dict or a ``ColumnBatch``."""
+        if self.analyzer is not None:
+            return self.analyzer.run(self, plan)
         key = plan_memo_key(plan, self.params, self.param_refs)
         if key is None:  # unhashable literal/parameter value: skip caching
             return self._execute(plan)
@@ -358,6 +365,8 @@ class PlanExecutor:
         domain = self.domain
         table: dict[tuple, list[tuple[Values, Any]]] = {}
         if self.use_index and isinstance(plan, ScanOp):
+            if self.analyzer is not None:
+                self.analyzer.note(from_index=True)
             index = self.instance.relation(plan.relation).hash_index(key)
             for key_values, entries in index.items():
                 folded: dict[Values, Any] = {}
@@ -420,6 +429,8 @@ class PlanExecutor:
         answered straight from the relation's cached hash index.
         """
         if self.use_index and isinstance(plan.right, ScanOp):
+            if self.analyzer is not None:
+                self.analyzer.note(from_index=True)
             keys = self.instance.relation(plan.right.relation).hash_index(plan.right_key)
         else:
             extract_right = key_function(plan.right_key)

@@ -48,6 +48,7 @@ way, so cache hits are backend-independent.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Iterable, Mapping
 
 from repro.catalog.instance import DatabaseInstance, ResultSet, Values
@@ -74,6 +75,7 @@ from repro.engine.stats import StatsCatalog
 from repro.engine.structural import KeyCache, StructuralKey
 from repro.errors import ReproError
 from repro.lru import LRUCache
+from repro.obs.trace import current_span, operator_trace_enabled
 from repro.ra.ast import RAExpression
 
 ParamValues = Mapping[str, Any]
@@ -110,6 +112,14 @@ class EngineSession:
         self._plans: dict[tuple[str, StructuralKey], PlanNode] = {}
         self._results: dict[str, LRUCache] = {}
         self._param_refs: dict[PlanNode, frozenset] = {}
+        # EXPLAIN ANALYZE support: one long-lived estimator (its memo is keyed
+        # by structurally-equal plan nodes) plus an identity-keyed est-rows
+        # cache over the *cached* physical plans, so a traced warm request
+        # never re-walks plan trees just to annotate operator spans.  Both
+        # live and die with ``_plans``.
+        self._analyze_estimator: "CardinalityEstimator | None" = None
+        self._analyze_est: dict[int, "tuple[PlanNode, float | None]"] = {}
+        self._analyze_meta: dict[int, "tuple[PlanNode, str, str]"] = {}
         self._data_version = instance.data_version
         self._lock = threading.RLock()
         self.stats = {
@@ -144,6 +154,9 @@ class EngineSession:
                 memo.clear()
             self._param_refs.clear()
             self._keys.clear()
+            self._analyze_estimator = None
+            self._analyze_est.clear()
+            self._analyze_meta.clear()
             self._data_version = version
             self.stats["invalidations"] += 1
             return
@@ -157,6 +170,9 @@ class EngineSession:
             self._plans.clear()
             self._param_refs.clear()
             self._keys.clear()
+            self._analyze_estimator = None
+            self._analyze_est.clear()
+            self._analyze_meta.clear()
 
     def _memo(self, domain: AnnotationDomain) -> LRUCache:
         memo = self._results.get(domain.name)
@@ -277,7 +293,26 @@ class EngineSession:
             else:
                 mode = "optimized"
             plan = self._plan(expression, mode=mode)
-            if self.backend == "sqlite" and not exact and domain is SET_DOMAIN:
+            analyzer = None
+            if (
+                mode == "optimized"
+                and domain is SET_DOMAIN
+                and operator_trace_enabled()
+                and current_span() is not None
+            ):
+                # A traced request asked for per-operator spans: attach an
+                # analyzer and keep execution on the Python operators (the
+                # SQLite backend runs whole plans, so it has no operators to
+                # time).  Results land in the shared memo either way.
+                from repro.obs.analyze import PlanAnalyzer
+
+                analyzer = PlanAnalyzer(meta_cache=self._analyze_meta)
+            if (
+                self.backend == "sqlite"
+                and not exact
+                and domain is SET_DOMAIN
+                and analyzer is None
+            ):
                 rows = self._run_sqlite(plan, params or {}, domain)
                 if rows is not None:
                     return schema, rows
@@ -289,8 +324,20 @@ class EngineSession:
                 self._param_refs,
                 use_index=self.use_index,
                 columnar=self.config.columnar and mode == "optimized",
+                analyzer=analyzer,
             )
-            return schema, executor.run(plan)
+            result = executor.run(plan)
+            if analyzer is not None:
+                from repro.obs.analyze import emit_operator_spans
+
+                if self._analyze_estimator is None:
+                    self._analyze_estimator = CardinalityEstimator(
+                        self.instance, self._stats
+                    )
+                emit_operator_spans(
+                    analyzer, self._analyze_estimator, est_cache=self._analyze_est
+                )
+            return schema, result
 
     def _run_sqlite(
         self, plan: PlanNode, params: ParamValues, domain: AnnotationDomain
@@ -323,6 +370,41 @@ class EngineSession:
         if key is not None:
             memo[key] = rows
         return rows
+
+    def explain_analyze(self, expression: RAExpression, params: ParamValues | None = None):
+        """EXPLAIN ANALYZE: execute under set semantics with per-operator timing.
+
+        Returns an :class:`~repro.obs.analyze.ExplainAnalysis` whose operator
+        tree carries actual rows, wall time, cache/index/columnar attribution,
+        and the :class:`CardinalityEstimator`'s predicted rows with per-operator
+        q-error.  Uses the same plan and memo the normal path would, so the
+        analysis reflects real execution (including warm-cache hits).
+        """
+        from repro.obs.analyze import ExplainAnalysis, PlanAnalyzer
+
+        with self._lock:
+            self._check_version()
+            expression.output_schema(self.instance.schema)  # validate up front
+            mode = "optimized" if self.optimize else "exact"
+            plan = self._plan(expression, mode=mode)
+            analyzer = PlanAnalyzer()
+            executor = PlanExecutor(
+                self.instance,
+                params or {},
+                SET_DOMAIN,
+                self._memo(SET_DOMAIN),
+                self._param_refs,
+                use_index=self.use_index,
+                columnar=self.config.columnar and mode == "optimized",
+                analyzer=analyzer,
+            )
+            begin = time.perf_counter()
+            rows = executor.run(plan)
+            total = time.perf_counter() - begin
+            estimator = CardinalityEstimator(self.instance, self._stats)
+            return ExplainAnalysis.build(
+                analyzer, estimator, output_rows=len(rows), total_seconds=total
+            )
 
     def evaluate(self, expression: RAExpression, params: ParamValues | None = None) -> ResultSet:
         """Set-semantics evaluation (same contract as ``repro.ra.evaluate``)."""

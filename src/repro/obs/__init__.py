@@ -1,0 +1,50 @@
+"""Observability: tracing, EXPLAIN ANALYZE, JSON logging, exposition parsing.
+
+Stdlib-only.  :mod:`repro.obs.trace` is import-light (no repro imports) so
+any layer — engine, solver, server — can depend on it without cycles.
+"""
+
+from repro.obs.analyze import (
+    ExplainAnalysis,
+    OperatorRecord,
+    PlanAnalyzer,
+    emit_operator_spans,
+    q_error,
+)
+from repro.obs.logging import JsonLogFormatter, configure_json_logging
+from repro.obs.trace import (
+    TRACEPARENT_HEADER,
+    Span,
+    SpanContext,
+    TraceStore,
+    Tracer,
+    active_tracer,
+    add_span_metrics,
+    current_span,
+    current_traceparent,
+    operator_trace,
+    operator_trace_enabled,
+    span,
+)
+
+__all__ = [
+    "TRACEPARENT_HEADER",
+    "Span",
+    "SpanContext",
+    "TraceStore",
+    "Tracer",
+    "active_tracer",
+    "add_span_metrics",
+    "current_span",
+    "current_traceparent",
+    "operator_trace",
+    "operator_trace_enabled",
+    "span",
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "ExplainAnalysis",
+    "OperatorRecord",
+    "PlanAnalyzer",
+    "emit_operator_spans",
+    "q_error",
+]

@@ -1,0 +1,75 @@
+"""Structured JSON logging with trace/span ids injected (stdlib only).
+
+One formatter, one convenience installer.  Every record becomes a single
+JSON object per line with the ambient trace context attached, so a log line
+written anywhere inside a traced request can be joined back to its trace —
+``grep <trace_id>`` across daemon logs reconstructs a request's story.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+from repro.obs.trace import current_span
+
+#: Attributes every LogRecord carries; anything else was passed via
+#: ``extra=`` and is worth serializing.
+_STANDARD_RECORD_KEYS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Format records as one JSON object per line, with trace context."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "time": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        # Explicit extra= fields win; otherwise fall back to the ambient span.
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_RECORD_KEYS:
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if "trace_id" not in payload:
+            span = current_span()
+            if span is not None:
+                payload["trace_id"] = span.trace_id
+                payload["span_id"] = span.span_id
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def configure_json_logging(
+    level: int = logging.INFO, stream: TextIO | None = None
+) -> logging.Handler:
+    """Install a JSON handler on the root logger (idempotent per stream).
+
+    Returns the handler so embedding callers (tests) can remove it again.
+    """
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    root = logging.getLogger()
+    root.addHandler(handler)
+    if root.level == logging.NOTSET or root.level > level:
+        root.setLevel(level)
+    return handler
+
+
+__all__ = ["JsonLogFormatter", "configure_json_logging"]

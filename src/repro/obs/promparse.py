@@ -1,0 +1,193 @@
+"""A minimal parser/validator for the Prometheus text exposition format.
+
+Covers the slice :mod:`repro.server.metrics` renders (``version=0.0.4``):
+``# HELP``/``# TYPE`` headers, labelled samples with escaped label values
+(``\\\\``, ``\\"``, ``\\n``), and histogram families (``_bucket``/``_sum``/
+``_count`` with an ``le="+Inf"`` terminal bucket).
+
+Used two ways: the exposition-edge-case tests round-trip rendered text
+through it, and the CI ``obs-smoke`` job validates a live ``/metrics``
+scrape with it.  :func:`parse_exposition` raises :class:`ValueError` on any
+malformed line, unknown family, or inconsistent histogram, so "the scrape
+parses" is a real assertion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+_ESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+@dataclass
+class Sample:
+    """One sample line: ``name{labels} value``."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+@dataclass
+class MetricFamily:
+    """One declared metric family with its samples in document order."""
+
+    name: str
+    kind: str
+    help: str
+    samples: list[Sample] = field(default_factory=list)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _parse_labels(body: str) -> dict[str, str]:
+    """Parse the inside of a ``{...}`` label block, honouring escapes."""
+    labels: dict[str, str] = {}
+    i = 0
+    while i < len(body):
+        eq = body.find("=", i)
+        if eq < 0:
+            raise ValueError(f"label without '=' in {body!r}")
+        name = body[i:eq]
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"invalid label name {name!r}")
+        if eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ValueError(f"label value for {name!r} is not quoted")
+        i = eq + 2
+        chars: list[str] = []
+        while True:
+            if i >= len(body):
+                raise ValueError(f"unterminated label value for {name!r}")
+            ch = body[i]
+            if ch == "\\":
+                if i + 1 >= len(body):
+                    raise ValueError(f"dangling escape in label {name!r}")
+                nxt = body[i + 1]
+                if nxt not in _ESCAPES:
+                    raise ValueError(f"unknown escape \\{nxt} in label {name!r}")
+                chars.append(_ESCAPES[nxt])
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            elif ch == "\n":
+                raise ValueError(f"raw newline in label {name!r}")
+            else:
+                chars.append(ch)
+                i += 1
+        labels[name] = "".join(chars)
+        if i < len(body):
+            if body[i] != ",":
+                raise ValueError(f"expected ',' between labels in {body!r}")
+            i += 1
+    return labels
+
+
+def _family_for(name: str, families: dict[str, MetricFamily]) -> MetricFamily:
+    family = families.get(name)
+    if family is not None:
+        return family
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = families.get(name[: -len(suffix)])
+            if base is not None and base.kind == "histogram":
+                return base
+    raise ValueError(f"sample {name!r} has no declared family")
+
+
+def parse_exposition(text: str) -> dict[str, MetricFamily]:
+    """Parse (and validate) one exposition document into its families."""
+    families: dict[str, MetricFamily] = {}
+    declared_type: set[str] = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        try:
+            if line.startswith("# HELP "):
+                _, _, rest = line.partition("# HELP ")
+                name, _, help_text = rest.partition(" ")
+                if name in families:
+                    raise ValueError(f"family {name!r} declared twice")
+                families[name] = MetricFamily(name=name, kind="untyped", help=help_text)
+            elif line.startswith("# TYPE "):
+                _, _, rest = line.partition("# TYPE ")
+                name, _, kind = rest.partition(" ")
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"unknown metric type {kind!r}")
+                if name not in families:
+                    families[name] = MetricFamily(name=name, kind=kind, help="")
+                families[name].kind = kind
+                declared_type.add(name)
+            elif line.startswith("#"):
+                continue  # comment
+            else:
+                if line != line.strip():
+                    raise ValueError("sample line has leading/trailing whitespace")
+                if "{" in line:
+                    name, _, rest = line.partition("{")
+                    body, closer, value_text = rest.rpartition("} ")
+                    if closer != "} ":
+                        raise ValueError("malformed label block")
+                    labels = _parse_labels(body)
+                else:
+                    name, _, value_text = line.rpartition(" ")
+                    labels = {}
+                if not name:
+                    raise ValueError("sample without a metric name")
+                value = _parse_value(value_text)
+                _family_for(name, families).samples.append(Sample(name, labels, value))
+        except ValueError as exc:
+            raise ValueError(f"line {number}: {exc} [{line!r}]") from None
+    _validate_histograms(families)
+    return families
+
+
+def _validate_histograms(families: dict[str, MetricFamily]) -> None:
+    for family in families.values():
+        if family.kind != "histogram":
+            continue
+        by_series: dict[tuple, dict[str, list[Sample] | Sample]] = {}
+        for sample in family.samples:
+            labels = {k: v for k, v in sample.labels.items() if k != "le"}
+            key = tuple(sorted(labels.items()))
+            entry = by_series.setdefault(key, {"buckets": []})
+            if sample.name.endswith("_bucket"):
+                if "le" not in sample.labels:
+                    raise ValueError(f"{sample.name} bucket without le label")
+                entry["buckets"].append(sample)  # type: ignore[union-attr]
+            elif sample.name.endswith("_count"):
+                entry["count"] = sample
+            elif sample.name.endswith("_sum"):
+                entry["sum"] = sample
+        for key, entry in by_series.items():
+            buckets: list[Sample] = entry["buckets"]  # type: ignore[assignment]
+            if not buckets:
+                raise ValueError(f"histogram {family.name}{dict(key)} has no buckets")
+            bounds = [_parse_value(b.labels["le"]) for b in buckets]
+            if bounds != sorted(bounds):
+                raise ValueError(f"histogram {family.name} buckets out of order")
+            if bounds[-1] != math.inf:
+                raise ValueError(f"histogram {family.name} missing le=\"+Inf\" bucket")
+            counts = [b.value for b in buckets]
+            if counts != sorted(counts):
+                raise ValueError(f"histogram {family.name} buckets not cumulative")
+            count = entry.get("count")
+            if not isinstance(count, Sample):
+                raise ValueError(f"histogram {family.name} missing _count")
+            if count.value != counts[-1]:
+                raise ValueError(
+                    f"histogram {family.name}: _count {count.value} != "
+                    f"+Inf bucket {counts[-1]}"
+                )
+            if not isinstance(entry.get("sum"), Sample):
+                raise ValueError(f"histogram {family.name} missing _sum")
+
+
+__all__ = ["MetricFamily", "Sample", "parse_exposition"]

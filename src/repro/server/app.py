@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from time import monotonic, perf_counter
 from typing import Any, Mapping
+from urllib.parse import parse_qs, urlsplit
 
 import repro
 from repro.api.registry import default_registry
@@ -65,6 +66,7 @@ from repro.cluster.membership import (
     parse_peer_specs,
 )
 from repro.errors import ReproError
+from repro.obs.trace import TRACEPARENT_HEADER, Span, SpanContext, Tracer, TraceStore
 from repro.server.metrics import MetricsRegistry, label_key
 from repro.server.store import ResultStore, StoreKey
 from repro.server.workers import (
@@ -129,6 +131,11 @@ class ServerConfig:
     http_threads: int = 32
     #: Log one line per request to stderr (quiet by default: tests/benchmarks).
     verbose: bool = False
+    #: Root spans (whole requests) slower than this land in the slow-request
+    #: log (``/v1/debug/traces`` → ``"slow"``) and a warning log line.
+    slow_request_seconds: float = 1.0
+    #: Bound on traces kept in memory for ``/v1/debug/traces``.
+    trace_max_traces: int = 256
 
     # -- cluster membership (all inert unless ``cluster_self`` is set) -------
 
@@ -197,6 +204,13 @@ class GradingServer:
         self._grade_ewma = 0.0
         self._batch_pool = ThreadPoolExecutor(
             max_workers=self.config.batch_threads, thread_name_prefix="repro-batch"
+        )
+        self.traces = TraceStore(max_traces=self.config.trace_max_traces)
+        self.tracer = Tracer(
+            self.config.cluster_self or "server",
+            store=self.traces,
+            slow_threshold=self.config.slow_request_seconds,
+            on_span=self._observe_span,
         )
         self.metrics = self._build_metrics()
         self._httpd = EventLoopHTTPServer(
@@ -271,6 +285,29 @@ class GradingServer:
             "worker liveness checking is degraded.",
             callback=lambda: self.pool.watchdog_errors,
         )
+        metrics.histogram(
+            "repro_trace_span_seconds",
+            "Latency of finished trace spans, by span name (http, server.grade, "
+            "cluster.forward, worker.grade, grade.* phases, op.* operators).",
+        )
+        metrics.histogram(
+            "repro_engine_qerror",
+            "Per-operator cardinality-estimation q-error (max(est/actual, "
+            "actual/est), 1.0 = perfect) from traced plan executions.",
+            buckets=(1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, 256.0, 1024.0),
+        )
+        metrics.gauge(
+            "repro_trace_store_traces",
+            "Traces currently held in the bounded in-memory trace store.",
+            callback=lambda: float(len(self.traces)),
+        )
+        metrics.gauge(
+            "repro_store_age_seconds",
+            "Seconds since the newest and oldest stored grade "
+            '(label bound="newest"/"oldest"; absent while the store is empty). '
+            "Derived from the store's wall-clock created_at_unix column.",
+            callback=self._store_age_series,
+        )
         metrics.gauge(
             "repro_worker_cache",
             "Per-worker engine/registry cache counters (plan and result "
@@ -335,6 +372,51 @@ class GradingServer:
             label_key({"peer": name}): float(STATE_CODES[state])
             for name, state in self.membership.states().items()
         }
+
+    def _store_age_series(self) -> Mapping[tuple, float]:
+        bounds = self.store.age_bounds()
+        if bounds is None:
+            return {}
+        newest, oldest = bounds
+        return {
+            label_key({"bound": "newest"}): newest,
+            label_key({"bound": "oldest"}): oldest,
+        }
+
+    def _observe_span(self, span: Span) -> None:
+        """Tracer callback: every locally finished span feeds the histograms."""
+        self.metrics.observe(
+            "repro_trace_span_seconds",
+            span.duration if span.duration is not None else 0.0,
+            {"span": span.name},
+        )
+        qe = span.attributes.get("q_error")
+        if isinstance(qe, (int, float)):
+            self.metrics.observe("repro_engine_qerror", float(qe))
+
+    def _ingest_spans(self, spans: Any) -> None:
+        """Merge span dicts from a worker process or a forwarded peer.
+
+        They join the local trace store (so ``/v1/debug/traces`` shows whole
+        traces, not just this daemon's slice) and feed the same span-latency
+        and q-error histograms local spans do.
+        """
+        if not isinstance(spans, list):
+            return
+        for span in spans:
+            if not isinstance(span, Mapping):
+                continue
+            self.traces.add(span)
+            duration = span.get("duration")
+            if isinstance(duration, (int, float)):
+                self.metrics.observe(
+                    "repro_trace_span_seconds",
+                    float(duration),
+                    {"span": str(span.get("name"))},
+                )
+            qe = (span.get("attributes") or {}).get("q_error")
+            if isinstance(qe, (int, float)):
+                self.metrics.observe("repro_engine_qerror", float(qe))
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -463,12 +545,37 @@ class GradingServer:
         envelope = self.store.get(key)
         return 200, {"found": envelope is not None, "envelope": envelope}
 
-    def handle_grade(self, payload: Any, *, forwarded: bool = False) -> tuple[int, dict[str, Any]]:
+    def handle_grade(
+        self, payload: Any, *, forwarded: bool = False, trace: bool = False
+    ) -> tuple[int, dict[str, Any]]:
         try:
             request = SubmissionRequest.from_dict(payload)
         except ReproError as exc:
             return 400, {"error": str(exc), "error_kind": "invalid_request"}
-        return self._grade_one(request, wait_for_slot=False, forwarded=forwarded)
+        return self._grade_one(
+            request, wait_for_slot=False, forwarded=forwarded, trace=trace
+        )
+
+    def handle_debug_traces(self, target: str) -> tuple[int, dict[str, Any]]:
+        """Recent traces from the bounded in-memory store (debug surface).
+
+        ``?trace_id=<32hex>`` returns that one trace; otherwise the newest
+        ``?limit=`` traces (default 20) plus the slow-request log.
+        """
+        params = parse_qs(urlsplit(target).query)
+        trace_id = (params.get("trace_id") or [None])[0]
+        if trace_id:
+            spans = self.traces.get(trace_id)
+            traces = [] if spans is None else [{"trace_id": trace_id, "spans": spans}]
+            return 200, {"traces": traces}
+        try:
+            limit = int((params.get("limit") or ["20"])[0])
+        except ValueError:
+            return 400, {"error": "limit must be an integer", "error_kind": "invalid_request"}
+        return 200, {
+            "traces": self.traces.snapshot(limit=limit),
+            "slow": list(self.tracer.slow_spans),
+        }
 
     def handle_grade_batch(self, payload: Any, *, forwarded: bool = False) -> tuple[int, dict[str, Any]]:
         if not isinstance(payload, Mapping) or not isinstance(payload.get("requests"), list):
@@ -559,7 +666,67 @@ class GradingServer:
                 )
 
     def _grade_one(
-        self, request: SubmissionRequest, *, wait_for_slot: bool, forwarded: bool = False
+        self,
+        request: SubmissionRequest,
+        *,
+        wait_for_slot: bool,
+        forwarded: bool = False,
+        trace: bool = False,
+    ) -> tuple[int, dict[str, Any]]:
+        """Grade one validated request, optionally under a ``server.grade`` span.
+
+        ``trace=True`` (the ``?trace=1`` query flag) records a span for this
+        grade and collects the spans produced downstream — forward hop, worker,
+        per-operator engine spans — into a ``"trace"`` block on the *returned*
+        envelope only.  The block is decoration like ``store``/``wall_time``:
+        coalesced followers and the persistent store always see the clean,
+        deterministic envelope.
+        """
+        if not trace:
+            return self._grade_inner(
+                request, wait_for_slot=wait_for_slot, forwarded=forwarded
+            )
+        spec, seed = self._normalize(request)
+        span = self.tracer.start_span(
+            "server.grade",
+            attributes={"dataset": spec, "seed": seed, "forwarded": forwarded},
+        )
+        sink: list[dict[str, Any]] = []
+        try:
+            status, envelope = self._grade_inner(
+                request,
+                wait_for_slot=wait_for_slot,
+                forwarded=forwarded,
+                trace_span=span,
+                sink=sink,
+            )
+        except BaseException as exc:
+            span.attributes.setdefault("error", type(exc).__name__)
+            self.tracer.finish_span(span, status="error")
+            raise
+        if status == 200:
+            span.attributes["store"] = envelope.get("store")
+        # Finish before building the response so the span's duration covers
+        # the whole grade and its dict form can ride along in the envelope.
+        self.tracer.finish_span(span, status="ok" if status < 500 else "error")
+        if status == 200:
+            envelope = {
+                **envelope,
+                "trace": {
+                    "trace_id": span.trace_id,
+                    "spans": [*sink, span.to_dict()],
+                },
+            }
+        return status, envelope
+
+    def _grade_inner(
+        self,
+        request: SubmissionRequest,
+        *,
+        wait_for_slot: bool,
+        forwarded: bool = False,
+        trace_span: Span | None = None,
+        sink: list[dict[str, Any]] | None = None,
     ) -> tuple[int, dict[str, Any]]:
         """Grade one validated request: store → coalesce → route → worker pool."""
         started = perf_counter()
@@ -617,7 +784,8 @@ class GradingServer:
 
         try:
             status, envelope, grade_time, source = self._compute(
-                request, key, spec, seed, wait_for_slot, forwarded
+                request, key, spec, seed, wait_for_slot, forwarded,
+                trace_span=trace_span, sink=sink,
             )
             shared.set_result((status, dict(envelope), grade_time))
         except BaseException as exc:
@@ -645,6 +813,8 @@ class GradingServer:
         seed: int,
         wait_for_slot: bool,
         forwarded: bool,
+        trace_span: Span | None = None,
+        sink: list[dict[str, Any]] | None = None,
     ) -> tuple[int, dict[str, Any], float, str]:
         """Route one cold, non-coalesced grade; returns (status, envelope,
         grade_time, store-source label)."""
@@ -656,10 +826,23 @@ class GradingServer:
         ):
             peer = self.membership.owner(spec, seed)
             if not self.membership.is_self(peer):
+                traced = trace_span is not None and sink is not None
+                forward_span: Span | None = None
                 try:
-                    status, envelope = self.forwarder.forward_grade(
-                        peer, request.to_dict()
-                    )
+                    if traced:
+                        # The span context manager makes the forward span
+                        # ambient on this thread, so the pooled client injects
+                        # its traceparent and the owner's spans join the trace.
+                        with self.tracer.span(
+                            "cluster.forward", parent=trace_span, attributes={"peer": peer}
+                        ) as forward_span:
+                            status, envelope = self.forwarder.forward_grade(
+                                peer, request.to_dict(), trace=True
+                            )
+                    else:
+                        status, envelope = self.forwarder.forward_grade(
+                            peer, request.to_dict()
+                        )
                 except ForwardError:
                     # Owner unreachable: grade locally.  Correctness is
                     # preserved (grading is deterministic everywhere); only
@@ -673,9 +856,21 @@ class GradingServer:
                     self.metrics.inc(
                         "repro_cluster_forwarded_total", {"peer": peer}
                     )
+                    envelope = dict(envelope)
+                    # The owner's trace block is response decoration, never
+                    # store content: lift it out before cleaning/persisting.
+                    remote_trace = envelope.pop("trace", None)
+                    if sink is not None and isinstance(remote_trace, Mapping):
+                        remote_spans = remote_trace.get("spans")
+                        if isinstance(remote_spans, list):
+                            sink.extend(remote_spans)
+                            self._ingest_spans(remote_spans)
                     envelope = self._clean_envelope(envelope)
                     self._maybe_persist(key, envelope)
                     return 200, envelope, 0.0, "forwarded"
+                finally:
+                    if forward_span is not None and sink is not None:
+                        sink.append(forward_span.to_dict())
 
         if self.membership is not None and self.forwarder is not None:
             # The store tier: before grading cold, ask the key's static
@@ -691,7 +886,8 @@ class GradingServer:
                 return 200, envelope, 0.0, "remote_hit"
 
         status, envelope, grade_time = self._grade_via_pool(
-            request, key, spec, seed, wait_for_slot
+            request, key, spec, seed, wait_for_slot,
+            trace_span=trace_span, sink=sink,
         )
         if self.membership is not None and status == 200:
             self.metrics.inc("repro_cluster_local_total")
@@ -703,6 +899,7 @@ class GradingServer:
         clean = dict(envelope)
         clean.pop("store", None)
         clean.pop("wall_time", None)
+        clean.pop("trace", None)
         return clean
 
     def _maybe_persist(self, key: StoreKey, envelope: Mapping[str, Any]) -> None:
@@ -726,8 +923,15 @@ class GradingServer:
         spec: str,
         seed: int,
         wait_for_slot: bool,
+        trace_span: Span | None = None,
+        sink: list[dict[str, Any]] | None = None,
     ) -> tuple[int, dict[str, Any], float]:
         enqueued = perf_counter()
+        trace_ctx = (
+            None
+            if trace_span is None
+            else {"traceparent": trace_span.context.to_traceparent()}
+        )
         try:
             future = self.pool.submit(
                 request.to_dict(),
@@ -735,6 +939,7 @@ class GradingServer:
                 seed=seed,
                 wait=wait_for_slot,
                 wait_timeout=self.config.request_timeout,
+                trace=trace_ctx,
             )
         except QueueFullError as exc:
             return 429, {"error": str(exc), "error_kind": "overloaded"}, 0.0
@@ -757,6 +962,13 @@ class GradingServer:
             )
         self._observe("queue_wait", max(0.0, perf_counter() - enqueued - grade_time))
         self._observe_explain_stages(reply.pop("explain_timings", None))
+        # Worker spans ship back alongside the envelope; pop them *before* the
+        # cacheable-persist below so traces never enter the store.
+        spans = reply.pop("trace_spans", None)
+        if isinstance(spans, list) and spans:
+            if sink is not None:
+                sink.extend(spans)
+            self._ingest_spans(spans)
         error_kind = (reply.get("outcome") or {}).get("error_kind")
         if error_kind in _CACHEABLE_ERROR_KINDS:
             # The submitter's id is routing, not grade content — strip it so
@@ -795,7 +1007,21 @@ class GradingServer:
             raise ReproError(f"request body is not valid JSON: {exc}") from None
 
     def _dispatch(self, request: HTTPRequest) -> HTTPResponse:
-        response = self._route(request)
+        # Trace the endpoints that do real work (POST grading paths) and any
+        # request that already carries a traceparent (forwarded hops).  GETs
+        # without one — health probes at heartbeat rate, Prometheus scrapes —
+        # would otherwise churn the bounded trace store with one-span traces.
+        traceparent = request.header(TRACEPARENT_HEADER)
+        if request.method == "POST" or traceparent is not None:
+            with self.tracer.span(
+                f"http {request.path}",
+                parent=SpanContext.parse(traceparent),
+                attributes={"method": request.method},
+            ) as span:
+                response = self._route(request)
+                span.attributes["status"] = response.status
+        else:
+            response = self._route(request)
         if self.config.verbose:
             print(
                 f"{request.method} {request.target} -> {response.status}",
@@ -828,6 +1054,11 @@ class GradingServer:
                 return self._json_response(
                     status, payload, endpoint="/v1/cluster/health"
                 )
+            if path == "/v1/debug/traces":
+                status, payload = self.handle_debug_traces(request.target)
+                return self._json_response(
+                    status, payload, endpoint="/v1/debug/traces"
+                )
             return self._json_response(
                 404, {"error": f"unknown path {path!r}"}, endpoint="other"
             )
@@ -847,7 +1078,11 @@ class GradingServer:
             forwarded = request.header(FORWARDED_HEADER.lower()) is not None
             try:
                 if path == "/v1/grade":
-                    status, body = self.handle_grade(payload, forwarded=forwarded)
+                    query = parse_qs(urlsplit(request.target).query)
+                    trace = (query.get("trace") or ["0"])[0] not in ("", "0", "false")
+                    status, body = self.handle_grade(
+                        payload, forwarded=forwarded, trace=trace
+                    )
                 elif path == "/v1/grade_batch":
                     status, body = self.handle_grade_batch(payload, forwarded=forwarded)
                 else:

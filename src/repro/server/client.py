@@ -25,6 +25,7 @@ from urllib.parse import urlsplit
 
 from repro.api.service import SubmissionRequest
 from repro.errors import ReproError
+from repro.obs.trace import TRACEPARENT_HEADER, current_traceparent
 
 RequestLike = SubmissionRequest | Mapping[str, Any]
 
@@ -151,6 +152,14 @@ class GradingClient:
         headers: Mapping[str, str] | None = None,
     ) -> Any:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
+        # Propagate the ambient trace context: a request issued inside a span
+        # (e.g. the forwarder's cluster.forward span) carries its traceparent,
+        # so the receiving daemon continues the same trace.
+        traceparent = current_traceparent()
+        if traceparent is not None:
+            merged = dict(headers) if headers else {}
+            merged.setdefault(TRACEPARENT_HEADER, traceparent)
+            headers = merged
         last: tuple[int, Any, str] | None = None
         for attempt in range(self.retries + 1):
             try:
@@ -195,10 +204,32 @@ class GradingClient:
         return self._request("POST", "/v1/store/lookup", dict(key_payload))
 
     def grade(
-        self, request: RequestLike, *, headers: Mapping[str, str] | None = None
+        self,
+        request: RequestLike,
+        *,
+        headers: Mapping[str, str] | None = None,
+        trace: bool = False,
     ) -> dict[str, Any]:
-        """Grade one submission; returns the server's grade envelope."""
-        return self._request("POST", "/v1/grade", self._payload(request), headers=headers)
+        """Grade one submission; returns the server's grade envelope.
+
+        ``trace=True`` asks the server for a per-request trace (entry daemon,
+        forward hop, worker, per-operator engine spans) attached to the
+        envelope under ``"trace"``.
+        """
+        path = "/v1/grade?trace=1" if trace else "/v1/grade"
+        return self._request("POST", path, self._payload(request), headers=headers)
+
+    def debug_traces(
+        self, trace_id: str | None = None, limit: int | None = None
+    ) -> dict[str, Any]:
+        """Recent traces (or one trace by id) from ``/v1/debug/traces``."""
+        params = []
+        if trace_id is not None:
+            params.append(f"trace_id={trace_id}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        query = "?" + "&".join(params) if params else ""
+        return self._request("GET", f"/v1/debug/traces{query}")
 
     def grade_batch(self, requests: Iterable[RequestLike], *, chunk_size: int = 500) -> list[dict[str, Any]]:
         """Grade many submissions, preserving order, chunked over the wire."""

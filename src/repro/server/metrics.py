@@ -8,11 +8,18 @@ thread-safe; ``/metrics`` scrapes call :meth:`MetricsRegistry.render`.
 
 from __future__ import annotations
 
+import logging
 import math
 import threading
 from typing import Any, Callable, Iterable, Mapping
 
+log = logging.getLogger(__name__)
+
 Labels = Mapping[str, str] | None
+
+#: Counter of gauge callbacks that raised (or returned junk) during a scrape;
+#: declared automatically by every registry so scrape health is observable.
+CALLBACK_ERRORS_METRIC = "repro_metrics_callback_errors_total"
 
 #: Default latency buckets (seconds): sub-millisecond store lookups up to
 #: multi-second counterexample searches.
@@ -80,6 +87,10 @@ class MetricsRegistry:
         self._gauge_callbacks: dict[str, Callable[[], Mapping[tuple, float] | float]] = {}
         self._histograms: dict[str, dict[tuple, _Histogram]] = {}
         self._buckets: dict[str, tuple[float, ...]] = {}
+        self.counter(
+            CALLBACK_ERRORS_METRIC,
+            "Gauge callbacks that raised during a /metrics scrape (by metric).",
+        )
 
     # -- declaration ---------------------------------------------------------
 
@@ -165,11 +176,21 @@ class MetricsRegistry:
                 for name, series in self._histograms.items()
             }
         for name, callback in callbacks.items():
-            produced = callback()
-            if isinstance(produced, Mapping):
-                gauges[name].update(produced)
-            else:
-                gauges[name][()] = float(produced)
+            # A raising callback (e.g. the cross-process worker-cache scrape
+            # during a worker crash) must not kill the whole exposition: skip
+            # just that series and count the failure.  The error counter was
+            # snapshotted before callbacks ran, so the increment becomes
+            # visible on the *next* scrape — acceptable for a monotonically
+            # increasing counter.
+            try:
+                produced = callback()
+                if isinstance(produced, Mapping):
+                    gauges[name].update(produced)
+                else:
+                    gauges[name][()] = float(produced)
+            except Exception:
+                log.warning("metrics gauge callback %s failed", name, exc_info=True)
+                self.inc(CALLBACK_ERRORS_METRIC, {"metric": name})
         lines: list[str] = []
         for name in order:
             kind, help_text = help_texts[name]

@@ -34,17 +34,24 @@ from typing import Any, Mapping
 from repro.api.serialization import SCHEMA_VERSION
 from repro.errors import ReproError
 
+#: ``created_at_unix`` is a *wall-clock* Unix timestamp (``time.time()``) on
+#: purpose, unlike the ``perf_counter`` timings used for latency measurement
+#: everywhere else: stored rows outlive the writing process and are read
+#: across daemons, so the timestamp must be meaningful after restarts and
+#: comparable between machines — which a process-relative monotonic clock is
+#: not.  It is a *row age* marker (store-age gauge, debugging), never a
+#: latency source.
 _CREATE = """
 CREATE TABLE IF NOT EXISTS results (
-    schema_version INTEGER NOT NULL,
-    dataset        TEXT    NOT NULL,
-    seed           INTEGER NOT NULL,
-    backend        TEXT    NOT NULL,
-    ref_hash       TEXT    NOT NULL,
-    sub_hash       TEXT    NOT NULL,
-    options_hash   TEXT    NOT NULL,
-    payload        TEXT    NOT NULL,
-    created_at     REAL    NOT NULL,
+    schema_version  INTEGER NOT NULL,
+    dataset         TEXT    NOT NULL,
+    seed            INTEGER NOT NULL,
+    backend         TEXT    NOT NULL,
+    ref_hash        TEXT    NOT NULL,
+    sub_hash        TEXT    NOT NULL,
+    options_hash    TEXT    NOT NULL,
+    payload         TEXT    NOT NULL,
+    created_at_unix REAL    NOT NULL,
     PRIMARY KEY (schema_version, dataset, seed, backend, ref_hash, sub_hash, options_hash)
 )
 """
@@ -161,9 +168,22 @@ class ResultStore:
         if self.path != ":memory:":
             self._conn.execute("PRAGMA journal_mode = WAL")
             self._conn.execute("PRAGMA synchronous = NORMAL")
+        self._migrate()
         self._conn.execute(_CREATE)
         self._conn.commit()
         self.stats = {"hits": 0, "misses": 0, "writes": 0, "races": 0}
+
+    def _migrate(self) -> None:
+        """Rename the legacy ``created_at`` column to ``created_at_unix``.
+
+        Stores written by earlier releases keep their rows; the rename only
+        makes the wall-clock semantics explicit in the schema.
+        """
+        columns = {row[1] for row in self._conn.execute("PRAGMA table_info(results)")}
+        if "created_at" in columns and "created_at_unix" not in columns:
+            self._conn.execute(
+                "ALTER TABLE results RENAME COLUMN created_at TO created_at_unix"
+            )
 
     # -- mapping operations --------------------------------------------------
 
@@ -188,8 +208,10 @@ class ResultStore:
         """
         text = json.dumps(payload, sort_keys=True)
         with self._lock:
+            # Wall clock, not perf_counter: see the _CREATE docstring — the
+            # stamp must survive restarts and compare across processes.
             cursor = self._conn.execute(
-                f"INSERT OR IGNORE INTO results ({_KEY_COLUMNS}, payload, created_at) "
+                f"INSERT OR IGNORE INTO results ({_KEY_COLUMNS}, payload, created_at_unix) "
                 "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (*astuple(key), text, time.time()),
             )
@@ -217,6 +239,23 @@ class ResultStore:
     def info(self) -> dict[str, Any]:
         """Store statistics for ``/healthz`` and ``/metrics``."""
         return {"path": self.path, "rows": len(self), **self.stats}
+
+    def age_bounds(self) -> tuple[float, float] | None:
+        """Seconds since the newest and oldest stored row, or ``None`` if empty.
+
+        Backs the ``repro_store_age_seconds`` gauge: the newest age tells how
+        recently the store absorbed a grade, the oldest how far back its
+        history reaches.  Clock skew between writer and reader can make the
+        raw difference slightly negative, so both are clamped at zero.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT MAX(created_at_unix), MIN(created_at_unix) FROM results"
+            ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        now = time.time()
+        return (max(0.0, now - row[0]), max(0.0, now - row[1]))
 
     def __enter__(self) -> "ResultStore":
         return self

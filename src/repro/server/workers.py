@@ -114,7 +114,9 @@ def _worker_main(worker_id: int, config: WorkerConfig, tasks: Any, results: Any)
     signal.signal(signal.SIGTERM, signal.SIG_IGN)
 
     from repro.api.service import GradingService, classify_error
+    from repro.obs.trace import SpanContext, Tracer, operator_trace
 
+    tracer = Tracer(f"worker-{worker_id}")
     service = GradingService(
         default_dataset=config.default_dataset,
         default_seed=config.default_seed,
@@ -132,7 +134,7 @@ def _worker_main(worker_id: int, config: WorkerConfig, tasks: Any, results: Any)
         item = tasks.get()
         if item is _SHUTDOWN:
             break
-        request_id, kind, payload = item
+        request_id, kind, payload, trace_ctx = item
         try:
             if kind == "stats":
                 reply: dict[str, Any] = {
@@ -140,6 +142,22 @@ def _worker_main(worker_id: int, config: WorkerConfig, tasks: Any, results: Any)
                     "registry": service.registry.cache_info(),
                     "sessions": service.registry.session_stats(),
                 }
+            elif trace_ctx is not None:
+                # Traced grade: continue the parent's trace across the process
+                # boundary, collect every span (worker, grade phases, engine
+                # operators) and ship them back alongside the envelope.
+                parent = SpanContext.parse(trace_ctx.get("traceparent"))
+                started = perf_counter()
+                with tracer.capture() as spans, operator_trace(True), tracer.span(
+                    "worker.grade", parent=parent, attributes={"worker": worker_id}
+                ):
+                    graded = service.submit(payload)
+                reply = grade_envelope(graded)
+                reply["grade_time"] = perf_counter() - started
+                reply["trace_spans"] = spans
+                report = graded.outcome.report
+                if report is not None and report.result.timings:
+                    reply["explain_timings"] = dict(report.result.timings)
             else:
                 started = perf_counter()
                 graded = service.submit(payload)
@@ -367,12 +385,17 @@ class WorkerPool:
         seed: int,
         wait: bool = False,
         wait_timeout: float = 60.0,
+        trace: Mapping[str, Any] | None = None,
     ) -> Future:
         """Enqueue one grading request; the future resolves to its envelope.
 
         ``wait=False`` (the ``/v1/grade`` path) raises :class:`QueueFullError`
         when ``max_queue`` requests are already in flight; ``wait=True`` (the
         batch path) blocks until a slot frees, up to ``wait_timeout``.
+
+        ``trace`` (a dict with a ``"traceparent"`` key, or ``None``) asks the
+        worker to trace the grade and return its spans in the reply under
+        ``"trace_spans"``.
         """
         future: Future = Future()
         with self._lock:
@@ -396,7 +419,9 @@ class WorkerPool:
             request_id = self._next_id
             self._next_id += 1
             self._pending[request_id] = (future, worker)
-        self._tasks[worker].put((request_id, "grade", dict(payload)))
+        self._tasks[worker].put(
+            (request_id, "grade", dict(payload), None if trace is None else dict(trace))
+        )
         return future
 
     def queue_depth(self) -> int:
@@ -435,7 +460,7 @@ class WorkerPool:
                 self._pending_stats[request_id] = (future, index)
                 futures.append((request_id, future))
         for (request_id, _), queue in zip(futures, self._tasks):
-            queue.put((request_id, "stats", None))
+            queue.put((request_id, "stats", None, None))
         deadline = monotonic() + timeout
         collected = []
         for request_id, future in futures:

@@ -19,6 +19,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.errors import BudgetExceededError, SolverError
+from repro.obs.trace import add_span_metrics
 
 #: How many conflicts may pass between two deadline checks.  Conflicts are
 #: the unit of CDCL progress, so checking every few of them bounds a solve's
@@ -110,7 +111,30 @@ class SATSolver:
 
         Variables never mentioned in any clause are absent from the model;
         callers treat missing variables as *false* (tuple not kept).
+
+        Per-solve counter deltas are reported onto the ambient trace span
+        (a no-op when nothing is traced), so counterexample spans carry SAT
+        conflicts/decisions/propagations/restarts without the solver knowing
+        anything about the server.
         """
+        before = (
+            self.stats.conflicts,
+            self.stats.decisions,
+            self.stats.propagations,
+            self.stats.restarts,
+        )
+        try:
+            return self._solve_impl()
+        finally:
+            add_span_metrics(
+                sat_solve_calls=1,
+                sat_conflicts=self.stats.conflicts - before[0],
+                sat_decisions=self.stats.decisions - before[1],
+                sat_propagations=self.stats.propagations - before[2],
+                sat_restarts=self.stats.restarts - before[3],
+            )
+
+    def _solve_impl(self) -> dict[int, bool] | None:
         self.stats.solve_calls += 1
         if self._unsat:
             return None

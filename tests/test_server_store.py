@@ -156,3 +156,61 @@ class TestConcurrentWorkers:
         assert outcome["outcome"]["report"] is not None
         with ResultStore(path) as store:
             assert len(store) == 1
+
+
+class TestAgeAndMigration:
+    def test_age_bounds_empty_store_is_none(self):
+        with ResultStore() as store:
+            assert store.age_bounds() is None
+
+    def test_age_bounds_track_newest_and_oldest(self):
+        with ResultStore() as store:
+            store.put(make_key(seed=1), {"correct": True})
+            store.put(make_key(seed=2), {"correct": True})
+            newest, oldest = store.age_bounds()
+            assert 0.0 <= newest <= oldest
+            assert oldest < 60.0  # both rows were written just now
+
+    def test_legacy_created_at_column_is_migrated(self, tmp_path):
+        import sqlite3
+        import time
+
+        path = str(tmp_path / "legacy.sqlite3")
+        legacy = sqlite3.connect(path)
+        legacy.execute(
+            """
+            CREATE TABLE results (
+                schema_version  INTEGER NOT NULL,
+                dataset         TEXT    NOT NULL,
+                seed            INTEGER NOT NULL,
+                backend         TEXT    NOT NULL,
+                ref_hash        TEXT    NOT NULL,
+                sub_hash        TEXT    NOT NULL,
+                options_hash    TEXT    NOT NULL,
+                payload         TEXT    NOT NULL,
+                created_at      REAL    NOT NULL,
+                PRIMARY KEY (schema_version, dataset, seed, backend,
+                             ref_hash, sub_hash, options_hash)
+            )
+            """
+        )
+        key = make_key()
+        from dataclasses import astuple
+
+        legacy.execute(
+            "INSERT INTO results VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (*astuple(key), json.dumps({"correct": True}), time.time() - 5.0),
+        )
+        legacy.commit()
+        legacy.close()
+
+        with ResultStore(path) as store:
+            columns = {
+                row[1]
+                for row in store._conn.execute("PRAGMA table_info(results)")
+            }
+            assert "created_at_unix" in columns
+            assert "created_at" not in columns
+            assert store.get(key) == {"correct": True}  # rows survive
+            newest, oldest = store.age_bounds()
+            assert newest >= 4.0  # the legacy timestamp still means wall-clock
