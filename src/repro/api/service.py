@@ -403,6 +403,73 @@ class GradingService:
         """The shared warm session for a dataset (mainly for tests/benchmarks)."""
         return self.handle_for(dataset, seed).session
 
+    # -- mutation ------------------------------------------------------------
+
+    def mutate(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply an edit stream to a dataset's shared instance, in order.
+
+        ``payload`` is ``{"dataset": spec?, "seed": int?, "operations": [...]}``
+        where each operation is one of::
+
+            {"op": "insert", "relation": name, "values": [...], "tid": str?}
+            {"op": "delete", "tid": tid}
+            {"op": "update", "tid": tid, "values": [...]}
+
+        Mutations go through :class:`~repro.catalog.instance.DatabaseInstance`'s
+        logged mutation API, so the dataset's warm engine session absorbs them
+        differentially (``apply_delta``) instead of dropping its caches.
+        Returns the applied-operation count, the instance's new data version,
+        and the session's delta-maintenance counter increments.  Operations
+        are validated and applied one by one; the first bad operation raises
+        with nothing further applied (earlier operations stay applied — the
+        caller sees ``data_version`` and can reconcile).
+        """
+        operations = payload.get("operations")
+        if not isinstance(operations, list):
+            raise ReproError('mutate payload must carry "operations": [...]')
+        dataset = payload.get("dataset")
+        seed = payload.get("seed")
+        handle = self.handle_for(
+            dataset if isinstance(dataset, str) else None,
+            seed if isinstance(seed, int) else None,
+        )
+        instance = handle.instance
+        applied = 0
+        for index, operation in enumerate(operations):
+            if not isinstance(operation, Mapping):
+                raise ReproError(f"operation #{index} is not an object")
+            op = operation.get("op")
+            try:
+                if op == "insert":
+                    instance.insert_row(
+                        str(operation["relation"]),
+                        tuple(operation["values"]),
+                        tid=operation.get("tid"),
+                    )
+                elif op == "delete":
+                    instance.delete(str(operation["tid"]))
+                elif op == "update":
+                    instance.update(str(operation["tid"]), tuple(operation["values"]))
+                else:
+                    raise ReproError(
+                        f'operation #{index}: unknown op {op!r} '
+                        '(expected "insert", "delete" or "update")'
+                    )
+            except ReproError:
+                raise
+            except KeyError as exc:
+                raise ReproError(f"operation #{index}: {exc.args[0]}") from None
+            except Exception as exc:
+                raise ReproError(f"operation #{index}: {exc}") from None
+            applied += 1
+        counters = handle.session.apply_delta()
+        return {
+            "dataset": handle.spec,
+            "applied": applied,
+            "data_version": instance.data_version,
+            "delta": counters,
+        }
+
     # -- grading -------------------------------------------------------------
 
     def check(

@@ -1,0 +1,127 @@
+"""Typed deltas: what changed in an instance between two versions.
+
+A :class:`RelationDelta` is the *net* effect of a run of mutations on one
+relation — the tuples present before but not after (``deleted``) and the
+tuples present after but not before (``inserted``), each carried as
+``(tid, values)`` pairs so downstream consumers (the differential engine,
+provenance bookkeeping) never have to re-derive row contents.  An update
+appears as a delete of the old row plus an insert of the new one under the
+same tid; a tuple inserted and then deleted inside the window nets out to
+nothing.
+
+Deltas are emitted by the mutation API on :class:`~repro.catalog.instance.
+DatabaseInstance` and reconstructed from per-relation mutation logs by
+``Relation.changes_since`` when a warm session reconciles lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+Values = tuple[Any, ...]
+
+#: One mutation-log entry: ``(version, op, tid, old_values, new_values)``.
+#: ``op`` is ``"+"`` (insert: old is None), ``"-"`` (delete: new is None) or
+#: ``"~"`` (update: both set).  Exactly one entry is appended per version
+#: bump, which is what makes gap detection in ``changes_since`` exact.
+LogEntry = tuple[int, str, str, "Values | None", "Values | None"]
+
+
+@dataclass(frozen=True)
+class RelationDelta:
+    """Net change to a single relation: deleted pre-rows, inserted post-rows."""
+
+    relation: str
+    inserted: tuple[tuple[str, Values], ...] = ()
+    deleted: tuple[tuple[str, Values], ...] = ()
+
+    def is_empty(self) -> bool:
+        return not self.inserted and not self.deleted
+
+    @property
+    def size(self) -> int:
+        return len(self.inserted) + len(self.deleted)
+
+    @staticmethod
+    def from_log(relation: str, entries: Iterable[LogEntry]) -> "RelationDelta":
+        """Collapse ordered log entries into the net pre→post delta."""
+        inserted: dict[str, Values] = {}
+        deleted: dict[str, Values] = {}
+        for _version, op, tid, old, new in entries:
+            if op == "+":
+                assert new is not None
+                inserted[tid] = new
+            elif op == "-":
+                if tid in inserted:
+                    # Inserted and deleted inside the window: net nothing.
+                    del inserted[tid]
+                else:
+                    assert old is not None
+                    deleted[tid] = old
+            elif op == "~":
+                assert old is not None and new is not None
+                if tid not in inserted:
+                    deleted.setdefault(tid, old)
+                inserted[tid] = new
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown mutation op {op!r}")
+        # A tuple updated back to its original values nets out to nothing.
+        for tid in [t for t, v in inserted.items() if deleted.get(t) == v]:
+            del inserted[tid]
+            del deleted[tid]
+        return RelationDelta(
+            relation,
+            inserted=tuple(inserted.items()),
+            deleted=tuple(deleted.items()),
+        )
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Net change to an instance: one :class:`RelationDelta` per touched relation."""
+
+    changes: tuple[RelationDelta, ...] = field(default=())
+
+    def is_empty(self) -> bool:
+        return all(change.is_empty() for change in self.changes)
+
+    @property
+    def relations(self) -> frozenset[str]:
+        """Names of relations with a non-empty net change."""
+        return frozenset(c.relation for c in self.changes if not c.is_empty())
+
+    def by_relation(self) -> Mapping[str, RelationDelta]:
+        return {c.relation: c for c in self.changes if not c.is_empty()}
+
+    @property
+    def size(self) -> int:
+        return sum(change.size for change in self.changes)
+
+    @staticmethod
+    def merge(deltas: Sequence["Delta"]) -> "Delta":
+        """Concatenate per-relation changes from several deltas in order.
+
+        Changes to the same relation are collapsed by replaying them as a
+        synthetic log, so the result is again a *net* delta.
+        """
+        ordered: dict[str, list[LogEntry]] = {}
+        version = 0
+        for delta in deltas:
+            for change in delta.changes:
+                log = ordered.setdefault(change.relation, [])
+                for tid, values in change.deleted:
+                    version += 1
+                    log.append((version, "-", tid, values, None))
+                for tid, values in change.inserted:
+                    version += 1
+                    log.append((version, "+", tid, None, values))
+        return Delta(
+            tuple(
+                RelationDelta.from_log(name, entries)
+                for name, entries in ordered.items()
+            )
+        )
+
+
+__all__ = ["Delta", "RelationDelta", "LogEntry"]

@@ -9,14 +9,21 @@ under set semantics and carry no identifiers.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
+from repro.catalog.delta import Delta, LogEntry, RelationDelta
 from repro.catalog.schema import DatabaseSchema, RelationSchema
 from repro.catalog.types import coerce
 from repro.errors import SchemaError, UnknownRelationError
 
 Values = tuple[Any, ...]
+
+#: How many mutations a relation remembers for delta reconciliation.  A warm
+#: session that falls further behind than this gets a clean gap signal
+#: (``changes_since`` returns None) and falls back to cold evaluation.
+MUTATION_LOG_CAPACITY = 1024
 
 
 def split_tid(tid: str) -> tuple[str, str]:
@@ -44,7 +51,11 @@ class Relation:
         self._next_id = 1
         self._version = 0
         self._indexes: dict[tuple[int, ...], dict[tuple, list[tuple[str, Values]]]] = {}
-        self._distinct_counts: dict[tuple[int, ...], int] = {}
+        # Distinct-value statistics are kept as multiplicity maps
+        # (key value -> number of rows carrying it) so they can be maintained
+        # incrementally under delete/update, not just counted once.
+        self._distinct_counts: dict[tuple[int, ...], dict[tuple, int]] = {}
+        self._log: deque[LogEntry] = deque(maxlen=MUTATION_LOG_CAPACITY)
 
     # -- mutation ----------------------------------------------------------
 
@@ -78,15 +89,109 @@ class Relation:
                 self._next_id = max(self._next_id, int(suffix) + 1)
         self._rows[tid] = coerced
         self._version += 1
-        if self._indexes:
-            self._indexes.clear()
-        if self._distinct_counts:
-            self._distinct_counts.clear()
+        self._log.append((self._version, "+", tid, None, coerced))
+        self._index_add(tid, coerced)
         return tid
 
     def insert_all(self, rows: Iterable[Sequence[Any]]) -> list[str]:
         """Insert many tuples, returning their identifiers in order."""
         return [self.insert(row) for row in rows]
+
+    def delete(self, tid: str) -> Values:
+        """Delete a tuple by identifier, returning its values.
+
+        Raises :class:`KeyError` for unknown identifiers.  Cached hash
+        indexes and distinct-count statistics are maintained in place rather
+        than discarded.
+        """
+        try:
+            values = self._rows.pop(tid)
+        except KeyError:
+            raise KeyError(
+                f"tuple {tid!r} is not in relation {self.schema.name!r}"
+            ) from None
+        self._version += 1
+        self._log.append((self._version, "-", tid, values, None))
+        self._index_remove(tid, values)
+        return values
+
+    def update(self, tid: str, values: Sequence[Any]) -> tuple[Values, Values]:
+        """Replace a tuple's values in place, returning ``(old, new)``.
+
+        The tuple keeps its identifier and its position in insertion order.
+        Updating to identical values is a no-op: no version bump, no delta.
+        """
+        if tid not in self._rows:
+            raise KeyError(f"tuple {tid!r} is not in relation {self.schema.name!r}")
+        if len(values) != self.schema.arity:
+            raise SchemaError(
+                f"relation {self.schema.name!r} expects {self.schema.arity} values, "
+                f"got {len(values)}"
+            )
+        coerced = tuple(
+            coerce(v, attr.dtype, nullable=attr.nullable)
+            for v, attr in zip(values, self.schema.attributes)
+        )
+        old = self._rows[tid]
+        if coerced == old:
+            return old, coerced
+        self._rows[tid] = coerced
+        self._version += 1
+        self._log.append((self._version, "~", tid, old, coerced))
+        self._index_remove(tid, old)
+        self._index_add(tid, coerced)
+        return old, coerced
+
+    def changes_since(self, version: int) -> list[LogEntry] | None:
+        """Ordered log entries after ``version``, or None on a coverage gap.
+
+        Returns ``[]`` when the caller is already current.  Returns None when
+        the log no longer reaches back to ``version`` (evicted entries, a
+        derived copy with an empty log, or a ``version`` from the future) —
+        callers must then fall back to cold re-evaluation.
+        """
+        if version == self._version:
+            return []
+        if version > self._version:
+            return None
+        entries = [entry for entry in self._log if entry[0] > version]
+        if not entries or entries[0][0] != version + 1:
+            return None
+        return entries
+
+    def delta_since(self, version: int) -> RelationDelta | None:
+        """Net :class:`RelationDelta` after ``version``, or None on a gap."""
+        entries = self.changes_since(version)
+        if entries is None:
+            return None
+        return RelationDelta.from_log(self.schema.name, entries)
+
+    # -- cache maintenance -------------------------------------------------
+
+    def _index_add(self, tid: str, values: Values) -> None:
+        for key_indexes, index in self._indexes.items():
+            key = tuple(values[i] for i in key_indexes)
+            index.setdefault(key, []).append((tid, values))
+        for key_indexes, counter in self._distinct_counts.items():
+            key = tuple(values[i] for i in key_indexes)
+            counter[key] = counter.get(key, 0) + 1
+
+    def _index_remove(self, tid: str, values: Values) -> None:
+        for key_indexes, index in self._indexes.items():
+            key = tuple(values[i] for i in key_indexes)
+            bucket = index.get(key)
+            if bucket is None:
+                continue
+            bucket[:] = [pair for pair in bucket if pair[0] != tid]
+            if not bucket:
+                del index[key]
+        for key_indexes, counter in self._distinct_counts.items():
+            key = tuple(values[i] for i in key_indexes)
+            remaining = counter.get(key, 0) - 1
+            if remaining > 0:
+                counter[key] = remaining
+            else:
+                counter.pop(key, None)
 
     # -- access ------------------------------------------------------------
 
@@ -120,7 +225,7 @@ class Relation:
         Maps each distinct key (the values at ``key_indexes``) to the
         ``(tid, values)`` pairs carrying it, in insertion order.  The index is
         built on first use, reused by subsequent equi-joins on the same
-        columns, and dropped on mutation.
+        columns, and maintained incrementally under insert/delete/update.
         """
         index = self._indexes.get(key_indexes)
         if index is None:
@@ -135,24 +240,21 @@ class Relation:
         """Number of distinct values at ``key_indexes`` (optimizer statistics).
 
         Served from the cached hash index when one already exists (equi-joins
-        build those anyway); otherwise counted with a set — cheaper than
-        materialising an index nobody will probe — and cached until the next
-        mutation.
+        build those anyway); otherwise from a cached multiplicity map —
+        cheaper than materialising an index nobody will probe — which is
+        maintained incrementally across mutations rather than recounted.
         """
         index = self._indexes.get(key_indexes)
         if index is not None:
             return len(index)
-        count = self._distinct_counts.get(key_indexes)
-        if count is None:
-            if len(key_indexes) == 1:
-                i = key_indexes[0]
-                count = len({values[i] for values in self._rows.values()})
-            else:
-                count = len(
-                    {tuple(values[i] for i in key_indexes) for values in self._rows.values()}
-                )
-            self._distinct_counts[key_indexes] = count
-        return count
+        counter = self._distinct_counts.get(key_indexes)
+        if counter is None:
+            counter = {}
+            for values in self._rows.values():
+                key = tuple(values[i] for i in key_indexes)
+                counter[key] = counter.get(key, 0) + 1
+            self._distinct_counts[key_indexes] = counter
+        return len(counter)
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """Rows as attribute-name dictionaries (handy for display and tests)."""
@@ -162,13 +264,22 @@ class Relation:
     # -- derivation --------------------------------------------------------
 
     def subset(self, tids: Iterable[str]) -> "Relation":
-        """A new relation containing only the given tuples (same tids)."""
+        """A new relation containing only the given tuples (same tids).
+
+        The derived relation inherits the parent's mutation counter (so a
+        copy never re-issues version numbers the original already used, which
+        would alias version-keyed caches) but starts with an *empty* mutation
+        log: ``changes_since`` on a fresh copy reports a gap for any older
+        version, forcing one cold evaluation instead of replaying the
+        parent's history against different contents.
+        """
         sub = Relation(self.schema)
         for tid in tids:
             if tid not in self._rows:
                 raise KeyError(f"tuple {tid!r} is not in relation {self.schema.name!r}")
             sub._rows[tid] = self._rows[tid]
         sub._next_id = self._next_id
+        sub._version = self._version
         return sub
 
     def copy(self) -> "Relation":
@@ -226,6 +337,47 @@ class DatabaseInstance:
 
     def insert(self, relation_name: str, values: Sequence[Any], *, tid: str | None = None) -> str:
         return self.relation(relation_name).insert(values, tid=tid)
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert_row(
+        self, relation_name: str, values: Sequence[Any], *, tid: str | None = None
+    ) -> Delta:
+        """Insert a tuple and return the resulting typed :class:`Delta`."""
+        relation = self.relation(relation_name)
+        new_tid = relation.insert(values, tid=tid)
+        return Delta(
+            (
+                RelationDelta(
+                    relation_name, inserted=((new_tid, relation.row(new_tid)),)
+                ),
+            )
+        )
+
+    def delete(self, tid: str) -> Delta:
+        """Delete the tuple named by ``tid`` and return the typed delta."""
+        relation_name, _ = split_tid(tid)
+        values = self.relation(relation_name).delete(tid)
+        return Delta((RelationDelta(relation_name, deleted=((tid, values),)),))
+
+    def update(self, tid: str, values: Sequence[Any]) -> Delta:
+        """Update the tuple named by ``tid`` and return the typed delta.
+
+        An update that leaves the values unchanged yields an empty delta.
+        """
+        relation_name, _ = split_tid(tid)
+        old, new = self.relation(relation_name).update(tid, values)
+        if old == new:
+            return Delta(())
+        return Delta(
+            (
+                RelationDelta(
+                    relation_name,
+                    inserted=((tid, new),),
+                    deleted=((tid, old),),
+                ),
+            )
+        )
 
     # -- access ------------------------------------------------------------
 

@@ -308,7 +308,9 @@ def smallest_counterexample_agg_opt(
     problem.add_constraint(expression)
     for clause in foreign_key_clauses(instance, expression.variables()):
         problem.add_foreign_key(clause.child, clause.parents)
-    solver = MinOnesSolver(problem)
+    solver = MinOnesSolver(
+        problem, clause_cache=session.clause_cache if session is not None else None
+    )
 
     # Candidate parameter settings are tried against the *parameterized*
     # original queries whenever re-validation with the original constants fails.

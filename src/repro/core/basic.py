@@ -38,6 +38,7 @@ def smallest_witness_for_expression(
     mode: str = "optimal",
     max_trials: int = 128,
     strategy: str = "descend",
+    clause_cache=None,
 ) -> WitnessResult:
     """Solve the smallest-witness problem for one provenance expression."""
     problem = MinOnesProblem()
@@ -45,6 +46,8 @@ def smallest_witness_for_expression(
     for clause in foreign_key_clauses(instance, expression.variables()):
         problem.add_foreign_key(clause.child, clause.parents)
     if mode == "enumerate":
+        # The Naive-M baseline stays cache-free: phase hints from a cached
+        # first model would change its model sequence (Figure 5 determinism).
         solver = MinOnesSolver(problem, default_phase=True)
         enumeration = solver.enumerate_models(max_trials)
         assert enumeration.best is not None
@@ -54,7 +57,7 @@ def smallest_witness_for_expression(
             optimal=enumeration.exhausted,
             solver_calls=enumeration.solver_calls,
         )
-    solver = MinOnesSolver(problem)
+    solver = MinOnesSolver(problem, clause_cache=clause_cache)
     outcome = solver.minimize(strategy=strategy)  # type: ignore[arg-type]
     return WitnessResult(
         tids=outcome.true_variables,
@@ -115,6 +118,7 @@ def smallest_counterexample_basic(
                 mode=mode,
                 max_trials=max_trials,
                 strategy=strategy,
+                clause_cache=session.clause_cache if session is not None else None,
             )
         solver_calls += witness.solver_calls
         if best is None or witness.size < best.size:

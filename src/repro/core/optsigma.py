@@ -75,7 +75,8 @@ def smallest_witness_optsigma(
         problem.add_foreign_key(clause.child, clause.parents)
 
     with stopwatch.measure("solver"):
-        outcome = MinOnesSolver(problem).minimize(
+        clause_cache = session.clause_cache if session is not None else None
+        outcome = MinOnesSolver(problem, clause_cache=clause_cache).minimize(
             strategy=strategy, time_budget=solver_time_budget  # type: ignore[arg-type]
         )
 

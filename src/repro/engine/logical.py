@@ -67,6 +67,28 @@ class PlanNode:
         return ()
 
 
+def _cached_hash(cls):
+    """Memoize the dataclass-generated structural hash on the instance.
+
+    Plan trees are dict keys everywhere — the result memo, the scan-set and
+    plan-size caches, delta bookkeeping — and the generated hash walks the
+    whole subtree on every probe.  Nodes are frozen, so the hash is computed
+    once and stashed; deep equality is untouched.
+    """
+    generated = cls.__hash__
+
+    def __hash__(self, _generated=generated):
+        value = self.__dict__.get("_structural_hash")
+        if value is None:
+            value = _generated(self)
+            object.__setattr__(self, "_structural_hash", value)
+        return value
+
+    cls.__hash__ = __hash__
+    return cls
+
+
+@_cached_hash
 @dataclass(frozen=True)
 class ScanOp(PlanNode):
     """Scan a base relation, deduplicating values under the annotation domain."""
@@ -74,6 +96,7 @@ class ScanOp(PlanNode):
     relation: str
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class FilterOp(PlanNode):
     """Keep the rows satisfying ``predicate`` (evaluated against ``schema``)."""
@@ -86,6 +109,7 @@ class FilterOp(PlanNode):
         return (self.child,)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class ProjectOp(PlanNode):
     """Keep the columns at ``indexes``, folding duplicate output rows."""
@@ -97,6 +121,7 @@ class ProjectOp(PlanNode):
         return (self.child,)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class JoinOp(PlanNode):
     """Hash equi-join on key columns with an optional residual filter.
@@ -121,6 +146,7 @@ class JoinOp(PlanNode):
         return (self.left, self.right)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class SemiJoinOp(PlanNode):
     """Keep the left rows whose key matches at least one right row.
@@ -140,6 +166,7 @@ class SemiJoinOp(PlanNode):
         return (self.left, self.right)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class CrossOp(PlanNode):
     """Nested-loop cross product with an optional residual filter.
@@ -158,6 +185,7 @@ class CrossOp(PlanNode):
         return (self.left, self.right)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class UnionOp(PlanNode):
     left: PlanNode
@@ -167,6 +195,7 @@ class UnionOp(PlanNode):
         return (self.left, self.right)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class DifferenceOp(PlanNode):
     left: PlanNode
@@ -176,6 +205,7 @@ class DifferenceOp(PlanNode):
         return (self.left, self.right)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class IntersectOp(PlanNode):
     left: PlanNode
@@ -185,6 +215,7 @@ class IntersectOp(PlanNode):
         return (self.left, self.right)
 
 
+@_cached_hash
 @dataclass(frozen=True)
 class AggregateOp(PlanNode):
     """Hash aggregation: group by ``group_indexes``, compute ``aggregates``.

@@ -17,6 +17,7 @@ bare scan.
 
 from __future__ import annotations
 
+import math
 from operator import itemgetter
 from typing import Any, Callable, Mapping, MutableMapping, Sequence
 
@@ -162,6 +163,19 @@ def key_function(indexes: tuple[int, ...]) -> Callable[[Values], tuple]:
 # ---------------------------------------------------------------------------
 
 
+def _order_independent_sum(values: Sequence[Any]) -> Any:
+    """Sum that does not depend on input order, even for floats.
+
+    ``math.fsum`` is correctly rounded, so any permutation of the inputs
+    yields the same bits — a requirement for differential re-evaluation,
+    where patched groups see their members in a different order than a cold
+    run.  Integer-only inputs keep the exact int result.
+    """
+    if any(isinstance(v, float) for v in values):
+        return math.fsum(values)
+    return sum(values)
+
+
 def apply_aggregate(func: AggregateFunction, values: Sequence[Any]) -> Any:
     """One aggregate over the non-NULL input values of a group."""
     if func is AggregateFunction.COUNT:
@@ -169,9 +183,9 @@ def apply_aggregate(func: AggregateFunction, values: Sequence[Any]) -> Any:
     if not values:
         return None
     if func is AggregateFunction.SUM:
-        return sum(values)
+        return _order_independent_sum(values)
     if func is AggregateFunction.AVG:
-        return sum(values) / len(values)
+        return _order_independent_sum(values) / len(values)
     if func is AggregateFunction.MIN:
         return min(values)
     if func is AggregateFunction.MAX:

@@ -14,8 +14,13 @@ and memoises two levels of work:
   sides of a ``Difference``, a reference query re-evaluated per submission,
   scans shared by all queries over the instance).
 
-Caches are invalidated automatically when the bound instance's
-``data_version`` changes.  ``exact=True`` runs the unoptimized plan with the
+Caches survive instance mutations *incrementally*: when the bound instance's
+per-relation versions advance, the session pulls each relation's mutation log,
+keeps every memo entry whose subplan scans only untouched relations, and
+differentially patches set-domain entries over touched relations (see
+:mod:`repro.engine.delta`).  Only when a relation's log has been evicted (or a
+relation appeared/disappeared) does the session fall back to the historical
+wholesale invalidation.  ``exact=True`` runs the unoptimized plan with the
 historical operator order (build on the right join input, no pushdown), which
 reproduces the legacy set evaluator *and* the legacy provenance annotations
 bit for bit.
@@ -51,6 +56,7 @@ import threading
 import time
 from typing import Any, Iterable, Mapping
 
+from repro.catalog.delta import Delta, RelationDelta
 from repro.catalog.instance import DatabaseInstance, ResultSet, Values
 from repro.catalog.schema import RelationSchema
 from repro.engine.backends import BACKEND_NAMES
@@ -60,6 +66,7 @@ from repro.engine.domains import (
     AnnotationDomain,
 )
 from repro.engine.columnar import as_mapping
+from repro.engine.delta import DeltaMaintainer, plan_scan_relations
 from repro.engine.logical import PlanNode, compile_plan
 from repro.engine.optimizer import (
     DEFAULT_OPTIMIZER_CONFIG,
@@ -77,6 +84,7 @@ from repro.errors import ReproError
 from repro.lru import LRUCache
 from repro.obs.trace import current_span, operator_trace_enabled
 from repro.ra.ast import RAExpression
+from repro.solver.clausecache import ClauseCache
 
 ParamValues = Mapping[str, Any]
 
@@ -110,6 +118,10 @@ class EngineSession:
         self._sqlite: Any = None  # lazily created SqliteBackend
         self._keys = KeyCache()
         self._plans: dict[tuple[str, StructuralKey], PlanNode] = {}
+        # Output schemas are pure functions of the database schema, so they
+        # are memoized alongside plans: re-deriving them on every execute()
+        # call costs a full AST walk per request on the warm path.
+        self._schemas: dict[StructuralKey, RelationSchema] = {}
         self._results: dict[str, LRUCache] = {}
         self._param_refs: dict[PlanNode, frozenset] = {}
         # EXPLAIN ANALYZE support: one long-lived estimator (its memo is keyed
@@ -120,7 +132,16 @@ class EngineSession:
         self._analyze_estimator: "CardinalityEstimator | None" = None
         self._analyze_est: dict[int, "tuple[PlanNode, float | None]"] = {}
         self._analyze_meta: dict[int, "tuple[PlanNode, str, str]"] = {}
-        self._data_version = instance.data_version
+        self._rel_versions: dict[str, int] = {
+            name: rel.version for name, rel in instance.relations.items()
+        }
+        # Memoised scan sets (which relations a plan node reads) shared with
+        # the delta maintainer; lives and dies with ``_plans``.
+        self._scan_sets: dict[PlanNode, frozenset] = {}
+        #: Warm-start clause sets for the min-ones solver, keyed by provenance
+        #: CNF structure (renamed duplicate submissions hash equal because
+        #: renames compile away before provenance capture).
+        self.clause_cache = ClauseCache()
         self._lock = threading.RLock()
         self.stats = {
             "plan_hits": 0,
@@ -128,6 +149,10 @@ class EngineSession:
             "invalidations": 0,
             "sqlite_statements": 0,
             "sqlite_fallbacks": 0,
+            "delta_maintained": 0,
+            "delta_patched": 0,
+            "delta_dropped": 0,
+            "delta_fallback": 0,
         }
 
     # -- cache management ----------------------------------------------------
@@ -147,19 +172,7 @@ class EngineSession:
     max_cached_results = 100_000
 
     def _check_version(self) -> None:
-        version = self.instance.data_version
-        if version != self._data_version:
-            self._plans.clear()
-            for memo in self._results.values():  # keep cumulative counters
-                memo.clear()
-            self._param_refs.clear()
-            self._keys.clear()
-            self._analyze_estimator = None
-            self._analyze_est.clear()
-            self._analyze_meta.clear()
-            self._data_version = version
-            self.stats["invalidations"] += 1
-            return
+        self._reconcile_versions()
         cached_rows = sum(
             len(rows) for memo in self._results.values() for rows in memo.values()
         )
@@ -168,11 +181,119 @@ class EngineSession:
                 memo.clear()
         if len(self._plans) > self.max_cached_plans:
             self._plans.clear()
+            self._schemas.clear()
             self._param_refs.clear()
             self._keys.clear()
+            self._scan_sets.clear()
             self._analyze_estimator = None
             self._analyze_est.clear()
             self._analyze_meta.clear()
+
+    def _reconcile_versions(self) -> None:
+        """Bring the caches up to date with the bound instance's relations.
+
+        Per relation whose version advanced, ask its bounded mutation log for
+        the net delta since the version the caches reflect.  If every touched
+        relation can produce one, the set-domain memo is *maintained*
+        differentially and untouched entries survive verbatim; if any log has
+        been evicted past the needed suffix (or the relation set itself
+        changed), everything is dropped wholesale — the historical behaviour.
+        """
+        current = {name: rel.version for name, rel in self.instance.relations.items()}
+        if current == self._rel_versions:
+            return
+        if current.keys() != self._rel_versions.keys():
+            self._invalidate_all(current)
+            return
+        changed: list[RelationDelta] = []
+        for name, version in current.items():
+            known = self._rel_versions[name]
+            if version == known:
+                continue
+            delta = self.instance.relations[name].delta_since(known)
+            if delta is None:  # log evicted or version went backwards
+                self._invalidate_all(current)
+                return
+            if not delta.is_empty():
+                changed.append(delta)
+        self._maintain(Delta(tuple(changed)), current)
+
+    def _invalidate_all(self, current: "dict[str, int]") -> None:
+        """Wholesale cache drop (the pre-delta invalidation path)."""
+        dropped = sum(len(memo) for memo in self._results.values())
+        self._plans.clear()
+        self._schemas.clear()
+        for memo in self._results.values():  # keep cumulative counters
+            memo.clear()
+        self._param_refs.clear()
+        self._keys.clear()
+        self._scan_sets.clear()
+        self._analyze_estimator = None
+        self._analyze_est.clear()
+        self._analyze_meta.clear()
+        self._rel_versions = dict(current)
+        self.stats["invalidations"] += 1
+        self.stats["delta_fallback"] += 1
+        self.stats["delta_dropped"] += dropped
+
+    def _maintain(self, delta: Delta, current: "dict[str, int]") -> None:
+        """Differentially patch the result memos for ``delta``.
+
+        Plans, structural keys, and parameter-reference maps are all
+        data-independent, so they survive untouched (a stale join order is a
+        performance matter, not a correctness one).  The cardinality
+        estimator's row counts *are* data-dependent, so EXPLAIN ANALYZE state
+        is reset.  Set-domain entries over touched relations are patched (or
+        dropped, forcing one cold re-evaluation) by
+        :class:`~repro.engine.delta.DeltaMaintainer`; order-sensitive domains
+        such as provenance are dropped per touched entry, since annotation
+        structure depends on insertion order the delta path cannot reproduce.
+        """
+        self._rel_versions = dict(current)
+        touched = delta.relations
+        if not touched:
+            return
+        self._analyze_estimator = None
+        self._analyze_est.clear()
+        for domain_name, memo in self._results.items():
+            if domain_name == SET_DOMAIN.name:
+                maintainer = DeltaMaintainer(
+                    self.instance,
+                    memo,
+                    self._param_refs,
+                    use_index=self.use_index,
+                    scan_cache=self._scan_sets,
+                )
+                counts = maintainer.apply(delta)
+                self.stats["delta_maintained"] += counts["maintained"]
+                self.stats["delta_patched"] += counts["patched"]
+                self.stats["delta_dropped"] += counts["dropped"]
+            else:
+                for key in list(memo.keys()):
+                    plan = key[0]
+                    scans = plan_scan_relations(plan, self._scan_sets)
+                    if scans & touched:
+                        del memo[key]
+                        self.stats["delta_dropped"] += 1
+                    else:
+                        self.stats["delta_maintained"] += 1
+
+    def apply_delta(self, delta: Delta | None = None) -> dict[str, int]:
+        """Reconcile the caches with the instance now; return what happened.
+
+        The per-relation mutation logs are authoritative — ``delta`` is
+        advisory (callers that already hold the :class:`Delta` returned by
+        ``DatabaseInstance.insert_row``/``delete``/``update`` may pass it for
+        documentation, but the session re-derives the net change from the
+        logs so missed intermediate mutations can never be skipped).  Returns
+        the increments of the four ``delta_*`` counters caused by this call.
+        """
+        del delta  # logs are authoritative; see docstring
+        keys = ("delta_maintained", "delta_patched", "delta_dropped", "delta_fallback")
+        with self._lock:
+            before = {k: self.stats[k] for k in keys}
+            self._check_version()
+            return {k: self.stats[k] - before[k] for k in keys}
 
     def _memo(self, domain: AnnotationDomain) -> LRUCache:
         memo = self._results.get(domain.name)
@@ -242,6 +363,8 @@ class EngineSession:
                 "result_evictions": sum(
                     memo.evictions for memo in self._results.values()
                 ),
+                "solver_clause_reuse": self.clause_cache.hits,
+                "solver_clause_entries": len(self.clause_cache),
             }
 
     def warmup(self, queries: "Iterable[RAExpression | str]", params: ParamValues | None = None) -> int:
@@ -285,7 +408,11 @@ class EngineSession:
         """
         with self._lock:
             self._check_version()
-            schema = expression.output_schema(self.instance.schema)
+            schema_key = self._keys.key(expression)
+            schema = self._schemas.get(schema_key)
+            if schema is None:
+                schema = expression.output_schema(self.instance.schema)
+                self._schemas[schema_key] = schema
             if exact:
                 mode = "exact"
             elif domain.order_sensitive:

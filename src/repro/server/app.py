@@ -212,6 +212,10 @@ class GradingServer:
             slow_threshold=self.config.slow_request_seconds,
             on_span=self._observe_span,
         )
+        # One cross-process worker-stats round trip serves every callback
+        # metric on a scrape (and concurrent scrapes within the TTL).
+        self._stats_snapshot: tuple[float, list[dict[str, Any]]] | None = None
+        self._stats_snapshot_lock = threading.Lock()
         self.metrics = self._build_metrics()
         self._httpd = EventLoopHTTPServer(
             (self.config.host, self.config.port),
@@ -314,6 +318,43 @@ class GradingServer:
             "hits/misses/evictions, dataset handle churn), by worker and counter.",
             callback=self._worker_cache_series,
         )
+        for stat_key, metric_name, help_text in (
+            (
+                "delta_maintained",
+                "repro_engine_delta_maintained_total",
+                "Cached subplan results that survived an instance mutation "
+                "verbatim (their plans scan only untouched relations), by worker.",
+            ),
+            (
+                "delta_patched",
+                "repro_engine_delta_patched_total",
+                "Cached subplan results differentially patched in place after "
+                "an instance mutation, by worker.",
+            ),
+            (
+                "delta_dropped",
+                "repro_engine_delta_dropped_total",
+                "Cached subplan results dropped on mutation (unmaintainable "
+                "operator, order-sensitive domain, or wholesale fallback), by worker.",
+            ),
+            (
+                "delta_fallback",
+                "repro_engine_delta_fallback_total",
+                "Mutations absorbed by wholesale cache invalidation because a "
+                "relation's bounded mutation log no longer covered the gap, by worker.",
+            ),
+            (
+                "solver_clause_reuse",
+                "repro_solver_clause_reuse_total",
+                "Min-ones solves warm-started from a structurally equal prior "
+                "submission's learned clause set, by worker.",
+            ),
+        ):
+            metrics.counter(
+                metric_name,
+                help_text,
+                callback=lambda key=stat_key: self._session_counter_series(key),
+            )
         if self.membership is not None:
             membership = self.membership
             metrics.counter(
@@ -356,9 +397,34 @@ class GradingServer:
             )
         return metrics
 
+    def _pool_stats_snapshot(self, ttl: float = 1.0) -> list[dict[str, Any]]:
+        """Worker cache stats, shared across the callbacks of one scrape."""
+        with self._stats_snapshot_lock:
+            cached = self._stats_snapshot
+            if cached is not None and monotonic() - cached[0] < ttl:
+                return cached[1]
+        stats = self.pool.stats(timeout=1.0)
+        with self._stats_snapshot_lock:
+            self._stats_snapshot = (monotonic(), stats)
+        return stats
+
+    def _session_counter_series(self, key: str) -> Mapping[tuple, float]:
+        """Per-worker cumulative value of one summed session counter.
+
+        Totals can regress when a worker respawns after a crash or its
+        dataset handles are LRU-evicted — the standard counter-reset
+        semantics Prometheus rate() already handles.
+        """
+        series: dict[tuple, float] = {}
+        for stats in self._pool_stats_snapshot():
+            value = stats.get("sessions", {}).get(key)
+            if value is not None:
+                series[label_key({"worker": str(stats.get("worker"))})] = float(value)
+        return series
+
     def _worker_cache_series(self) -> Mapping[tuple, float]:
         series: dict[tuple, float] = {}
-        for stats in self.pool.stats(timeout=1.0):
+        for stats in self._pool_stats_snapshot():
             worker = str(stats.get("worker"))
             for scope in ("registry", "sessions"):
                 for name, value in stats.get(scope, {}).items():
@@ -515,6 +581,50 @@ class GradingServer:
             "default_seed": self.config.default_seed,
             "backend": self.config.backend,
         }
+
+    def handle_datasets_mutate(self, payload: Any) -> tuple[int, dict[str, Any]]:
+        """Apply an edit stream to a dataset on every worker (and purge grades).
+
+        The edits are broadcast through each worker's task queue, so every
+        worker's copy of the dataset absorbs them in its own request order
+        and the warm engine sessions maintain their caches differentially
+        (the reply carries each worker's ``delta`` counter increments).
+        Stored grades for the dataset are purged regardless of per-worker
+        success — after any mutation attempt they are potentially stale.
+        """
+        if not isinstance(payload, Mapping) or not isinstance(
+            payload.get("operations"), list
+        ):
+            return 400, {
+                "error": 'mutate body must be {"dataset": spec?, "operations": [...]}',
+                "error_kind": "invalid_request",
+            }
+        if self._draining.is_set():
+            return 503, {
+                "error": "server is draining",
+                "error_kind": "unavailable",
+            }
+        dataset = payload.get("dataset")
+        if dataset is not None and not isinstance(dataset, str):
+            return 400, {
+                "error": "dataset must be a string spec",
+                "error_kind": "invalid_request",
+            }
+        spec = dataset if dataset is not None else self.config.default_dataset
+        workers = self.pool.mutate({**payload, "dataset": spec})
+        purged = self.store.purge_dataset(spec)
+        errors = [reply for reply in workers if "error" in reply]
+        if errors:
+            return 500, {
+                "error": f"{len(errors)} of {len(workers)} workers failed to "
+                "confirm the mutation; their dataset copies may have diverged "
+                "(restart the daemon or re-register the dataset)",
+                "error_kind": "internal_error",
+                "dataset": spec,
+                "purged_grades": purged,
+                "workers": workers,
+            }
+        return 200, {"dataset": spec, "purged_grades": purged, "workers": workers}
 
     def handle_cluster_health(self) -> tuple[int, dict[str, Any]]:
         if self.membership is None:
@@ -1063,7 +1173,12 @@ class GradingServer:
                 404, {"error": f"unknown path {path!r}"}, endpoint="other"
             )
         if request.method == "POST":
-            if path not in ("/v1/grade", "/v1/grade_batch", "/v1/store/lookup"):
+            if path not in (
+                "/v1/grade",
+                "/v1/grade_batch",
+                "/v1/store/lookup",
+                "/v1/datasets/mutate",
+            ):
                 return self._json_response(
                     404, {"error": f"unknown path {path!r}"}, endpoint="other"
                 )
@@ -1085,6 +1200,8 @@ class GradingServer:
                     )
                 elif path == "/v1/grade_batch":
                     status, body = self.handle_grade_batch(payload, forwarded=forwarded)
+                elif path == "/v1/datasets/mutate":
+                    status, body = self.handle_datasets_mutate(payload)
                 else:
                     status, body = self.handle_store_lookup(payload)
             except Exception as exc:  # noqa: BLE001 — the daemon must answer

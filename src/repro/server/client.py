@@ -203,6 +203,16 @@ class GradingClient:
         """Ask the daemon's local result store for one key (cluster store tier)."""
         return self._request("POST", "/v1/store/lookup", dict(key_payload))
 
+    def mutate(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply an edit stream to a dataset on every worker.
+
+        ``payload`` is ``{"dataset": spec?, "operations": [...]}`` in the
+        format of :meth:`repro.api.service.GradingService.mutate`.  Stored
+        grades for the dataset are purged server-side; the reply carries each
+        worker's delta-maintenance counter increments.
+        """
+        return self._request("POST", "/v1/datasets/mutate", dict(payload))
+
     def grade(
         self,
         request: RequestLike,

@@ -83,6 +83,7 @@ class MetricsRegistry:
         self._help: dict[str, tuple[str, str]] = {}  # name -> (type, help)
         self._order: list[str] = []
         self._counters: dict[str, dict[tuple, float]] = {}
+        self._counter_callbacks: dict[str, Callable[[], Mapping[tuple, float] | float]] = {}
         self._gauges: dict[str, dict[tuple, float]] = {}
         self._gauge_callbacks: dict[str, Callable[[], Mapping[tuple, float] | float]] = {}
         self._histograms: dict[str, dict[tuple, _Histogram]] = {}
@@ -100,9 +101,25 @@ class MetricsRegistry:
         self._help[name] = (kind, help_text)
         self._order.append(name)
 
-    def counter(self, name: str, help_text: str) -> None:
+    def counter(
+        self,
+        name: str,
+        help_text: str,
+        callback: Callable[[], Mapping[tuple, float] | float] | None = None,
+    ) -> None:
+        """A counter; with ``callback`` the series is read at scrape time.
+
+        Callback counters mirror callback gauges: the callback returns either
+        a bare number or a mapping from label-key tuples to numbers, and the
+        returned values *replace* the stored series — the callback owns the
+        cumulative total (e.g. a counter maintained by another process).  A
+        raising callback is skipped for that scrape, which can make the
+        series briefly disappear, never decrease.
+        """
         self._declare(name, "counter", help_text)
         self._counters[name] = {}
+        if callback is not None:
+            self._counter_callbacks[name] = callback
 
     def gauge(
         self,
@@ -166,6 +183,7 @@ class MetricsRegistry:
             order = list(self._order)
             help_texts = dict(self._help)
             counters = {name: dict(series) for name, series in self._counters.items()}
+            counter_callbacks = dict(self._counter_callbacks)
             gauges = {name: dict(series) for name, series in self._gauges.items()}
             callbacks = dict(self._gauge_callbacks)
             histograms = {
@@ -175,6 +193,18 @@ class MetricsRegistry:
                 }
                 for name, series in self._histograms.items()
             }
+        for name, callback in counter_callbacks.items():
+            # Same failure contract as gauge callbacks below: skip the series
+            # this scrape and count the error.
+            try:
+                produced = callback()
+                if isinstance(produced, Mapping):
+                    counters[name].update(produced)
+                else:
+                    counters[name][()] = float(produced)
+            except Exception:
+                log.warning("metrics counter callback %s failed", name, exc_info=True)
+                self.inc(CALLBACK_ERRORS_METRIC, {"metric": name})
         for name, callback in callbacks.items():
             # A raising callback (e.g. the cross-process worker-cache scrape
             # during a worker crash) must not kill the whole exposition: skip

@@ -230,6 +230,21 @@ class ResultStore:
             self._conn.execute("DELETE FROM results")
             self._conn.commit()
 
+    def purge_dataset(self, dataset: str) -> int:
+        """Drop every stored grade for ``dataset``; returns rows removed.
+
+        The store's keys carry no data version — grades are deduplicated on
+        (schema, dataset, seed, backend, query hashes) alone — so after a
+        dataset mutation every stored grade for it is potentially stale and
+        must go.  Grades for other datasets are untouched.
+        """
+        with self._lock:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE dataset = ?", (dataset,)
+            )
+            self._conn.commit()
+            return cursor.rowcount
+
     def close(self) -> None:
         with self._lock:
             self._conn.close()

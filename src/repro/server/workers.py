@@ -142,6 +142,14 @@ def _worker_main(worker_id: int, config: WorkerConfig, tasks: Any, results: Any)
                     "registry": service.registry.cache_info(),
                     "sessions": service.registry.session_stats(),
                 }
+            elif kind == "mutate":
+                # Dataset edits broadcast to every worker (each process owns
+                # its own registry and instances), so all copies of a dataset
+                # mutate identically and warm sessions stay delta-maintained.
+                try:
+                    reply = {"worker": worker_id, **service.mutate(payload)}
+                except ReproError as exc:
+                    reply = {"worker": worker_id, "error": str(exc)}
             elif trace_ctx is not None:
                 # Traced grade: continue the parent's trace across the process
                 # boundary, collect every span (worker, grade phases, engine
@@ -440,6 +448,42 @@ class WorkerPool:
         return True
 
     # -- introspection -------------------------------------------------------
+
+    def mutate(self, payload: Mapping[str, Any], timeout: float = 30.0) -> list[dict[str, Any]]:
+        """Broadcast one dataset edit stream to every worker; collect replies.
+
+        Rides the per-worker task queues *behind* any queued grades, so each
+        worker applies the edits at a deterministic point in its own request
+        order.  Unlike :meth:`stats`, replies are awaited strictly (a worker
+        that cannot confirm within ``timeout`` yields an ``error`` entry
+        instead of being skipped): callers must know whether every worker's
+        copy of the dataset mutated before trusting subsequent grades.
+        """
+        futures: list[tuple[int, int, Future]] = []
+        with self._lock:
+            if self._closed:
+                raise ReproError("worker pool is shut down")
+            for index in range(self.workers):
+                self._ensure_alive(index)
+                request_id = self._next_id
+                self._next_id += 1
+                future: Future = Future()
+                self._pending_stats[request_id] = (future, index)
+                futures.append((request_id, index, future))
+        for (request_id, index, _future) in futures:
+            self._tasks[index].put((request_id, "mutate", dict(payload), None))
+        deadline = monotonic() + timeout
+        replies: list[dict[str, Any]] = []
+        for request_id, index, future in futures:
+            try:
+                replies.append(future.result(timeout=max(0.0, deadline - monotonic())))
+            except Exception as exc:  # noqa: BLE001 — report, don't hang
+                with self._lock:
+                    self._pending_stats.pop(request_id, None)
+                replies.append(
+                    {"worker": index, "error": f"mutation not confirmed: {exc}"}
+                )
+        return replies
 
     def stats(self, timeout: float = 2.0) -> list[dict[str, Any]]:
         """Cache statistics from every live worker (best-effort, bounded).

@@ -1,5 +1,6 @@
 """Constraint solving: SAT, cardinality minimisation, aggregate branch-and-bound."""
 
+from repro.solver.clausecache import ClauseCache, ClauseCacheEntry
 from repro.solver.cnf import CNF, VariablePool, assert_expression, sequential_counter, tseitin
 from repro.solver.minones import (
     ForeignKeyClause,
@@ -22,6 +23,8 @@ __all__ = [
     "AggregateSolver",
     "AggregateSolverConfig",
     "CNF",
+    "ClauseCache",
+    "ClauseCacheEntry",
     "EnumerationResult",
     "ForeignKeyClause",
     "MinOnesProblem",

@@ -1,0 +1,108 @@
+"""Cross-submission reuse of provenance CNF encodings and learned clauses.
+
+Grading a classroom means solving many *near-duplicate* min-ones problems:
+two students who wrote the same wrong query modulo attribute renaming
+produce structurally identical provenance constraints (renames compile away
+before provenance is computed, so the ``BoolExpr`` trees — frozen, hashable
+dataclasses over tuple identifiers — are *equal*).  This cache keys a
+finished encoding by the problem structure so the second submission skips
+the Tseitin transformation entirely and starts its CDCL search from the
+first submission's clause database.
+
+What is stored — and why it is sound to reuse:
+
+* the solver's clause list **snapshotted after the first model, before any
+  cardinality ladder or blocking clause is added**.  Every clause in that
+  snapshot is either part of the base CNF or was *learned from it by
+  resolution*, hence implied by the base CNF alone and safe to hand to any
+  future solver for the same problem;
+* the variable pool's name table, so auxiliary numbering stays consistent
+  with the snapshot and fresh variables (the next run's cardinality
+  registers) never collide;
+* the cost-variable ids, and the first model's phases (seeding
+  phase-saving toward the previous solution makes the warm first solve
+  converge quickly).
+
+Clauses derived *after* a cardinality bound was attached are never
+exported: they are implied only by "base CNF ∧ bound", and a post-minimize
+solver object is permanently UNSAT — reusing the object (rather than the
+snapshot) would be unsound, which is exactly why the cache stores data, not
+solvers.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.lru import LRUCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.solver.minones import MinOnesProblem
+
+
+@dataclass(frozen=True)
+class ClauseCacheEntry:
+    """A reusable encoding: clause snapshot + pool state + solve hints."""
+
+    clauses: tuple[tuple[int, ...], ...]
+    units: tuple[int, ...]
+    names: tuple[tuple[str, int], ...]
+    next_var: int
+    cost_ids: tuple[tuple[str, int], ...]
+    phases: tuple[tuple[int, bool], ...]
+
+
+class ClauseCache:
+    """Thread-safe LRU of :class:`ClauseCacheEntry` keyed by problem structure."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        self._entries = LRUCache(max_entries)
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def key_for(problem: "MinOnesProblem"):
+        """Structural cache key, or ``None`` if the problem is unhashable.
+
+        Constraints are ``BoolExpr`` trees over tuple identifiers; renamed
+        near-duplicate queries share one plan (renames compile away) and
+        therefore equal constraint trees, which is what makes this key work
+        "modulo renaming" without any explicit canonicalization.
+        """
+        try:
+            key = (
+                tuple(problem.constraints),
+                tuple(sorted((fk.child, fk.parents) for fk in problem.foreign_keys)),
+                frozenset(problem.cost_variables),
+            )
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def get(self, key) -> ClauseCacheEntry | None:
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key, entry: ClauseCacheEntry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+
+    @property
+    def hits(self) -> int:
+        return self._entries.hits
+
+    @property
+    def misses(self) -> int:
+        return self._entries.misses
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def cache_info(self) -> dict[str, int]:
+        with self._lock:
+            return self._entries.stats()
+
+
+__all__ = ["ClauseCache", "ClauseCacheEntry"]

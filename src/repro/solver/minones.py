@@ -22,7 +22,8 @@ from typing import Iterable, Literal, Sequence
 
 from repro.errors import BudgetExceededError, SolverError, UnsatisfiableError
 from repro.provenance.boolexpr import BoolExpr
-from repro.solver.cnf import CNF, assert_expression, sequential_counter
+from repro.solver.clausecache import ClauseCache, ClauseCacheEntry
+from repro.solver.cnf import CNF, VariablePool, assert_expression, sequential_counter
 from repro.solver.models import EnumerationResult, MinOnesResult
 from repro.solver.sat import SATSolver
 
@@ -68,15 +69,31 @@ class MinOnesProblem:
 class MinOnesSolver:
     """Solve a :class:`MinOnesProblem` with a CDCL SAT engine underneath."""
 
-    def __init__(self, problem: MinOnesProblem, *, default_phase: bool = False) -> None:
+    def __init__(
+        self,
+        problem: MinOnesProblem,
+        *,
+        default_phase: bool = False,
+        clause_cache: ClauseCache | None = None,
+    ) -> None:
         if not problem.constraints:
             raise SolverError("a min-ones problem needs at least one constraint")
         self.problem = problem
         self.default_phase = default_phase
+        self.clause_cache = clause_cache
+        self._cache_key = None
+        self._warm_started = False
 
     # -- shared construction -------------------------------------------------
 
     def _build(self) -> tuple[SATSolver, CNF, dict[str, int]]:
+        if self.clause_cache is not None:
+            self._cache_key = ClauseCache.key_for(self.problem)
+            if self._cache_key is not None:
+                entry = self.clause_cache.get(self._cache_key)
+                if entry is not None:
+                    self._warm_started = True
+                    return self._build_from_entry(entry)
         cnf = CNF()
         for constraint in self.problem.constraints:
             assert_expression(constraint, cnf)
@@ -92,6 +109,60 @@ class MinOnesSolver:
         solver = SATSolver(default_phase=self.default_phase)
         solver.add_clauses(cnf.clauses)
         return solver, cnf, cost_ids
+
+    def _build_from_entry(
+        self, entry: ClauseCacheEntry
+    ) -> tuple[SATSolver, CNF, dict[str, int]]:
+        """Rebuild a fresh warm solver from a cached encoding.
+
+        The CNF's pool is restored to the snapshot's name table and counter,
+        so cardinality registers minted afterwards never collide with the
+        snapshot's auxiliary variables.  The solver object itself is always
+        fresh — cached *data* is reused, never a (possibly permanently-UNSAT)
+        solver instance.
+        """
+        by_name = dict(entry.names)
+        pool = VariablePool(
+            _by_name=by_name,
+            _by_index={index: name for name, index in by_name.items()},
+            _next=entry.next_var,
+        )
+        cnf = CNF(pool=pool)
+        cnf.clauses = [tuple(clause) for clause in entry.clauses]
+        solver = SATSolver(default_phase=self.default_phase)
+        solver.warm_start(entry.clauses, entry.units, entry.phases)
+        return solver, cnf, dict(entry.cost_ids)
+
+    def _maybe_export(
+        self,
+        solver: SATSolver,
+        cnf: CNF,
+        cost_ids: dict[str, int],
+        model: dict[int, bool],
+    ) -> None:
+        """Store the post-first-solve clause snapshot for future problems.
+
+        Called strictly before any cardinality ladder or blocking clause is
+        attached, so everything exported is implied by the base CNF alone.
+        """
+        if (
+            self.clause_cache is None
+            or self._cache_key is None
+            or self._warm_started
+        ):
+            return
+        clauses, units = solver.export_clauses()
+        self.clause_cache.put(
+            self._cache_key,
+            ClauseCacheEntry(
+                clauses=clauses,
+                units=units,
+                names=tuple(cnf.pool._by_name.items()),
+                next_var=cnf.pool._next,
+                cost_ids=tuple(cost_ids.items()),
+                phases=tuple((var, value) for var, value in model.items()),
+            ),
+        )
 
     def _model_cost_vars(self, model: dict[int, bool], cost_ids: dict[str, int]) -> frozenset[str]:
         return frozenset(name for name, var in cost_ids.items() if model.get(var, False))
@@ -116,6 +187,7 @@ class MinOnesSolver:
         model = solver.solve()
         if model is None:
             raise UnsatisfiableError("provenance constraints are unsatisfiable")
+        self._maybe_export(solver, cnf, cost_ids, model)
         best = self._model_cost_vars(model, cost_ids)
         calls = 1
         if len(best) <= 1 or not cost_ids:
@@ -165,6 +237,7 @@ class MinOnesSolver:
         model = solver.solve()
         if model is None:
             raise UnsatisfiableError("provenance constraints are unsatisfiable")
+        self._maybe_export(solver, cnf, cost_ids, model)
         best = self._model_cost_vars(model, cost_ids)
         calls = 1
         low, high = 0, len(best) - 1
@@ -229,6 +302,10 @@ class MinOnesSolver:
             if model is None:
                 result.exhausted = True
                 break
+            if result.solver_calls == 1:
+                # First model: the clause database holds only base-CNF-implied
+                # clauses (no blocking clause yet), so it is exportable.
+                self._maybe_export(solver, cnf, cost_ids, model)
             witness = self._model_cost_vars(model, cost_ids)
             result.models.append(witness)
             if result.best is None or len(witness) < len(result.best):
@@ -252,6 +329,7 @@ def solve_min_ones(
     foreign_keys: Sequence[ForeignKeyClause] = (),
     strategy: Strategy = "descend",
     time_budget: float | None = None,
+    clause_cache: ClauseCache | None = None,
 ) -> MinOnesResult:
     """Convenience wrapper: build a problem and minimise it in one call."""
     problem = MinOnesProblem()
@@ -261,4 +339,6 @@ def solve_min_ones(
         problem.cost_variables.update(cost_variables)
     for fk in foreign_keys:
         problem.add_foreign_key(fk.child, fk.parents)
-    return MinOnesSolver(problem).minimize(strategy=strategy, time_budget=time_budget)
+    return MinOnesSolver(problem, clause_cache=clause_cache).minimize(
+        strategy=strategy, time_budget=time_budget
+    )

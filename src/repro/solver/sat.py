@@ -106,6 +106,37 @@ class SATSolver:
         for clause in clauses:
             self.add_clause(clause)
 
+    def export_clauses(self) -> tuple[tuple[tuple[int, ...], ...], tuple[int, ...]]:
+        """Immutable snapshot of the clause database: ``(clauses, units)``.
+
+        Includes clauses learned so far.  Taken *before* any assumption-like
+        clause (cardinality bound, model-blocking) is added, every snapshotted
+        clause is implied by the original input alone, so the snapshot can
+        warm-start a fresh solver for the same problem.  The copy is deep:
+        later in-place watch swaps or appends never leak into it.
+        """
+        return tuple(tuple(clause) for clause in self._clauses), tuple(self._units)
+
+    def warm_start(
+        self,
+        clauses,
+        units=(),
+        phases=(),
+    ) -> None:
+        """Load a previously exported clause set plus optional phase hints.
+
+        Must be called on a fresh solver (before the first :meth:`solve`).
+        ``phases`` is an iterable of ``(variable, bool)`` pairs seeding the
+        phase-saving heuristic toward a known model, so the warm first solve
+        re-derives a nearby solution with few conflicts.
+        """
+        for clause in clauses:
+            self.add_clause(clause)
+        for unit in units:
+            self.add_clause((unit,))
+        for var, phase in phases:
+            self._phase[var] = phase
+
     def solve(self) -> dict[int, bool] | None:
         """Return a satisfying assignment (var -> bool) or ``None`` if UNSAT.
 

@@ -1,0 +1,182 @@
+"""Differential fuzzing of delta maintenance: warm sessions vs. cold truth.
+
+The delta-aware :class:`~repro.engine.session.EngineSession` keeps memoized
+subplan results alive across instance mutations by patching them with
+propagated deltas (``repro.engine.delta``) instead of discarding everything.
+That optimization is only sound if a warm, repeatedly-patched session is
+*bit-identical* to a session built from scratch on the mutated data — which
+is exactly what this suite checks, under seeded random edit streams.
+
+Each trial: build an instance, warm one session on a pool of fuzzer-generated
+queries, then loop rounds of random single-tuple edits (insert / delete /
+update, schema-typed values).  After every round each pool query is evaluated
+three ways — the warm session (delta-maintained), a fresh cold session, and
+the pre-engine reference interpreter — and all row sets must agree exactly.
+On failure the assertion message is a reproduction one-liner: the trial seed,
+the round number, the edit log of that round, and the query's DSL text.
+
+``REPRO_FUZZ_BUDGET`` scales the trial count (default 6 trials x 5 rounds);
+the suite also asserts the warm session really maintained caches (non-zero
+patch counters, no log-gap fallbacks) so the test cannot silently degrade
+into cold-vs-cold.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any
+
+import pytest
+
+from repro.catalog.instance import DatabaseInstance
+from repro.catalog.types import DataType
+from repro.datagen import toy_beers_instance, toy_university_instance
+from repro.engine.reference import ReferenceEvaluator
+from repro.engine.session import EngineSession
+from repro.workload.fuzz import QueryFuzzer, perturb_instance
+
+pytestmark = pytest.mark.fuzz
+
+QUERY_POOL = 12  # queries warmed per trial
+ROUNDS = 5  # mutation rounds per trial
+EDITS_PER_ROUND = 4  # single-tuple edits per round
+
+
+def _trials(default: int = 6) -> int:
+    budget = int(os.environ.get("REPRO_FUZZ_BUDGET", default * 50))
+    return max(1, budget // 50)
+
+
+def _fresh_value(rng: random.Random, dtype: DataType) -> Any:
+    if dtype is DataType.INT:
+        return rng.randint(0, 999)
+    if dtype is DataType.FLOAT:
+        return round(rng.uniform(0.0, 99.0), 2)
+    if dtype is DataType.BOOL:
+        return rng.random() < 0.5
+    return f"d{rng.randint(0, 999)}"
+
+
+def _random_values(rng: random.Random, instance: DatabaseInstance, name: str) -> tuple:
+    """A schema-typed row: each column drawn from live values or freshly made."""
+    relation = instance.relation(name)
+    rows = list(relation.value_set())
+    values = []
+    for position, attribute in enumerate(relation.schema.attributes):
+        if rows and rng.random() < 0.7:
+            values.append(rng.choice(rows)[position])
+        else:
+            values.append(_fresh_value(rng, attribute.dtype))
+    return tuple(values)
+
+
+def _mutate_once(rng: random.Random, instance: DatabaseInstance, name: str) -> str:
+    """Apply one random edit to ``name``; returns a human-readable log entry."""
+    relation = instance.relation(name)
+    tids = relation.tids()
+    op = rng.choice(("insert", "delete", "update")) if tids else "insert"
+    if op == "insert":
+        values = _random_values(rng, instance, name)
+        tid = relation.insert(values)
+        return f"insert {tid} {values!r}"
+    tid = rng.choice(tids)
+    if op == "delete":
+        values = relation.delete(tid)
+        return f"delete {tid} {values!r}"
+    values = _random_values(rng, instance, name)
+    relation.update(tid, values)
+    return f"update {tid} {values!r}"
+
+
+def _run_trial(instance: DatabaseInstance, trial_seed: int) -> dict:
+    """One warm-vs-cold fuzz trial; returns the warm session's stats."""
+    rng = random.Random(trial_seed)
+    fuzzer = QueryFuzzer(instance.schema, instance=instance)
+    pool = list(fuzzer.queries(QUERY_POOL, start=trial_seed * QUERY_POOL))
+    warm = EngineSession(instance)
+    for fuzz_query in pool:
+        warm.evaluate(fuzz_query.expression, fuzz_query.params)
+    names = list(instance.relation_names)
+    for round_number in range(ROUNDS):
+        edits = [
+            _mutate_once(rng, instance, rng.choice(names))
+            for _ in range(EDITS_PER_ROUND)
+        ]
+        cold = EngineSession(instance)
+        for fuzz_query in pool:
+            patched = warm.evaluate(fuzz_query.expression, fuzz_query.params).rows
+            scratch = cold.evaluate(fuzz_query.expression, fuzz_query.params).rows
+            reference = frozenset(
+                ReferenceEvaluator(instance, fuzz_query.params).rows(
+                    fuzz_query.expression
+                )
+            )
+            assert patched == scratch == reference, (
+                f"delta maintenance diverged — reproduce with: "
+                f"trial_seed={trial_seed} round={round_number} "
+                f"{fuzz_query.repro()}\n"
+                f"  edits this round: {edits}\n"
+                f"  warm (patched): {len(patched)} rows\n"
+                f"  cold:           {len(scratch)} rows\n"
+                f"  reference:      {len(reference)} rows"
+            )
+    return warm.stats
+
+
+@pytest.mark.parametrize("label", ["university", "beers"])
+def test_differential_delta_fuzz(label):
+    """Random edit streams leave warm sessions bit-identical to cold ones."""
+    builders = {
+        "university": (toy_university_instance, 17),
+        "beers": (toy_beers_instance, 53),
+    }
+    builder, salt = builders[label]
+    maintained = fallbacks = 0
+    for trial in range(_trials()):
+        seed = 1000 * trial + salt
+        instance = perturb_instance(builder(), seed=seed)
+        stats = _run_trial(instance, trial_seed=seed)
+        maintained += stats["delta_maintained"] + stats["delta_patched"]
+        fallbacks += stats["delta_fallback"]
+    # The trials must actually exercise delta maintenance, not degenerate
+    # into wholesale invalidation (which would make warm == cold trivially).
+    assert maintained > 0
+    assert fallbacks == 0
+
+
+def test_repro_one_liner_replays_a_failure_scenario():
+    """The seed printed on failure fully determines the edit stream."""
+    first = perturb_instance(toy_university_instance(), seed=7)
+    second = perturb_instance(toy_university_instance(), seed=7)
+    rng_a, rng_b = random.Random(123), random.Random(123)
+    for _ in range(10):
+        name = rng_a.choice(list(first.relation_names))
+        assert name == rng_b.choice(list(second.relation_names))
+        assert _mutate_once(rng_a, first, name) == _mutate_once(rng_b, second, name)
+    for name in first.relation_names:
+        assert first.relation(name).value_set() == second.relation(name).value_set()
+
+
+def test_log_overflow_falls_back_to_cold_evaluation():
+    """A mutation burst past the log capacity degrades safely, not wrongly."""
+    from repro.catalog.instance import MUTATION_LOG_CAPACITY
+
+    instance = toy_university_instance()
+    session = EngineSession(instance)
+    fuzzer = QueryFuzzer(instance.schema, instance=instance)
+    pool = list(fuzzer.queries(4))
+    for fuzz_query in pool:
+        session.evaluate(fuzz_query.expression, fuzz_query.params)
+    student = instance.relation("Student")
+    rng = random.Random(99)
+    for _ in range(MUTATION_LOG_CAPACITY + 10):
+        tid = student.insert(_random_values(rng, instance, "Student"))
+        student.delete(tid)
+    cold = EngineSession(instance)
+    for fuzz_query in pool:
+        assert (
+            session.evaluate(fuzz_query.expression, fuzz_query.params).rows
+            == cold.evaluate(fuzz_query.expression, fuzz_query.params).rows
+        ), f"post-overflow divergence: {fuzz_query.repro()}"
+    assert session.stats["delta_fallback"] >= 1

@@ -134,6 +134,80 @@ class TestCallbackGauges:
         )
 
 
+class TestCallbackCounters:
+    """Counter families can be callback-backed, mirroring gauges.
+
+    The delta-maintenance counters (``repro_engine_delta_*_total``,
+    ``repro_solver_clause_reuse_total``) are rendered this way: each worker
+    owns its cumulative totals and the scrape-time callback replaces the
+    stored series with the latest per-worker snapshot.
+    """
+
+    def test_mapping_callback_replaces_stored_series(self):
+        registry = MetricsRegistry()
+        totals = {label_key({"worker": "0"}): 3.0}
+        registry.counter("patched_total", "Patched memos.", callback=lambda: totals)
+        families = parse_exposition(registry.render())
+        (sample,) = families["patched_total"].samples
+        assert families["patched_total"].kind == "counter"
+        assert sample.labels == {"worker": "0"}
+        assert sample.value == 3.0
+        # The callback owns the cumulative total: a later snapshot wins.
+        totals[label_key({"worker": "0"})] = 5.0
+        totals[label_key({"worker": "1"})] = 1.0
+        by_worker = {
+            s.labels["worker"]: s.value
+            for s in parse_exposition(registry.render())["patched_total"].samples
+        }
+        assert by_worker == {"0": 5.0, "1": 1.0}
+
+    def test_bare_number_callback(self):
+        registry = MetricsRegistry()
+        registry.counter("reuse_total", "Clause reuse.", callback=lambda: 4)
+        families = parse_exposition(registry.render())
+        (sample,) = families["reuse_total"].samples
+        assert sample.value == 4.0
+
+    def test_raising_counter_callback_skips_series_and_counts_the_error(self):
+        registry = MetricsRegistry()
+        registry.counter("fine_total", "Always works.", callback=lambda: 1.0)
+
+        def explode():
+            raise RuntimeError("scrape-time failure")
+
+        registry.counter("broken_total", "Always raises.", callback=explode)
+        first = registry.render()  # must not raise
+        assert "fine_total 1" in first
+        assert "\nbroken_total " not in first  # absent, never zeroed backwards
+        second = registry.render()
+        assert f'{CALLBACK_ERRORS_METRIC}{{metric="broken_total"}} 1' in second
+
+    def test_delta_counter_families_render_through_promparse(self):
+        """Golden scrape: the five delta/solver families, labelled per worker."""
+        families_declared = (
+            "repro_engine_delta_maintained_total",
+            "repro_engine_delta_patched_total",
+            "repro_engine_delta_dropped_total",
+            "repro_engine_delta_fallback_total",
+            "repro_solver_clause_reuse_total",
+        )
+        registry = MetricsRegistry()
+        for index, name in enumerate(families_declared):
+            registry.counter(
+                name,
+                f"Family #{index}.",
+                callback=lambda index=index: {
+                    label_key({"worker": "0"}): float(index),
+                    label_key({"worker": "1"}): float(index * 10),
+                },
+            )
+        families = parse_exposition(registry.render())
+        for index, name in enumerate(families_declared):
+            assert families[name].kind == "counter"
+            by_worker = {s.labels["worker"]: s.value for s in families[name].samples}
+            assert by_worker == {"0": float(index), "1": float(index * 10)}
+
+
 class TestGoldenRoundTrip:
     def test_fully_populated_registry_parses_cleanly(self):
         registry = MetricsRegistry()
